@@ -1,0 +1,131 @@
+//! Microbenchmarks for the routing-algorithm building blocks — the
+//! quantitative backing for the paper's complexity claims: MPDA's
+//! per-event work is a Dijkstra run over partial topology (like any
+//! link-state protocol), and the load-balancing heuristics are `O(N)`
+//! per destination (§4.2: "The computation complexity of the heuristic
+//! allocation algorithms is O(N)").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdr::prelude::*;
+use mdr_routing::{bellman_ford, dijkstra, TopoTable};
+use std::hint::black_box;
+
+fn table_of(t: &Topology) -> TopoTable {
+    t.links()
+        .iter()
+        .map(|l| (l.from, l.to, 1.0 + ((l.from.0 * 7 + l.to.0) % 5) as f64))
+        .collect()
+}
+
+fn bench_spf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spf");
+    for n in [16usize, 64, 256] {
+        let t = topo::random_connected(n, 4.0, 1e7, 0.001, 7);
+        let table = table_of(&t);
+        g.bench_with_input(BenchmarkId::new("dijkstra", n), &n, |b, &n| {
+            b.iter(|| black_box(dijkstra(n, &table, NodeId(0))))
+        });
+        g.bench_with_input(BenchmarkId::new("bellman_ford", n), &n, |b, &n| {
+            b.iter(|| black_box(bellman_ford(n, &table, NodeId(0))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mpda_event(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpda");
+    for n in [16usize, 64] {
+        let t = topo::random_connected(n, 4.0, 1e7, 0.001, 7);
+        // Converge once, then measure the cost of processing one
+        // cost-change event at a router.
+        let mut h = mdr_routing::Harness::mpda(&t, |a, b| 1.0 + ((a.0 + b.0) % 5) as f64, 3);
+        assert!(h.run_to_quiescence(10_000_000));
+        let l = t.links()[0];
+        g.bench_with_input(BenchmarkId::new("cost_change_event", n), &n, |b, _| {
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let cost = if flip { 2.5 } else { 3.5 };
+                let r = &mut h.routers[l.from.index()];
+                black_box(r.handle(RouterEvent::LinkCost { to: l.to, cost }))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_heuristics");
+    for k in [2usize, 4, 8] {
+        let succ: Vec<SuccessorCost> = (0..k)
+            .map(|i| SuccessorCost::new(NodeId(i as u32 + 1), 1.0 + i as f64))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("ih", k), &k, |b, _| {
+            b.iter(|| black_box(mdr::flow::initial_assignment(&succ)))
+        });
+        g.bench_with_input(BenchmarkId::new("ah", k), &k, |b, _| {
+            let mut p = mdr::flow::initial_assignment(&succ);
+            b.iter(|| {
+                mdr::flow::incremental_adjustment(&mut p, &succ);
+                black_box(&p);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for entries in [1usize, 16, 128] {
+        let msg = LsuMessage {
+            from: NodeId(3),
+            ack: true,
+            entries: (0..entries)
+                .map(|i| LsuEntry::add(NodeId(i as u32), NodeId(i as u32 + 1), i as f64))
+                .collect(),
+        };
+        let bytes = mdr::proto::encode(&msg);
+        g.bench_with_input(BenchmarkId::new("encode", entries), &entries, |b, _| {
+            b.iter(|| black_box(mdr::proto::encode(&msg)))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", entries), &entries, |b, _| {
+            b.iter(|| black_box(mdr::proto::decode(&bytes).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_opt_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opt");
+    g.sample_size(10);
+    let t = topo::net1();
+    let flows = topo::net1_flows(1_500_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+    let models: Vec<Mm1> = t
+        .links()
+        .iter()
+        .map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0))
+        .collect();
+    g.bench_function("gallager_net1", |b| {
+        b.iter(|| {
+            black_box(
+                mdr::opt::solve(&t, &models, &traffic, GallagerConfig::default()).unwrap(),
+            )
+        })
+    });
+    let vars = mdr::opt::shortest_path_vars(&t, &models);
+    g.bench_function("evaluate_net1", |b| {
+        b.iter(|| black_box(evaluate(&t, &models, &traffic, &vars).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spf,
+    bench_mpda_event,
+    bench_heuristics,
+    bench_codec,
+    bench_opt_solver
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Simulator throughput benchmarks: events/second of the
+//! discrete-event engine on the evaluation topologies. These bound how
+//! much simulated time a figure run costs and catch regressions in the
+//! packet hot path (forwarding, queueing, estimation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdr::prelude::*;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for (name, t, flows) in [
+        ("net1", topo::net1(), topo::net1_flows(1_500_000.0)),
+        ("cairn", topo::cairn(), topo::cairn_flows(&topo::cairn(), 2_000_000.0)),
+    ] {
+        let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+        // Approximate packets simulated: rate/L x (warmup + duration) x flows.
+        let sim_seconds = 6.0;
+        let pkts: u64 = flows.iter().map(|f| (f.rate / 1000.0 * sim_seconds) as u64).sum();
+        g.throughput(Throughput::Elements(pkts));
+        g.bench_with_input(BenchmarkId::new("packets", name), &name, |b, _| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    warmup: 3.0,
+                    duration: 3.0,
+                    seed: 1,
+                    ..Default::default()
+                };
+                let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
+                black_box(sim.run())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_boot_convergence(c: &mut Criterion) {
+    // Control-plane-only: how fast the in-simulator protocol converges
+    // from cold boot (no data traffic).
+    let mut g = c.benchmark_group("boot");
+    g.sample_size(10);
+    for (name, t) in [("net1", topo::net1()), ("cairn", topo::cairn())] {
+        let traffic = TrafficMatrix::empty(t.node_count());
+        g.bench_with_input(BenchmarkId::new("control_plane", name), &name, |b, _| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    warmup: 1.0,
+                    duration: 1.0,
+                    seed: 1,
+                    ..Default::default()
+                };
+                let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
+                black_box(sim.run())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_boot_convergence);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Run every figure/experiment binary in sequence (the one-shot
+//! reproduction driver). Equivalent to executing each `fig*`,
+//! `dynamic_traffic`, `link_failure`, `convergence`, `load_sweep` and
+//! `ablation_*` binary; results land under `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "dynamic_traffic",
+        "link_failure",
+        "convergence",
+        "load_sweep",
+        "ablation_lfi",
+        "ablation_ah",
+        "ablation_estimator",
+        "ablation_traffic",
+        "extension_dv",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n########## {bin} ##########");
+        let status = Command::new(exe_dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin} failed: {other:?}");
+                failed.push(bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed; see results/*.json");
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Stateful per-router flow allocator: chooses between IH and AH and
+//! implements the single-path (SP) restriction used as the baseline in
+//! the paper's evaluation.
+
+use crate::heuristics::{incremental_adjustment_gained, initial_assignment, SuccessorCost};
+use crate::params::DestParams;
+use mdr_net::NodeId;
+
+/// Forwarding discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// MP: distribute over the whole successor set with IH/AH.
+    Multipath,
+    /// SP: all traffic to the best successor (the paper's stand-in for
+    /// single shortest-path routing, benefiting from MPDA's
+    /// instantaneous loop-freedom).
+    SinglePath,
+}
+
+/// Why the allocator is being updated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Update {
+    /// Long-term (`T_l`) routing-path change: always redistribute
+    /// freshly with IH.
+    LongTerm,
+    /// Short-term (`T_s`) link-cost refresh: adjust incrementally with
+    /// AH — unless the successor set changed, in which case IH runs
+    /// (the paper's heuristics "assume a constant successor set").
+    ShortTerm,
+}
+
+/// Per-router allocator state across all destinations.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    mode: Mode,
+    params: Vec<DestParams>,
+    /// The successor set each `params[j]` was computed over.
+    basis: Vec<Vec<NodeId>>,
+    /// AH step gain γ (see
+    /// [`crate::heuristics::incremental_adjustment_gained`]).
+    ah_gain: f64,
+}
+
+impl Allocator {
+    /// Allocator for a network of `n` routers, with the paper-literal AH
+    /// step (γ = 1).
+    pub fn new(n: usize, mode: Mode) -> Self {
+        Allocator {
+            mode,
+            params: vec![DestParams::new(); n],
+            basis: vec![Vec::new(); n],
+            ah_gain: 1.0,
+        }
+    }
+
+    /// Set the AH gain γ (clamped to [0, 1]; 0 disables AH entirely,
+    /// leaving the IH distribution in place — the `ablation_ah` arm).
+    pub fn with_ah_gain(mut self, gain: f64) -> Self {
+        self.ah_gain = gain.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The configured AH gain.
+    pub fn ah_gain(&self) -> f64 {
+        self.ah_gain
+    }
+
+    /// Forwarding discipline.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Update the parameters for destination `j` given the current
+    /// successor set and marginal distances through each successor.
+    pub fn update(&mut self, j: NodeId, successors: &[SuccessorCost], kind: Update) {
+        let set: Vec<NodeId> = successors.iter().map(|s| s.neighbor).collect();
+        match self.mode {
+            Mode::SinglePath => {
+                // Best successor only; ties to the lower address (the
+                // successor list from MPDA is address-sorted, and strict
+                // `<` keeps the first minimum).
+                let best = successors
+                    .iter()
+                    .fold(None::<SuccessorCost>, |acc, s| match acc {
+                        Some(b) if b.cost <= s.cost => Some(b),
+                        _ => Some(*s),
+                    });
+                self.params[j.index()] = match best {
+                    Some(b) => DestParams::from_pairs(vec![(b.neighbor, 1.0)]),
+                    None => DestParams::new(),
+                };
+            }
+            Mode::Multipath => {
+                let changed = self.basis[j.index()] != set;
+                match kind {
+                    Update::LongTerm => {
+                        self.params[j.index()] = initial_assignment(successors);
+                    }
+                    Update::ShortTerm if changed => {
+                        self.params[j.index()] = initial_assignment(successors);
+                    }
+                    Update::ShortTerm => {
+                        incremental_adjustment_gained(
+                            &mut self.params[j.index()],
+                            successors,
+                            self.ah_gain,
+                        );
+                    }
+                }
+            }
+        }
+        self.basis[j.index()] = set;
+        debug_assert!(self.params[j.index()].validate().is_ok());
+    }
+
+    /// Refresh after a routing-table change: redistribute with IH *only
+    /// if* the successor set actually changed, otherwise leave the
+    /// current parameters alone (the paper's heuristics "assume a
+    /// constant successor set and successor graph" between changes).
+    pub fn refresh(&mut self, j: NodeId, successors: &[SuccessorCost]) {
+        let set: Vec<NodeId> = successors.iter().map(|s| s.neighbor).collect();
+        if self.basis[j.index()] != set {
+            self.update(j, successors, Update::LongTerm);
+        }
+    }
+
+    /// Current parameters toward `j`.
+    pub fn params(&self, j: NodeId) -> &DestParams {
+        &self.params[j.index()]
+    }
+
+    /// Fraction of `j`-bound traffic forwarded to neighbor `k`.
+    pub fn fraction(&self, j: NodeId, k: NodeId) -> f64 {
+        self.params[j.index()].fraction(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn sc(k: u32, c: f64) -> SuccessorCost {
+        SuccessorCost::new(n(k), c)
+    }
+
+    #[test]
+    fn multipath_long_term_runs_ih() {
+        let mut a = Allocator::new(4, Mode::Multipath);
+        a.update(n(3), &[sc(1, 1.0), sc(2, 3.0)], Update::LongTerm);
+        assert!((a.fraction(n(3), n(1)) - 0.75).abs() < 1e-12);
+        assert!((a.fraction(n(3), n(2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multipath_short_term_same_set_runs_ah() {
+        let mut a = Allocator::new(4, Mode::Multipath);
+        a.update(n(3), &[sc(1, 1.0), sc(2, 3.0)], Update::LongTerm);
+        a.update(n(3), &[sc(1, 1.0), sc(2, 3.0)], Update::ShortTerm);
+        // AH drains the worse of two successors.
+        assert!(a.fraction(n(3), n(2)) < 1e-12);
+    }
+
+    #[test]
+    fn multipath_short_term_new_set_runs_ih() {
+        let mut a = Allocator::new(4, Mode::Multipath);
+        a.update(n(3), &[sc(1, 1.0)], Update::LongTerm);
+        // Set changes (successor 2 appears): must re-run IH, not AH.
+        a.update(n(3), &[sc(1, 1.0), sc(2, 3.0)], Update::ShortTerm);
+        assert!((a.fraction(n(3), n(1)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_path_takes_best_only() {
+        let mut a = Allocator::new(4, Mode::SinglePath);
+        a.update(n(3), &[sc(1, 2.0), sc(2, 1.0)], Update::LongTerm);
+        assert_eq!(a.fraction(n(3), n(2)), 1.0);
+        assert_eq!(a.fraction(n(3), n(1)), 0.0);
+    }
+
+    #[test]
+    fn single_path_tie_prefers_lower_address() {
+        let mut a = Allocator::new(4, Mode::SinglePath);
+        a.update(n(3), &[sc(1, 1.0), sc(2, 1.0)], Update::LongTerm);
+        assert_eq!(a.fraction(n(3), n(1)), 1.0);
+    }
+
+    #[test]
+    fn empty_successors_yield_empty_params() {
+        let mut a = Allocator::new(4, Mode::Multipath);
+        a.update(n(3), &[], Update::LongTerm);
+        assert!(a.params(n(3)).is_empty());
+        let mut a = Allocator::new(4, Mode::SinglePath);
+        a.update(n(3), &[], Update::ShortTerm);
+        assert!(a.params(n(3)).is_empty());
+    }
+
+    #[test]
+    fn set_shrink_on_short_term_triggers_ih() {
+        let mut a = Allocator::new(4, Mode::Multipath);
+        a.update(n(3), &[sc(1, 1.0), sc(2, 3.0)], Update::LongTerm);
+        a.update(n(3), &[sc(2, 3.0)], Update::ShortTerm);
+        assert_eq!(a.fraction(n(3), n(2)), 1.0);
+        assert_eq!(a.fraction(n(3), n(1)), 0.0);
+    }
+}

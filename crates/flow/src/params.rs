@@ -1,0 +1,174 @@
+//! Routing parameters `φ^i_jk` for one destination, with Property-1
+//! enforcement.
+
+use mdr_net::NodeId;
+use std::fmt;
+
+/// Tolerance for floating-point Property-1 checks.
+pub const EPS: f64 = 1e-9;
+
+/// A violation of Property 1 (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PropertyViolation {
+    /// Some `φ_jk < 0`.
+    Negative(NodeId, f64),
+    /// `Σ_k φ_jk` differs from 1 (reported value attached). Only checked
+    /// when the set is non-empty.
+    SumNotOne(f64),
+}
+
+impl fmt::Display for PropertyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyViolation::Negative(k, v) => write!(f, "phi via {k} is negative: {v}"),
+            PropertyViolation::SumNotOne(s) => write!(f, "phi sums to {s}, not 1"),
+        }
+    }
+}
+
+impl std::error::Error for PropertyViolation {}
+
+/// Routing parameters toward a single destination: the successor set and
+/// the traffic fraction per successor, kept sorted by neighbor address.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DestParams {
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl DestParams {
+    /// Empty (no successors — destination unreachable or self).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(neighbor, fraction)` pairs; sorts by neighbor.
+    pub fn from_pairs(mut pairs: Vec<(NodeId, f64)>) -> Self {
+        pairs.sort_by_key(|&(k, _)| k);
+        DestParams { entries: pairs }
+    }
+
+    /// Fraction toward `k` (0 for non-successors, per Property 1 rule 1).
+    pub fn fraction(&self, k: NodeId) -> f64 {
+        self.entries
+            .binary_search_by_key(&k, |&(n, _)| n)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// The `(neighbor, fraction)` pairs, ascending by neighbor.
+    pub fn pairs(&self) -> &[(NodeId, f64)] {
+        &self.entries
+    }
+
+    /// Mutable access for the heuristics (kept crate-private so outside
+    /// code cannot break Property 1).
+    pub(crate) fn pairs_mut(&mut self) -> &mut Vec<(NodeId, f64)> {
+        &mut self.entries
+    }
+
+    /// The successor set implied by non-zero fractions.
+    pub fn successors(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|&(k, _)| k).collect()
+    }
+
+    /// True when no successor exists.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Check Property 1. An empty set is vacuously valid (no traffic can
+    /// be forwarded; the simulator counts such packets as dropped at the
+    /// source).
+    pub fn validate(&self) -> Result<(), PropertyViolation> {
+        if self.entries.is_empty() {
+            return Ok(());
+        }
+        let mut sum = 0.0;
+        for &(k, v) in &self.entries {
+            if v < -EPS {
+                return Err(PropertyViolation::Negative(k, v));
+            }
+            sum += v;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(PropertyViolation::SumNotOne(sum));
+        }
+        Ok(())
+    }
+
+    /// Normalize away floating-point drift (clamps tiny negatives to 0
+    /// and rescales to sum exactly 1). Called by the heuristics after
+    /// each update.
+    pub(crate) fn renormalize(&mut self) {
+        let mut sum = 0.0;
+        for e in &mut self.entries {
+            if e.1 < 0.0 {
+                debug_assert!(e.1 > -1e-6, "materially negative fraction {}", e.1);
+                e.1 = 0.0;
+            }
+            sum += e.1;
+        }
+        if sum > 0.0 {
+            for e in &mut self.entries {
+                e.1 /= sum;
+            }
+        } else if !self.entries.is_empty() {
+            // Degenerate: spread evenly (cannot happen via IH/AH, but
+            // keeps the type's invariant unconditional).
+            let v = 1.0 / self.entries.len() as f64;
+            for e in &mut self.entries {
+                e.1 = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn fraction_lookup() {
+        let p = DestParams::from_pairs(vec![(n(2), 0.25), (n(1), 0.75)]);
+        assert_eq!(p.fraction(n(1)), 0.75);
+        assert_eq!(p.fraction(n(2)), 0.25);
+        assert_eq!(p.fraction(n(3)), 0.0);
+        assert_eq!(p.successors(), vec![n(1), n(2)]);
+    }
+
+    #[test]
+    fn validate_ok() {
+        let p = DestParams::from_pairs(vec![(n(1), 0.5), (n(2), 0.5)]);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_detects_negative() {
+        let p = DestParams::from_pairs(vec![(n(1), 1.5), (n(2), -0.5)]);
+        assert!(matches!(p.validate(), Err(PropertyViolation::Negative(_, _))));
+    }
+
+    #[test]
+    fn validate_detects_bad_sum() {
+        let p = DestParams::from_pairs(vec![(n(1), 0.4), (n(2), 0.4)]);
+        assert!(matches!(p.validate(), Err(PropertyViolation::SumNotOne(_))));
+    }
+
+    #[test]
+    fn empty_is_valid() {
+        assert!(DestParams::new().validate().is_ok());
+        assert!(DestParams::new().is_empty());
+    }
+
+    #[test]
+    fn renormalize_fixes_drift() {
+        let mut p = DestParams::from_pairs(vec![(n(1), 0.5000001), (n(2), 0.5000001)]);
+        p.renormalize();
+        assert!(p.validate().is_ok());
+        assert!((p.fraction(n(1)) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests: IH and AH preserve Property 1 (§2.1) for any
+//! successor sets and marginal distances, and exhibit the monotonicity
+//! properties the paper claims.
+
+use mdr_flow::{
+    incremental_adjustment, initial_assignment, Allocator, Mode, SuccessorCost, Update,
+};
+use mdr_net::NodeId;
+use proptest::prelude::*;
+
+fn arb_successors(max: usize) -> impl Strategy<Value = Vec<SuccessorCost>> {
+    prop::collection::btree_set(0u32..32, 0..max).prop_flat_map(|set| {
+        let nbrs: Vec<u32> = set.into_iter().collect();
+        let len = nbrs.len();
+        (Just(nbrs), prop::collection::vec(0.001f64..1000.0, len))
+            .prop_map(|(nbrs, costs)| {
+                nbrs.into_iter()
+                    .zip(costs)
+                    .map(|(k, c)| SuccessorCost::new(NodeId(k), c))
+                    .collect()
+            })
+    })
+}
+
+proptest! {
+    /// IH always satisfies Property 1.
+    #[test]
+    fn ih_property1(succ in arb_successors(8)) {
+        let p = initial_assignment(&succ);
+        prop_assert!(p.validate().is_ok(), "{:?}", p.pairs());
+        prop_assert_eq!(p.pairs().len(), succ.len());
+    }
+
+    /// IH is anti-monotone in marginal distance: costlier successor,
+    /// smaller fraction.
+    #[test]
+    fn ih_anti_monotone(succ in arb_successors(8)) {
+        let p = initial_assignment(&succ);
+        for a in &succ {
+            for b in &succ {
+                if a.cost < b.cost {
+                    prop_assert!(
+                        p.fraction(a.neighbor) >= p.fraction(b.neighbor) - 1e-12,
+                        "cost {} got {}, cost {} got {}",
+                        a.cost, p.fraction(a.neighbor), b.cost, p.fraction(b.neighbor)
+                    );
+                }
+            }
+        }
+    }
+
+    /// AH preserves Property 1 across arbitrarily many iterations with
+    /// freshly drawn costs each round.
+    #[test]
+    fn ah_property1_iterated(
+        succ in arb_successors(8),
+        rounds in prop::collection::vec(prop::collection::vec(0.001f64..1000.0, 8), 1..10),
+    ) {
+        let mut p = initial_assignment(&succ);
+        for costs in rounds {
+            let fresh: Vec<SuccessorCost> = succ
+                .iter()
+                .zip(costs.iter().cycle())
+                .map(|(s, &c)| SuccessorCost::new(s.neighbor, c))
+                .collect();
+            incremental_adjustment(&mut p, &fresh);
+            prop_assert!(p.validate().is_ok(), "{:?}", p.pairs());
+        }
+    }
+
+    /// AH never decreases the best successor's share.
+    #[test]
+    fn ah_best_share_nondecreasing(succ in arb_successors(8)) {
+        if succ.len() < 2 {
+            return Ok(());
+        }
+        let mut p = initial_assignment(&succ);
+        let best = succ
+            .iter()
+            .fold(succ[0], |b, s| if s.cost < b.cost { *s } else { b });
+        let before = p.fraction(best.neighbor);
+        incremental_adjustment(&mut p, &succ);
+        prop_assert!(p.fraction(best.neighbor) >= before - 1e-12);
+    }
+
+    /// The allocator keeps Property 1 under random interleavings of
+    /// long-term and short-term updates with set changes.
+    #[test]
+    fn allocator_property1_under_interleaving(
+        updates in prop::collection::vec((arb_successors(6), any::<bool>()), 1..20),
+    ) {
+        let mut mp = Allocator::new(33, Mode::Multipath);
+        let mut sp = Allocator::new(33, Mode::SinglePath);
+        let j = NodeId(32);
+        for (succ, long) in updates {
+            let kind = if long { Update::LongTerm } else { Update::ShortTerm };
+            mp.update(j, &succ, kind);
+            sp.update(j, &succ, kind);
+            prop_assert!(mp.params(j).validate().is_ok());
+            prop_assert!(sp.params(j).validate().is_ok());
+            // SP puts everything on one successor.
+            if !succ.is_empty() {
+                let total_on_one = sp.params(j).pairs().iter().any(|&(_, f)| (f - 1.0).abs() < 1e-12);
+                prop_assert!(total_on_one);
+            }
+        }
+    }
+}

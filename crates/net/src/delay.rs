@@ -1,0 +1,246 @@
+//! Link delay models.
+//!
+//! The paper (§4.3, Eq. 24) models links as M/M/1 queues:
+//!
+//! ```text
+//! D_ik(f_ik) = f_ik / (C_ik − f_ik) + τ_ik · f_ik
+//! ```
+//!
+//! where `D_ik` is *rate × delay* (expected packets/s on the link times
+//! expected per-packet delay), `f_ik` the flow, `C_ik` the capacity and
+//! `τ_ik` the propagation delay. The link *cost* used for routing is the
+//! **marginal delay** `D'_ik(f_ik) = ∂D/∂f`.
+//!
+//! The paper writes the formula with flow measured in packets (unit
+//! packet length). We keep flows and capacities in bits/second and carry
+//! an explicit mean packet length `L` (bits): with packet arrival rate
+//! `λ = f/L` and M/M/1 service rate `μ = C/L`,
+//!
+//! * per-packet delay   `T(f) = L/(C−f) + τ`
+//! * rate×delay         `D(f) = λ·T = f/(C−f) + τ·f/L`
+//! * marginal delay     `D'(f) = C/(C−f)² + τ/L`  (per bit/s of added flow,
+//!   measured in packet-seconds per bit — a consistent unit across links,
+//!   which is all Gallager's condition needs)
+//!
+//! With `L = 1` these reduce exactly to the paper's Eq. (24) and its
+//! derivative. `D(f)` is continuous, convex, and tends to infinity as
+//! `f → C`, the properties Gallager's theory requires; beyond capacity we
+//! continue it with a steep affine extension so optimizers can evaluate
+//! (and be repelled from) infeasible points without NaNs.
+
+use serde::{Deserialize, Serialize};
+
+/// Trait for link delay models, parameterized by the offered flow in
+/// bits/second.
+pub trait LinkDelayModel {
+    /// Expected per-packet delay `T(f)` in seconds (queueing +
+    /// transmission + propagation).
+    fn packet_delay(&self, flow: f64) -> f64;
+    /// `D(f)`: expected rate × delay (Gallager's objective summand).
+    fn rate_delay(&self, flow: f64) -> f64;
+    /// Marginal delay `D'(f)` — the link cost `l_ik`.
+    fn marginal_delay(&self, flow: f64) -> f64;
+    /// Capacity in bits/second.
+    fn capacity(&self) -> f64;
+}
+
+/// M/M/1 delay model of Eq. (24).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mm1 {
+    /// Link capacity `C` in bits/s.
+    pub capacity: f64,
+    /// Propagation delay `τ` in seconds.
+    pub prop_delay: f64,
+    /// Mean packet length `L` in bits.
+    pub mean_packet_bits: f64,
+    /// Utilization at which the convex curve is continued by an affine
+    /// extension (to stay finite/stable near saturation, mirroring the
+    /// paper's observation that Eq. 24 "becomes unstable when f
+    /// approaches C").
+    pub cutoff_utilization: f64,
+}
+
+impl Mm1 {
+    /// Standard model: cutoff at 99% utilization.
+    pub fn new(capacity: f64, prop_delay: f64, mean_packet_bits: f64) -> Self {
+        Mm1 { capacity, prop_delay, mean_packet_bits, cutoff_utilization: 0.99 }
+    }
+
+    /// The paper's unit-packet form (`L = 1`), used by the analytic
+    /// evaluator and the OPT solver where only relative costs matter.
+    pub fn unit_packets(capacity: f64, prop_delay: f64) -> Self {
+        Mm1::new(capacity, prop_delay, 1.0)
+    }
+
+    #[inline]
+    fn cutoff_flow(&self) -> f64 {
+        self.capacity * self.cutoff_utilization
+    }
+}
+
+impl LinkDelayModel for Mm1 {
+    fn packet_delay(&self, flow: f64) -> f64 {
+        let f = flow.max(0.0);
+        let fc = self.cutoff_flow();
+        if f < fc {
+            self.mean_packet_bits / (self.capacity - f) + self.prop_delay
+        } else {
+            // Affine continuation with matched value and slope at fc.
+            let base = self.mean_packet_bits / (self.capacity - fc);
+            let slope = self.mean_packet_bits / ((self.capacity - fc) * (self.capacity - fc));
+            base + slope * (f - fc) + self.prop_delay
+        }
+    }
+
+    fn rate_delay(&self, flow: f64) -> f64 {
+        let f = flow.max(0.0);
+        (f / self.mean_packet_bits) * self.packet_delay(f)
+    }
+
+    fn marginal_delay(&self, flow: f64) -> f64 {
+        let f = flow.max(0.0);
+        let fc = self.cutoff_flow();
+        let l = self.mean_packet_bits;
+        if f < fc {
+            // D(f) = f/(C−f) + τf/L  ⇒  D'(f) = C/(C−f)² + τ/L.
+            self.capacity / ((self.capacity - f) * (self.capacity - f)) + self.prop_delay / l
+        } else {
+            // Derivative of the affine-extended D(f); grows linearly so the
+            // optimizer is pushed away from saturation.
+            let c = self.capacity;
+            let base_t = l / (c - fc) + self.prop_delay; // T(fc) w/o extension
+            let slope = l / ((c - fc) * (c - fc));
+            // D(f) = (f/l) (base_t + slope (f-fc)); D'(f):
+            (base_t + slope * (2.0 * f - fc)) / l
+        }
+    }
+
+    fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Mm1 {
+        Mm1::unit_packets(10.0, 0.5)
+    }
+
+    #[test]
+    fn matches_paper_eq_24_below_cutoff() {
+        // With L=1: D(f) = f/(C-f) + tau*f.
+        let model = m();
+        let f = 4.0;
+        let expect = f / (10.0 - f) + 0.5 * f;
+        assert!((model.rate_delay(f) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_matches_derivative_numerically() {
+        let model = m();
+        for &f in &[0.5, 1.0, 3.5, 7.0, 9.0] {
+            let h = 1e-6;
+            let num = (model.rate_delay(f + h) - model.rate_delay(f - h)) / (2.0 * h);
+            let ana = model.marginal_delay(f);
+            assert!(
+                (num - ana).abs() / ana.max(1.0) < 1e-4,
+                "f={f}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_is_monotone_increasing() {
+        // Convexity of D implies D' nondecreasing, including across the
+        // affine-extension boundary.
+        let model = m();
+        let mut prev = 0.0;
+        let mut f = 0.0;
+        while f < 15.0 {
+            let d = model.marginal_delay(f);
+            assert!(d >= prev - 1e-12, "non-monotone at f={f}");
+            prev = d;
+            f += 0.05;
+        }
+    }
+
+    #[test]
+    fn packet_delay_continuous_at_cutoff() {
+        let model = m();
+        let fc = 10.0 * 0.99;
+        let lo = model.packet_delay(fc - 1e-9);
+        let hi = model.packet_delay(fc + 1e-9);
+        assert!((lo - hi).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finite_beyond_capacity() {
+        let model = m();
+        assert!(model.packet_delay(20.0).is_finite());
+        assert!(model.rate_delay(20.0).is_finite());
+        assert!(model.marginal_delay(20.0).is_finite());
+        // And much larger than uncongested values.
+        assert!(model.marginal_delay(20.0) > model.marginal_delay(1.0) * 10.0);
+    }
+
+    #[test]
+    fn zero_flow_marginal_is_idle_cost() {
+        // D'(0) = 1/C + tau with L=1: the uncongested cost orders links by
+        // capacity and propagation delay, like a static metric would.
+        let model = m();
+        assert!((model.marginal_delay(0.0) - (1.0 / 10.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bits_parameterization_scales() {
+        // Per-packet delay with L bits at capacity C behaves like the
+        // unit model at capacity C/L.
+        let model = Mm1::new(10_000_000.0, 0.001, 1000.0);
+        let d = model.packet_delay(0.0);
+        assert!((d - (1000.0 / 10_000_000.0 + 0.001)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_correct_for_non_unit_packets() {
+        // Regression: the queueing term of D'(f) must NOT be divided by
+        // the packet length. With C = 10 Mb/s, L = 1000 bits, τ = 2 ms at
+        // 98% utilization the queueing term (C/(C−f)² = 2.5e-4) dominates
+        // the propagation term (τ/L = 2e-6) by two orders of magnitude.
+        let m = Mm1::new(10_000_000.0, 0.002, 1000.0);
+        let f = 9_800_000.0;
+        let queueing = 1e7 / (2e5f64 * 2e5);
+        let expect = queueing + 0.002 / 1000.0;
+        let got = m.marginal_delay(f);
+        assert!((got - expect).abs() / expect < 1e-9, "got {got}, want {expect}");
+        assert!(got > 100.0 * m.marginal_delay(0.0));
+    }
+
+    #[test]
+    fn marginal_matches_derivative_non_unit_packets() {
+        let m = Mm1::new(10_000_000.0, 0.002, 1000.0);
+        for &f in &[1e6, 5e6, 9e6, 9.8e6] {
+            let h = 1.0;
+            let num = (m.rate_delay(f + h) - m.rate_delay(f - h)) / (2.0 * h);
+            let ana = m.marginal_delay(f);
+            assert!((num - ana).abs() / ana < 1e-4, "f={f}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn marginal_continuous_at_cutoff_non_unit_packets() {
+        let m = Mm1::new(10_000_000.0, 0.002, 1000.0);
+        let fc = 1e7 * 0.99;
+        let lo = m.marginal_delay(fc - 1e-3);
+        let hi = m.marginal_delay(fc + 1e-3);
+        assert!((lo - hi).abs() / lo < 1e-6, "{lo} vs {hi}");
+    }
+
+    #[test]
+    fn negative_flow_clamped() {
+        let model = m();
+        assert_eq!(model.packet_delay(-5.0), model.packet_delay(0.0));
+        assert_eq!(model.rate_delay(-5.0), 0.0);
+    }
+}

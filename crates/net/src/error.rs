@@ -1,0 +1,69 @@
+//! Error type for network-model construction and queries.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// Errors raised while building or querying a [`crate::Topology`] or
+/// [`crate::TrafficMatrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A node id referenced a router that does not exist.
+    UnknownNode(NodeId),
+    /// A link was declared between a node and itself.
+    SelfLoop(NodeId),
+    /// The same directed link was declared twice.
+    DuplicateLink(NodeId, NodeId),
+    /// A link parameter was out of range (capacity/propagation delay must
+    /// be positive and finite).
+    BadLinkParameter { from: NodeId, to: NodeId, what: &'static str },
+    /// A traffic entry was invalid (negative/non-finite rate, or
+    /// source equal to destination).
+    BadTraffic { src: NodeId, dst: NodeId, what: &'static str },
+    /// The topology is not connected, but the operation requires it.
+    Disconnected,
+    /// The topology has no nodes.
+    Empty,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::SelfLoop(n) => write!(f, "self loop at node {n}"),
+            NetError::DuplicateLink(a, b) => write!(f, "duplicate link {a} -> {b}"),
+            NetError::BadLinkParameter { from, to, what } => {
+                write!(f, "bad link parameter on {from} -> {to}: {what}")
+            }
+            NetError::BadTraffic { src, dst, what } => {
+                write!(f, "bad traffic entry {src} -> {dst}: {what}")
+            }
+            NetError::Disconnected => write!(f, "topology is not connected"),
+            NetError::Empty => write!(f, "topology has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::BadLinkParameter {
+            from: NodeId(0),
+            to: NodeId(1),
+            what: "capacity must be positive",
+        };
+        let s = e.to_string();
+        assert!(s.contains("0 -> 1"));
+        assert!(s.contains("capacity"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(NetError::Disconnected);
+        assert_eq!(e.to_string(), "topology is not connected");
+    }
+}

@@ -1,0 +1,66 @@
+//! Directed links and link costs.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Link costs are marginal delays (seconds per unit of added flow), i.e.
+/// `D'_ik(f_ik)` in the paper's notation. They are strictly positive for
+/// any operational link.
+pub type LinkCost = f64;
+
+/// Cost representing an unreachable/failed link. Large but finite so
+/// arithmetic (`d + l`) never produces NaN, and still orders after every
+/// legitimate path cost.
+pub const INFINITE_COST: LinkCost = 1.0e18;
+
+/// A directed link `(from, to)` with physical characteristics.
+///
+/// Capacity is in bits/second, propagation delay in seconds. The paper's
+/// delay function `D_ik` (Eq. 24) depends on the flow through the link and
+/// on these two characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Transmitting router (the *head* `h` in LSU triplets `[h, t, d]`).
+    pub from: NodeId,
+    /// Receiving router (the *tail* `t`).
+    pub to: NodeId,
+    /// Capacity `C_ik` in bits per second.
+    pub capacity: f64,
+    /// Propagation delay `τ_ik` in seconds.
+    pub prop_delay: f64,
+}
+
+impl Link {
+    /// Create a link, without validation (validation happens in
+    /// [`crate::TopologyBuilder`]).
+    pub fn new(from: NodeId, to: NodeId, capacity: f64, prop_delay: f64) -> Self {
+        Link { from, to, capacity, prop_delay }
+    }
+
+    /// Transmission time of a packet of `bits` bits on an idle link,
+    /// excluding queueing: serialization + propagation.
+    pub fn idle_transit_time(&self, bits: f64) -> f64 {
+        bits / self.capacity + self.prop_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_transit_time_combines_serialization_and_propagation() {
+        let l = Link::new(NodeId(0), NodeId(1), 10_000_000.0, 0.002);
+        // 10_000 bits at 10 Mb/s = 1 ms serialization + 2 ms propagation.
+        let t = l.idle_transit_time(10_000.0);
+        assert!((t - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_cost_is_finite_and_huge() {
+        assert!(INFINITE_COST.is_finite());
+        assert!(INFINITE_COST > 1e15);
+        // Adding two infinite costs must not overflow to inf.
+        assert!((INFINITE_COST + INFINITE_COST).is_finite());
+    }
+}

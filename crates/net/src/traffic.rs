@@ -1,0 +1,211 @@
+//! Input traffic: the matrix `r = {r_ij}` of expected traffic (bits/s)
+//! entering the network at router `i` destined for router `j` (§2.1).
+
+use crate::error::NetError;
+use crate::graph::Topology;
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A single source-destination commodity with an offered rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Entry router `i`.
+    pub src: NodeId,
+    /// Destination router `j`.
+    pub dst: NodeId,
+    /// Offered rate `r_ij` in bits/second.
+    pub rate: f64,
+}
+
+impl Flow {
+    /// Construct a flow.
+    pub fn new(src: NodeId, dst: NodeId, rate: f64) -> Self {
+        Flow { src, dst, rate }
+    }
+}
+
+/// Dense `n × n` matrix of offered rates, plus the sparse flow list it was
+/// built from (kept for per-flow reporting, matching the paper's figures
+/// which plot *per-flow* average delays against flow ids).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: usize,
+    rates: Vec<f64>, // row-major [src][dst]
+    flows: Vec<Flow>,
+}
+
+impl TrafficMatrix {
+    /// Empty matrix for an `n`-node network.
+    pub fn empty(n: usize) -> Self {
+        TrafficMatrix { n, rates: vec![0.0; n * n], flows: Vec::new() }
+    }
+
+    /// Build from a flow list, validating against a topology.
+    pub fn from_flows(topo: &Topology, flows: &[Flow]) -> Result<Self, NetError> {
+        let mut m = TrafficMatrix::empty(topo.node_count());
+        for f in flows {
+            m.add_flow(topo, *f)?;
+        }
+        Ok(m)
+    }
+
+    /// Add one flow, accumulating its rate into the matrix.
+    pub fn add_flow(&mut self, topo: &Topology, f: Flow) -> Result<(), NetError> {
+        if f.src.index() >= topo.node_count() {
+            return Err(NetError::UnknownNode(f.src));
+        }
+        if f.dst.index() >= topo.node_count() {
+            return Err(NetError::UnknownNode(f.dst));
+        }
+        if f.src == f.dst {
+            return Err(NetError::BadTraffic {
+                src: f.src,
+                dst: f.dst,
+                what: "source equals destination",
+            });
+        }
+        if !(f.rate.is_finite() && f.rate >= 0.0) {
+            return Err(NetError::BadTraffic {
+                src: f.src,
+                dst: f.dst,
+                what: "rate must be non-negative and finite",
+            });
+        }
+        self.rates[f.src.index() * self.n + f.dst.index()] += f.rate;
+        self.flows.push(f);
+        Ok(())
+    }
+
+    /// Offered rate `r_ij`.
+    #[inline]
+    pub fn rate(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.rates[src.index() * self.n + dst.index()]
+    }
+
+    /// Number of routers the matrix is sized for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The flows this matrix was built from, in insertion order (the
+    /// paper's "flow ID" axis).
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Total offered load in bits/s.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Destinations that receive any traffic, ascending. Routing work is
+    /// per *active* destination (§4.2: "the heuristics are run for each
+    /// active destination").
+    pub fn active_destinations(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for j in 0..self.n {
+            let any = (0..self.n).any(|i| self.rates[i * self.n + j] > 0.0);
+            if any {
+                out.push(NodeId(j as u32));
+            }
+        }
+        out
+    }
+
+    /// Scale every rate by `factor` (used by load sweeps / dynamic
+    /// scenarios).
+    pub fn scaled(&self, factor: f64) -> TrafficMatrix {
+        TrafficMatrix {
+            n: self.n,
+            rates: self.rates.iter().map(|r| r * factor).collect(),
+            flows: self
+                .flows
+                .iter()
+                .map(|f| Flow::new(f.src, f.dst, f.rate * factor))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+
+    fn topo3() -> Topology {
+        let t = TopologyBuilder::new().nodes(3);
+        t.bidi(NodeId(0), NodeId(1), 1e7, 0.001)
+            .bidi(NodeId(1), NodeId(2), 1e7, 0.001)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_from_flows() {
+        let t = topo3();
+        let m = TrafficMatrix::from_flows(
+            &t,
+            &[Flow::new(NodeId(0), NodeId(2), 1e6), Flow::new(NodeId(2), NodeId(0), 5e5)],
+        )
+        .unwrap();
+        assert_eq!(m.rate(NodeId(0), NodeId(2)), 1e6);
+        assert_eq!(m.rate(NodeId(2), NodeId(0)), 5e5);
+        assert_eq!(m.rate(NodeId(0), NodeId(1)), 0.0);
+        assert_eq!(m.total_rate(), 1.5e6);
+        assert_eq!(m.flows().len(), 2);
+    }
+
+    #[test]
+    fn accumulates_duplicate_pairs() {
+        let t = topo3();
+        let mut m = TrafficMatrix::empty(3);
+        m.add_flow(&t, Flow::new(NodeId(0), NodeId(2), 1e6)).unwrap();
+        m.add_flow(&t, Flow::new(NodeId(0), NodeId(2), 1e6)).unwrap();
+        assert_eq!(m.rate(NodeId(0), NodeId(2)), 2e6);
+    }
+
+    #[test]
+    fn rejects_self_traffic() {
+        let t = topo3();
+        let err =
+            TrafficMatrix::from_flows(&t, &[Flow::new(NodeId(1), NodeId(1), 1.0)]).unwrap_err();
+        assert!(matches!(err, NetError::BadTraffic { .. }));
+    }
+
+    #[test]
+    fn rejects_negative_rate() {
+        let t = topo3();
+        let err =
+            TrafficMatrix::from_flows(&t, &[Flow::new(NodeId(0), NodeId(1), -1.0)]).unwrap_err();
+        assert!(matches!(err, NetError::BadTraffic { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let t = topo3();
+        let err =
+            TrafficMatrix::from_flows(&t, &[Flow::new(NodeId(0), NodeId(9), 1.0)]).unwrap_err();
+        assert_eq!(err, NetError::UnknownNode(NodeId(9)));
+    }
+
+    #[test]
+    fn active_destinations_sorted() {
+        let t = topo3();
+        let m = TrafficMatrix::from_flows(
+            &t,
+            &[Flow::new(NodeId(0), NodeId(2), 1.0), Flow::new(NodeId(2), NodeId(1), 1.0)],
+        )
+        .unwrap();
+        assert_eq!(m.active_destinations(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn scaling() {
+        let t = topo3();
+        let m =
+            TrafficMatrix::from_flows(&t, &[Flow::new(NodeId(0), NodeId(2), 2.0)]).unwrap();
+        let s = m.scaled(1.5);
+        assert_eq!(s.rate(NodeId(0), NodeId(2)), 3.0);
+        assert_eq!(s.flows()[0].rate, 3.0);
+    }
+}

@@ -1,0 +1,402 @@
+//! The analytic network model: Eqs. (1)–(3) of the paper.
+//!
+//! Given a topology, per-link M/M/1 delay models, offered traffic `r`,
+//! and routing variables `φ`, solve:
+//!
+//! * `t^j_i = r_ij + Σ_k t^j_k φ_kji` — node flows (Eq. 1), solved in
+//!   topological order of the per-destination routing DAG;
+//! * `f_ik = Σ_j t^j_i φ_ijk` — link flows (Eq. 2);
+//! * `D_T = Σ_(i,k) D_ik(f_ik)` — total expected delay (Eq. 3);
+//! * `d^j_i = Σ_k φ_ijk (T_ik(f_ik) + d^j_k)` — expected per-packet
+//!   delay from `i` to `j`, the quantity the paper's figures plot per
+//!   flow.
+
+use crate::vars::RoutingVars;
+use mdr_net::{LinkDelayModel, Mm1, NodeId, Topology, TrafficMatrix};
+use std::fmt;
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The routing graph for a destination contains a cycle — Eq. 1 has
+    /// no finite solution by forward substitution and, per the paper,
+    /// "even temporary loops cause traffic to recirculate".
+    CyclicRouting(NodeId),
+    /// A commodity has offered traffic but no route at some node.
+    NoRoute { at: NodeId, dst: NodeId },
+    /// Model count does not match the topology's link count.
+    ModelCountMismatch,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::CyclicRouting(j) => write!(f, "routing graph for {j} is cyclic"),
+            EvalError::NoRoute { at, dst } => write!(f, "no route at {at} toward {dst}"),
+            EvalError::ModelCountMismatch => write!(f, "one delay model per link required"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Results of evaluating routing variables against traffic.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// `f_ik` per directed link id.
+    pub link_flow: Vec<f64>,
+    /// `t^j_i`: `node_flow[j][i]`.
+    pub node_flow: Vec<Vec<f64>>,
+    /// `D_T` (Eq. 3), in (packets/s)·s summed over links.
+    pub total_delay: f64,
+    /// Expected per-packet delay `d^j_i` for every `(i, j)`:
+    /// `pair_delay[j][i]`, seconds; `f64::INFINITY` when unreachable.
+    pub pair_delay: Vec<Vec<f64>>,
+    /// Expected per-packet delay of each flow in the traffic matrix, in
+    /// the matrix's insertion order (the paper's per-flow series).
+    pub flow_delays: Vec<f64>,
+    /// Highest link utilization `f_ik / C_ik`.
+    pub max_utilization: f64,
+}
+
+impl Evaluation {
+    /// Mean of the per-flow delays (the network-wide summary used when a
+    /// single number is needed).
+    pub fn mean_flow_delay(&self) -> f64 {
+        if self.flow_delays.is_empty() {
+            return 0.0;
+        }
+        self.flow_delays.iter().sum::<f64>() / self.flow_delays.len() as f64
+    }
+}
+
+/// Topologically order nodes of the routing DAG for destination `j`:
+/// edges `i → k` for `φ_ijk > 0`, `i ≠ j`. Order is from "most upstream"
+/// to `j` (every node appears after all its predecessors).
+fn topo_order(n: usize, j: NodeId, vars: &RoutingVars) -> Result<Vec<NodeId>, EvalError> {
+    // in-degree in the successor graph.
+    let mut indeg = vec![0usize; n];
+    for i in 0..n as u32 {
+        let i = NodeId(i);
+        if i == j {
+            continue;
+        }
+        for &(k, _) in vars.get(i, j) {
+            indeg[k.index()] += 1;
+        }
+    }
+    let mut stack: Vec<NodeId> = (0..n as u32)
+        .map(NodeId)
+        .filter(|x| indeg[x.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        if u == j {
+            continue;
+        }
+        for &(k, _) in vars.get(u, j) {
+            indeg[k.index()] -= 1;
+            if indeg[k.index()] == 0 {
+                stack.push(k);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(EvalError::CyclicRouting(j));
+    }
+    Ok(order)
+}
+
+/// Evaluate routing variables (see module docs). `models[id]` is the
+/// delay model of `topo.links()[id]`.
+pub fn evaluate(
+    topo: &Topology,
+    models: &[Mm1],
+    traffic: &TrafficMatrix,
+    vars: &RoutingVars,
+) -> Result<Evaluation, EvalError> {
+    let n = topo.node_count();
+    if models.len() != topo.link_count() {
+        return Err(EvalError::ModelCountMismatch);
+    }
+    let mut link_flow = vec![0.0; topo.link_count()];
+    let mut node_flow = vec![vec![0.0; n]; n];
+    let mut orders: Vec<Option<Vec<NodeId>>> = vec![None; n];
+
+    // Pass 1: node and link flows (Eqs. 1-2).
+    for j in topo.nodes() {
+        let has_traffic = topo.nodes().any(|i| traffic.rate(i, j) > 0.0);
+        if !has_traffic {
+            continue;
+        }
+        let order = topo_order(n, j, vars)?;
+        for &i in &order {
+            if i == j {
+                continue;
+            }
+            let inflow = node_flow[j.index()][i.index()] + traffic.rate(i, j);
+            node_flow[j.index()][i.index()] = inflow;
+            if inflow <= 0.0 {
+                continue;
+            }
+            let succ = vars.get(i, j);
+            if succ.is_empty() {
+                return Err(EvalError::NoRoute { at: i, dst: j });
+            }
+            for &(k, frac) in succ {
+                let part = inflow * frac;
+                node_flow[j.index()][k.index()] += part; // wrong for k == j? t at dest not needed
+                let lid = topo
+                    .link_between(i, k)
+                    .ok_or(EvalError::NoRoute { at: i, dst: j })?;
+                link_flow[lid.index()] += part;
+            }
+        }
+        orders[j.index()] = Some(order);
+    }
+
+    // Pass 2: total delay and per-packet link delays.
+    let mut total_delay = 0.0;
+    let mut max_utilization: f64 = 0.0;
+    let mut link_pkt_delay = vec![0.0; topo.link_count()];
+    for (id, l) in topo.links().iter().enumerate() {
+        let f = link_flow[id];
+        total_delay += models[id].rate_delay(f);
+        link_pkt_delay[id] = models[id].packet_delay(f);
+        max_utilization = max_utilization.max(f / l.capacity);
+    }
+
+    // Pass 3: per-pair expected packet delays, destination by
+    // destination, walking the DAG from j outward (reverse topological
+    // order).
+    let mut pair_delay = vec![vec![f64::INFINITY; n]; n];
+    for j in topo.nodes() {
+        pair_delay[j.index()][j.index()] = 0.0;
+        // Need an order even for destinations without traffic, so that
+        // flow_delays of zero-rate flows are still defined.
+        let order = match &orders[j.index()] {
+            Some(o) => o.clone(),
+            None => match topo_order(n, j, vars) {
+                Ok(o) => o,
+                Err(_) => continue, // cyclic but carrying no traffic
+            },
+        };
+        for &i in order.iter().rev() {
+            if i == j {
+                continue;
+            }
+            let succ = vars.get(i, j);
+            if succ.is_empty() {
+                continue; // unreachable: stays INFINITY
+            }
+            let mut d = 0.0;
+            let mut ok = true;
+            for &(k, frac) in succ {
+                let lid = match topo.link_between(i, k) {
+                    Some(l) => l,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                };
+                let dk = pair_delay[j.index()][k.index()];
+                if !dk.is_finite() {
+                    ok = false;
+                    break;
+                }
+                d += frac * (link_pkt_delay[lid.index()] + dk);
+            }
+            if ok {
+                pair_delay[j.index()][i.index()] = d;
+            }
+        }
+    }
+
+    let flow_delays = traffic
+        .flows()
+        .iter()
+        .map(|f| pair_delay[f.dst.index()][f.src.index()])
+        .collect();
+
+    Ok(Evaluation { link_flow, node_flow, total_delay, pair_delay, flow_delays, max_utilization })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdr_net::{Flow, NodeId, TopologyBuilder};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Two-node network, one link.
+    fn simple() -> (Topology, Vec<Mm1>) {
+        let t = TopologyBuilder::new()
+            .nodes(2)
+            .bidi(n(0), n(1), 10.0, 0.5)
+            .build()
+            .unwrap();
+        let m = t.links().iter().map(|l| Mm1::unit_packets(l.capacity, l.prop_delay)).collect();
+        (t, m)
+    }
+
+    #[test]
+    fn single_link_flow_and_delay() {
+        let (t, m) = simple();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 4.0)]).unwrap();
+        let mut v = RoutingVars::new(2);
+        v.set(n(0), n(1), vec![(n(1), 1.0)]);
+        let e = evaluate(&t, &m, &traffic, &v).unwrap();
+        let lid = t.link_between(n(0), n(1)).unwrap();
+        assert!((e.link_flow[lid.index()] - 4.0).abs() < 1e-12);
+        // Packet delay = 1/(C-f) + tau = 1/6 + 0.5.
+        let expect = 1.0 / 6.0 + 0.5;
+        assert!((e.flow_delays[0] - expect).abs() < 1e-12);
+        // D_T = f/(C-f) + tau*f = 4/6 + 2.
+        assert!((e.total_delay - (4.0 / 6.0 + 2.0)).abs() < 1e-12);
+        assert!((e.max_utilization - 0.4).abs() < 1e-12);
+    }
+
+    /// Diamond: 0 → {1,2} → 3 with a 50/50 split.
+    fn diamond() -> (Topology, Vec<Mm1>) {
+        let t = TopologyBuilder::new()
+            .nodes(4)
+            .bidi(n(0), n(1), 10.0, 0.1)
+            .bidi(n(0), n(2), 10.0, 0.1)
+            .bidi(n(1), n(3), 10.0, 0.1)
+            .bidi(n(2), n(3), 10.0, 0.1)
+            .build()
+            .unwrap();
+        let m = t.links().iter().map(|l| Mm1::unit_packets(l.capacity, l.prop_delay)).collect();
+        (t, m)
+    }
+
+    #[test]
+    fn multipath_split_halves_link_flows() {
+        let (t, m) = diamond();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 6.0)]).unwrap();
+        let mut v = RoutingVars::new(4);
+        v.set(n(0), n(3), vec![(n(1), 0.5), (n(2), 0.5)]);
+        v.set(n(1), n(3), vec![(n(3), 1.0)]);
+        v.set(n(2), n(3), vec![(n(3), 1.0)]);
+        let e = evaluate(&t, &m, &traffic, &v).unwrap();
+        let l01 = t.link_between(n(0), n(1)).unwrap();
+        let l13 = t.link_between(n(1), n(3)).unwrap();
+        assert!((e.link_flow[l01.index()] - 3.0).abs() < 1e-12);
+        assert!((e.link_flow[l13.index()] - 3.0).abs() < 1e-12);
+        // Delay identical on both 2-hop paths: 2*(1/7 + 0.1).
+        let expect = 2.0 * (1.0 / 7.0 + 0.1);
+        assert!((e.flow_delays[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splitting_beats_single_path_under_load() {
+        let (t, m) = diamond();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 8.0)]).unwrap();
+        let mut sp = RoutingVars::new(4);
+        sp.set(n(0), n(3), vec![(n(1), 1.0)]);
+        sp.set(n(1), n(3), vec![(n(3), 1.0)]);
+        let mut mp = sp.clone();
+        mp.set(n(0), n(3), vec![(n(1), 0.5), (n(2), 0.5)]);
+        mp.set(n(2), n(3), vec![(n(3), 1.0)]);
+        let esp = evaluate(&t, &m, &traffic, &sp).unwrap();
+        let emp = evaluate(&t, &m, &traffic, &mp).unwrap();
+        assert!(
+            emp.flow_delays[0] < esp.flow_delays[0] / 2.0,
+            "mp {} vs sp {}",
+            emp.flow_delays[0],
+            esp.flow_delays[0]
+        );
+        assert!(emp.total_delay < esp.total_delay);
+    }
+
+    #[test]
+    fn cyclic_routing_detected() {
+        let (t, m) = simple();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 1.0)]).unwrap();
+        let mut v = RoutingVars::new(2);
+        // 0 and 1 point at each other for destination 1: cycle.
+        v.set(n(0), n(1), vec![(n(1), 1.0)]);
+        // Nonsensical: destination routes away from itself — build a
+        // 3-node cycle instead.
+        let t3 = TopologyBuilder::new()
+            .nodes(3)
+            .bidi(n(0), n(1), 10.0, 0.1)
+            .bidi(n(1), n(2), 10.0, 0.1)
+            .bidi(n(2), n(0), 10.0, 0.1)
+            .build()
+            .unwrap();
+        let m3: Vec<Mm1> =
+            t3.links().iter().map(|l| Mm1::unit_packets(l.capacity, l.prop_delay)).collect();
+        let traffic3 = TrafficMatrix::from_flows(&t3, &[Flow::new(n(0), n(2), 1.0)]).unwrap();
+        let mut v3 = RoutingVars::new(3);
+        v3.set(n(0), n(2), vec![(n(1), 1.0)]);
+        v3.set(n(1), n(2), vec![(n(0), 1.0)]); // loop 0 <-> 1
+        assert_eq!(
+            evaluate(&t3, &m3, &traffic3, &v3).unwrap_err(),
+            EvalError::CyclicRouting(n(2))
+        );
+        let _ = (t, m, traffic, v);
+    }
+
+    #[test]
+    fn missing_route_detected() {
+        let (t, m) = simple();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 1.0)]).unwrap();
+        let v = RoutingVars::new(2); // no routes at all
+        assert_eq!(
+            evaluate(&t, &m, &traffic, &v).unwrap_err(),
+            EvalError::NoRoute { at: n(0), dst: n(1) }
+        );
+    }
+
+    #[test]
+    fn model_count_checked() {
+        let (t, _) = simple();
+        let traffic = TrafficMatrix::empty(2);
+        let v = RoutingVars::new(2);
+        assert_eq!(
+            evaluate(&t, &[], &traffic, &v).unwrap_err(),
+            EvalError::ModelCountMismatch
+        );
+    }
+
+    #[test]
+    fn zero_traffic_zero_delay() {
+        let (t, m) = simple();
+        let traffic = TrafficMatrix::empty(2);
+        let v = RoutingVars::new(2);
+        let e = evaluate(&t, &m, &traffic, &v).unwrap();
+        assert_eq!(e.total_delay, 0.0);
+        assert_eq!(e.max_utilization, 0.0);
+        assert!(e.flow_delays.is_empty());
+    }
+
+    #[test]
+    fn relayed_traffic_accumulates() {
+        // Line 0-1-2: two flows 0→2 and 1→2 share link 1→2.
+        let t = TopologyBuilder::new()
+            .nodes(3)
+            .bidi(n(0), n(1), 10.0, 0.1)
+            .bidi(n(1), n(2), 10.0, 0.1)
+            .build()
+            .unwrap();
+        let m: Vec<Mm1> =
+            t.links().iter().map(|l| Mm1::unit_packets(l.capacity, l.prop_delay)).collect();
+        let traffic = TrafficMatrix::from_flows(
+            &t,
+            &[Flow::new(n(0), n(2), 2.0), Flow::new(n(1), n(2), 3.0)],
+        )
+        .unwrap();
+        let mut v = RoutingVars::new(3);
+        v.set(n(0), n(2), vec![(n(1), 1.0)]);
+        v.set(n(1), n(2), vec![(n(2), 1.0)]);
+        let e = evaluate(&t, &m, &traffic, &v).unwrap();
+        let l12 = t.link_between(n(1), n(2)).unwrap();
+        assert!((e.link_flow[l12.index()] - 5.0).abs() < 1e-12);
+        // t^2_1 = r_12 + t from 0 = 3 + 2.
+        assert!((e.node_flow[2][1] - 5.0).abs() < 1e-12);
+    }
+}

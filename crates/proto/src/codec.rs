@@ -1,0 +1,227 @@
+//! Binary wire codec for LSU messages.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! magic    u8   = 0x4C ('L')
+//! version  u8   = 1
+//! flags    u8   bit0 = ACK
+//! from     u32  originating router
+//! count    u16  number of entries
+//! entry*   { op u8, head u32, tail u32, cost f64 }  count times
+//! ```
+//!
+//! The codec is strict: trailing bytes, bad magic/version/opcode, and
+//! non-finite or negative costs are decode errors (a router must never
+//! install garbage link state — robustness first, per the smoltcp
+//! design ethos this workspace follows).
+
+use crate::lsu::{LsuEntry, LsuMessage, LsuOp};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mdr_net::NodeId;
+use std::fmt;
+
+const MAGIC: u8 = 0x4C;
+const VERSION: u8 = 1;
+const HEADER_LEN: usize = 1 + 1 + 1 + 4 + 2;
+const ENTRY_LEN: usize = 1 + 4 + 4 + 8;
+
+/// Codec failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than the declared content.
+    Truncated,
+    /// Magic byte mismatch.
+    BadMagic(u8),
+    /// Unsupported version.
+    BadVersion(u8),
+    /// Unknown entry opcode.
+    BadOp(u8),
+    /// Cost was negative, NaN, or infinite.
+    BadCost,
+    /// Bytes remained after the declared entries.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated LSU"),
+            DecodeError::BadMagic(b) => write!(f, "bad magic byte {b:#x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadOp(o) => write!(f, "unknown opcode {o}"),
+            DecodeError::BadCost => write!(f, "non-finite or negative cost"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn op_code(op: LsuOp) -> u8 {
+    match op {
+        LsuOp::Add => 0,
+        LsuOp::Change => 1,
+        LsuOp::Delete => 2,
+    }
+}
+
+fn op_from(code: u8) -> Result<LsuOp, DecodeError> {
+    match code {
+        0 => Ok(LsuOp::Add),
+        1 => Ok(LsuOp::Change),
+        2 => Ok(LsuOp::Delete),
+        other => Err(DecodeError::BadOp(other)),
+    }
+}
+
+/// Encoded size of a message in bytes (what the simulator charges on the
+/// wire).
+pub fn encoded_len(msg: &LsuMessage) -> usize {
+    HEADER_LEN + msg.entries.len() * ENTRY_LEN
+}
+
+/// Encode a message.
+pub fn encode(msg: &LsuMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(msg));
+    buf.put_u8(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(if msg.ack { 1 } else { 0 });
+    buf.put_u32(msg.from.0);
+    debug_assert!(msg.entries.len() <= u16::MAX as usize, "LSU entry count overflow");
+    buf.put_u16(msg.entries.len() as u16);
+    for e in &msg.entries {
+        buf.put_u8(op_code(e.op));
+        buf.put_u32(e.head.0);
+        buf.put_u32(e.tail.0);
+        buf.put_f64(e.cost);
+    }
+    buf.freeze()
+}
+
+/// Decode a message, consuming the whole buffer.
+pub fn decode(mut buf: &[u8]) -> Result<LsuMessage, DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = buf.get_u8();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let flags = buf.get_u8();
+    let from = NodeId(buf.get_u32());
+    let count = buf.get_u16() as usize;
+    if buf.remaining() < count * ENTRY_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let op = op_from(buf.get_u8())?;
+        let head = NodeId(buf.get_u32());
+        let tail = NodeId(buf.get_u32());
+        let cost = buf.get_f64();
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(DecodeError::BadCost);
+        }
+        entries.push(LsuEntry { op, head, tail, cost });
+    }
+    if buf.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(buf.remaining()));
+    }
+    Ok(LsuMessage { from, ack: flags & 1 != 0, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LsuMessage {
+        LsuMessage {
+            from: NodeId(7),
+            ack: true,
+            entries: vec![
+                LsuEntry::add(NodeId(1), NodeId(2), 0.125),
+                LsuEntry::change(NodeId(2), NodeId(3), 3.5),
+                LsuEntry::delete(NodeId(3), NodeId(4)),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let bytes = encode(&m);
+        assert_eq!(bytes.len(), encoded_len(&m));
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn ack_only_roundtrip() {
+        let m = LsuMessage::ack_only(NodeId(0));
+        let back = decode(&encode(&m)).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(encoded_len(&m), 9);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = encode(&sample()).to_vec();
+        b[0] = 0xFF;
+        assert_eq!(decode(&b), Err(DecodeError::BadMagic(0xFF)));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut b = encode(&sample()).to_vec();
+        b[1] = 9;
+        assert_eq!(decode(&b), Err(DecodeError::BadVersion(9)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let b = encode(&sample()).to_vec();
+        for cut in 0..b.len() {
+            let r = decode(&b[..cut]);
+            assert!(r.is_err(), "decode succeeded on {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut b = encode(&sample()).to_vec();
+        b.push(0);
+        assert_eq!(decode(&b), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        let mut b = encode(&sample()).to_vec();
+        // First entry op byte is right after the 9-byte header.
+        b[9] = 42;
+        assert_eq!(decode(&b), Err(DecodeError::BadOp(42)));
+    }
+
+    #[test]
+    fn rejects_nan_cost() {
+        let m = LsuMessage::update(NodeId(0), vec![LsuEntry::add(NodeId(0), NodeId(1), f64::NAN)]);
+        let b = encode(&m);
+        assert_eq!(decode(&b), Err(DecodeError::BadCost));
+    }
+
+    #[test]
+    fn rejects_negative_cost() {
+        let m = LsuMessage::update(NodeId(0), vec![LsuEntry::add(NodeId(0), NodeId(1), -1.0)]);
+        assert_eq!(decode(&encode(&m)), Err(DecodeError::BadCost));
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::BadOp(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,23 @@
+//! # mdr-proto — link-state update (LSU) messages
+//!
+//! "The unit of information exchanged between routers is a link-state
+//! update (LSU) message. A router sends an LSU message containing one or
+//! more entries, with each entry specifying addition, deletion or change
+//! in cost of a link in the router's main topology table `T^i`. Each
+//! entry of an LSU consists of link information in the form of a triplet
+//! `[h, t, d]` where `h` is the head, `t` is the tail, and `d` is the
+//! cost of the link `h → t`. An LSU message contains an acknowledgment
+//! (ACK) flag for acknowledging the receipt of an LSU message from a
+//! neighbor (used only by MPDA)." — §4.1
+//!
+//! This crate defines the in-memory message model ([`LsuMessage`]) used
+//! by `mdr-routing` and `mdr-sim`, and a compact binary wire codec
+//! ([`codec`]) so the messages have a defined on-the-wire size — the
+//! simulator charges propagation (and optionally serialization) time for
+//! control messages based on the encoded length.
+
+pub mod codec;
+pub mod lsu;
+
+pub use codec::{decode, encode, encoded_len, DecodeError};
+pub use lsu::{LsuEntry, LsuMessage, LsuOp};

@@ -1,0 +1,108 @@
+//! In-memory LSU message model.
+
+use mdr_net::{LinkCost, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// What an LSU entry does to the receiver's view of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LsuOp {
+    /// Add a link that was not previously in the sender's reported tree.
+    Add,
+    /// Change the cost of a previously reported link.
+    Change,
+    /// Delete a previously reported link.
+    Delete,
+}
+
+/// One `[h, t, d]` triplet with its operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LsuEntry {
+    /// Operation.
+    pub op: LsuOp,
+    /// Head of the link (the transmitting router of `h → t`).
+    pub head: NodeId,
+    /// Tail of the link.
+    pub tail: NodeId,
+    /// Cost `d` of the link `h → t`. Ignored by receivers for
+    /// [`LsuOp::Delete`] but still carried (and encoded) for uniformity.
+    pub cost: LinkCost,
+}
+
+impl LsuEntry {
+    /// Add entry.
+    pub fn add(head: NodeId, tail: NodeId, cost: LinkCost) -> Self {
+        LsuEntry { op: LsuOp::Add, head, tail, cost }
+    }
+    /// Change entry.
+    pub fn change(head: NodeId, tail: NodeId, cost: LinkCost) -> Self {
+        LsuEntry { op: LsuOp::Change, head, tail, cost }
+    }
+    /// Delete entry.
+    pub fn delete(head: NodeId, tail: NodeId) -> Self {
+        LsuEntry { op: LsuOp::Delete, head, tail, cost: 0.0 }
+    }
+}
+
+/// A complete LSU message.
+///
+/// `ack` acknowledges the last LSU received from the destination
+/// neighbor; MPDA's inter-neighbor synchronization is built on it. A
+/// message with `entries.is_empty() && ack` is the "empty LSU with just
+/// the ACK flag set" of §4.1.2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LsuMessage {
+    /// Originating router (the neighbor whose topology table changed).
+    pub from: NodeId,
+    /// Acknowledgment flag.
+    pub ack: bool,
+    /// Topology difference entries.
+    pub entries: Vec<LsuEntry>,
+}
+
+impl LsuMessage {
+    /// A pure acknowledgment with no topology content.
+    pub fn ack_only(from: NodeId) -> Self {
+        LsuMessage { from, ack: true, entries: Vec::new() }
+    }
+
+    /// An update carrying entries, without the ACK flag.
+    pub fn update(from: NodeId, entries: Vec<LsuEntry>) -> Self {
+        LsuMessage { from, ack: false, entries }
+    }
+
+    /// True if the message carries no topology changes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let a = LsuEntry::add(NodeId(1), NodeId(2), 0.5);
+        assert_eq!(a.op, LsuOp::Add);
+        let c = LsuEntry::change(NodeId(1), NodeId(2), 0.7);
+        assert_eq!(c.op, LsuOp::Change);
+        let d = LsuEntry::delete(NodeId(1), NodeId(2));
+        assert_eq!(d.op, LsuOp::Delete);
+        assert_eq!(d.cost, 0.0);
+    }
+
+    #[test]
+    fn ack_only_is_empty() {
+        let m = LsuMessage::ack_only(NodeId(3));
+        assert!(m.ack);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn update_carries_entries() {
+        let m = LsuMessage::update(NodeId(0), vec![LsuEntry::add(NodeId(0), NodeId(1), 1.0)]);
+        assert!(!m.ack);
+        assert!(!m.is_empty());
+        assert_eq!(m.entries.len(), 1);
+    }
+}

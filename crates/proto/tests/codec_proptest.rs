@@ -1,0 +1,50 @@
+//! Property-based tests: the LSU codec roundtrips arbitrary valid
+//! messages and never panics on arbitrary byte soup.
+
+use mdr_net::NodeId;
+use mdr_proto::{decode, encode, encoded_len, LsuEntry, LsuMessage, LsuOp};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = LsuOp> {
+    prop_oneof![Just(LsuOp::Add), Just(LsuOp::Change), Just(LsuOp::Delete)]
+}
+
+fn arb_entry() -> impl Strategy<Value = LsuEntry> {
+    (arb_op(), 0u32..1000, 0u32..1000, 0.0f64..1e12).prop_map(|(op, h, t, c)| LsuEntry {
+        op,
+        head: NodeId(h),
+        tail: NodeId(t),
+        cost: c,
+    })
+}
+
+fn arb_msg() -> impl Strategy<Value = LsuMessage> {
+    (0u32..1000, any::<bool>(), prop::collection::vec(arb_entry(), 0..64)).prop_map(
+        |(from, ack, entries)| LsuMessage { from: NodeId(from), ack, entries },
+    )
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_any_message(msg in arb_msg()) {
+        let bytes = encode(&msg);
+        prop_assert_eq!(bytes.len(), encoded_len(&msg));
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes); // must not panic
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_panics(msg in arb_msg(), idx in any::<prop::sample::Index>(), val in any::<u8>()) {
+        let mut b = encode(&msg).to_vec();
+        if !b.is_empty() {
+            let i = idx.index(b.len());
+            b[i] = val;
+            let _ = decode(&b); // must not panic; may error or yield another valid message
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Shared link-state machinery: the NTU and MTU procedures (Figs. 2–3)
+//! used by both PDA and MPDA.
+
+use crate::spf::dijkstra;
+use crate::table::TopoTable;
+use mdr_net::{LinkCost, NodeId, INFINITE_COST};
+use mdr_proto::{LsuEntry, LsuMessage};
+use std::collections::BTreeMap;
+
+/// Per-router link-state core: the five tables of §4.1.1 minus the
+/// routing table (successor sets live in the PDA/MPDA wrappers, which
+/// differ in how they derive them).
+#[derive(Debug, Clone)]
+pub(crate) struct LsCore {
+    /// This router's address.
+    pub id: NodeId,
+    /// Network size (routers are addressed `0..n`); tables are flat
+    /// vectors indexed by destination.
+    pub n: usize,
+    /// Link table: cost `l^i_k` of the adjacent link to each operational
+    /// neighbor. Absence means the link is down.
+    pub link_costs: BTreeMap<NodeId, LinkCost>,
+    /// Neighbor topology tables `T^i_k`: the link-state communicated by
+    /// neighbor `k` (a time-delayed copy of `T^k`).
+    pub neighbor_topo: BTreeMap<NodeId, TopoTable>,
+    /// `D^i_jk`: distance from `k` to each `j` per `T^i_k` (NTU step 1c).
+    pub neighbor_dist: BTreeMap<NodeId, Vec<LinkCost>>,
+    /// Main topology table `T^i`: this router's shortest-path tree.
+    pub main_topo: TopoTable,
+    /// `D^i_j`: distance from `i` to each `j` per `T^i` (MTU step 7).
+    pub dist: Vec<LinkCost>,
+    /// MTU invocations (complexity accounting).
+    pub mtu_runs: u64,
+}
+
+impl LsCore {
+    pub fn new(id: NodeId, n: usize) -> Self {
+        let mut dist = vec![INFINITE_COST; n];
+        if id.index() < n {
+            dist[id.index()] = 0.0;
+        }
+        LsCore {
+            id,
+            n,
+            link_costs: BTreeMap::new(),
+            neighbor_topo: BTreeMap::new(),
+            neighbor_dist: BTreeMap::new(),
+            main_topo: TopoTable::new(),
+            dist,
+            mtu_runs: 0,
+        }
+    }
+
+    /// True if `k` is an operational neighbor.
+    pub fn is_neighbor(&self, k: NodeId) -> bool {
+        self.link_costs.contains_key(&k)
+    }
+
+    /// NTU step 1: apply a received LSU to `T^i_k` and refresh `D^i_jk`.
+    pub fn process_lsu(&mut self, from: NodeId, msg: &LsuMessage) {
+        let topo = self.neighbor_topo.entry(from).or_default();
+        topo.apply_message(msg);
+        let spf = dijkstra(self.n, topo, from);
+        self.neighbor_dist.insert(from, spf.dist);
+    }
+
+    /// NTU step 2: adjacent link to `k` came up with cost `cost`.
+    pub fn link_up(&mut self, k: NodeId, cost: LinkCost) {
+        self.link_costs.insert(k, cost);
+        self.neighbor_topo.entry(k).or_default();
+        self.neighbor_dist.entry(k).or_insert_with(|| vec![INFINITE_COST; self.n]);
+    }
+
+    /// NTU step 3: adjacent link cost changed.
+    pub fn link_cost_change(&mut self, k: NodeId, cost: LinkCost) {
+        if let Some(c) = self.link_costs.get_mut(&k) {
+            *c = cost;
+        }
+    }
+
+    /// NTU step 4: adjacent link failed — "Update `l^i_k` and clear the
+    /// table `T^i_k`".
+    pub fn link_down(&mut self, k: NodeId) {
+        self.link_costs.remove(&k);
+        self.neighbor_topo.remove(&k);
+        self.neighbor_dist.remove(&k);
+    }
+
+    /// `D^i_jk` — distance from neighbor `k` to destination `j` as
+    /// reported by `k` ([`INFINITE_COST`] when unknown).
+    #[inline]
+    pub fn neighbor_distance(&self, k: NodeId, j: NodeId) -> LinkCost {
+        self.neighbor_dist
+            .get(&k)
+            .map(|d| d[j.index()])
+            .unwrap_or(INFINITE_COST)
+    }
+
+    /// MTU (Fig. 3): merge neighbor topologies and adjacent links into a
+    /// new shortest-path tree; update `T^i` and `D^i_j`. Returns the LSU
+    /// entries describing the difference from the previous `T^i`
+    /// (step 8) — empty when nothing changed.
+    pub fn mtu(&mut self) -> Vec<LsuEntry> {
+        self.mtu_runs += 1;
+        let old = std::mem::take(&mut self.main_topo);
+
+        // Steps 2-3: for each known node j, find the preferred neighbor
+        // p minimizing D^i_jp + l^i_p (ties to the lower address, which
+        // BTreeMap iteration order provides).
+        let mut merged = TopoTable::new();
+        for j in 0..self.n as u32 {
+            let j = NodeId(j);
+            if j == self.id {
+                continue; // own links handled in step 5
+            }
+            let mut best: Option<(LinkCost, NodeId)> = None;
+            for (&k, &lk) in &self.link_costs {
+                let d = self.neighbor_distance(k, j);
+                if d >= INFINITE_COST {
+                    continue;
+                }
+                let total = d + lk;
+                match best {
+                    Some((b, _)) if total >= b => {}
+                    _ => best = Some((total, k)),
+                }
+            }
+            // Step 4: copy links with head j from the preferred
+            // neighbor's topology.
+            if let Some((_, p)) = best {
+                if let Some(tp) = self.neighbor_topo.get(&p) {
+                    for (tail, c) in tp.links_from(j) {
+                        merged.insert(j, tail, c);
+                    }
+                }
+            }
+        }
+        // Step 5: adjacent links override anything neighbors said about
+        // links headed at this router.
+        merged.remove_links_from(self.id);
+        for (&k, &lk) in &self.link_costs {
+            merged.insert(self.id, k, lk);
+        }
+        // Step 6: Dijkstra, keep only tree links. Step 7: new distances.
+        let spf = dijkstra(self.n, &merged, self.id);
+        let tree = spf.tree_links(&merged);
+        self.dist = spf.dist;
+        self.main_topo = tree;
+        // Step 8: differences to report.
+        old.diff(&self.main_topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn mtu_with_no_neighbors_is_empty() {
+        let mut c = LsCore::new(n(0), 3);
+        let diff = c.mtu();
+        assert!(diff.is_empty());
+        assert_eq!(c.dist[0], 0.0);
+        assert_eq!(c.dist[1], INFINITE_COST);
+    }
+
+    #[test]
+    fn mtu_includes_adjacent_links() {
+        let mut c = LsCore::new(n(0), 3);
+        c.link_up(n(1), 2.0);
+        let diff = c.mtu();
+        assert_eq!(diff.len(), 1);
+        assert_eq!(c.main_topo.cost(n(0), n(1)), Some(2.0));
+        assert_eq!(c.dist[1], 2.0);
+    }
+
+    #[test]
+    fn mtu_merges_neighbor_tree() {
+        let mut c = LsCore::new(n(0), 3);
+        c.link_up(n(1), 1.0);
+        // Neighbor 1 reports its tree: 1 -> 2 cost 1.
+        let msg = LsuMessage::update(n(1), vec![LsuEntry::add(n(1), n(2), 1.0)]);
+        c.process_lsu(n(1), &msg);
+        assert_eq!(c.neighbor_distance(n(1), n(2)), 1.0);
+        c.mtu();
+        assert_eq!(c.dist[2], 2.0);
+        assert_eq!(c.main_topo.cost(n(1), n(2)), Some(1.0));
+    }
+
+    #[test]
+    fn conflict_resolved_by_preferred_neighbor() {
+        // Node 3's outgoing links are reported differently by neighbors
+        // 1 and 2; the router must believe the neighbor closest to 3.
+        let mut c = LsCore::new(n(0), 5);
+        c.link_up(n(1), 1.0);
+        c.link_up(n(2), 1.0);
+        // Via neighbor 1: 1->3 cost 1 (so 3 is at distance 2), 3->4 cost 5.
+        c.process_lsu(
+            n(1),
+            &LsuMessage::update(
+                n(1),
+                vec![LsuEntry::add(n(1), n(3), 1.0), LsuEntry::add(n(3), n(4), 5.0)],
+            ),
+        );
+        // Via neighbor 2: 2->3 cost 9 (3 at distance 10), 3->4 cost 1.
+        c.process_lsu(
+            n(2),
+            &LsuMessage::update(
+                n(2),
+                vec![LsuEntry::add(n(2), n(3), 9.0), LsuEntry::add(n(3), n(4), 1.0)],
+            ),
+        );
+        c.mtu();
+        // Preferred neighbor for head 3 is 1 (distance 1+1=2 < 1+9=10),
+        // so link 3->4 must carry neighbor 1's cost 5.
+        assert_eq!(c.dist[3], 2.0);
+        assert_eq!(c.dist[4], 7.0);
+    }
+
+    #[test]
+    fn own_links_override_neighbor_claims() {
+        let mut c = LsCore::new(n(0), 3);
+        c.link_up(n(1), 1.0);
+        // Neighbor claims our adjacent link has cost 100.
+        c.process_lsu(
+            n(1),
+            &LsuMessage::update(n(1), vec![LsuEntry::add(n(0), n(1), 100.0)]),
+        );
+        c.mtu();
+        assert_eq!(c.main_topo.cost(n(0), n(1)), Some(1.0));
+    }
+
+    #[test]
+    fn link_down_clears_neighbor_state() {
+        let mut c = LsCore::new(n(0), 3);
+        c.link_up(n(1), 1.0);
+        c.process_lsu(n(1), &LsuMessage::update(n(1), vec![LsuEntry::add(n(1), n(2), 1.0)]));
+        c.mtu();
+        assert_eq!(c.dist[2], 2.0);
+        c.link_down(n(1));
+        let diff = c.mtu();
+        assert!(!diff.is_empty());
+        assert_eq!(c.dist[1], INFINITE_COST);
+        assert_eq!(c.dist[2], INFINITE_COST);
+        assert!(!c.is_neighbor(n(1)));
+    }
+
+    #[test]
+    fn cost_change_propagates_to_distances() {
+        let mut c = LsCore::new(n(0), 2);
+        c.link_up(n(1), 1.0);
+        c.mtu();
+        assert_eq!(c.dist[1], 1.0);
+        c.link_cost_change(n(1), 4.0);
+        let diff = c.mtu();
+        assert_eq!(c.dist[1], 4.0);
+        assert_eq!(diff.len(), 1);
+    }
+
+    #[test]
+    fn mtu_idempotent_when_nothing_changes() {
+        let mut c = LsCore::new(n(0), 3);
+        c.link_up(n(1), 1.0);
+        assert!(!c.mtu().is_empty());
+        assert!(c.mtu().is_empty());
+        assert!(c.mtu().is_empty());
+    }
+
+    #[test]
+    fn non_tree_adjacent_link_pruned_from_report() {
+        // Triangle where the direct link 0->2 is worse than 0->1->2: the
+        // main topology (a shortest-path tree) must omit 0->2.
+        let mut c = LsCore::new(n(0), 3);
+        c.link_up(n(1), 1.0);
+        c.link_up(n(2), 10.0);
+        c.process_lsu(n(1), &LsuMessage::update(n(1), vec![LsuEntry::add(n(1), n(2), 1.0)]));
+        c.mtu();
+        assert_eq!(c.dist[2], 2.0);
+        assert_eq!(c.main_topo.cost(n(0), n(2)), None);
+        assert_eq!(c.main_topo.cost(n(0), n(1)), Some(1.0));
+    }
+}

@@ -1,0 +1,158 @@
+//! The Loop-Free Invariant (LFI) conditions and global safety checkers.
+//!
+//! Eqs. 16–17 of the paper:
+//!
+//! ```text
+//! FD^i_j ≤ D^k_ji                    ∀ k ∈ N^i          (16)
+//! S^i_j = { k | D^i_jk < FD^i_j }                       (17)
+//! ```
+//!
+//! Theorem 1 shows these imply that along any successor edge `i → k` for
+//! destination `j`, `FD^k_j < FD^i_j` — a strictly decreasing potential,
+//! so the routing graph `SG_j(t)` can never contain a cycle. The
+//! checkers here verify both the *conclusion* (acyclicity, via
+//! [`find_cycle`]) and the *potential argument* (via
+//! [`check_fd_ordering`]) from an omniscient viewpoint; the test suites
+//! call them after **every** event the harness delivers, which is what
+//! "loop-free at every instant" means operationally.
+
+use crate::mpda::MpdaRouter;
+use mdr_net::NodeId;
+
+/// Search the successor graph for destination `j` for a cycle. Returns
+/// the cycle's node sequence if one exists, `None` when the graph is a
+/// DAG.
+///
+/// `succ(i)` must yield the successor set `S^i_j` of router `i`.
+pub fn find_cycle<'a, F>(n: usize, succ: F) -> Option<Vec<NodeId>>
+where
+    F: Fn(NodeId) -> &'a [NodeId],
+{
+    // Iterative three-color DFS.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    let mut path: Vec<NodeId> = Vec::new();
+    for start in 0..n as u32 {
+        let start = NodeId(start);
+        if color[start.index()] != Color::White {
+            continue;
+        }
+        color[start.index()] = Color::Gray;
+        path.push(start);
+        stack.push((start, 0));
+        while !stack.is_empty() {
+            let (u, idx) = *stack.last().unwrap();
+            let succs = succ(u);
+            if idx < succs.len() {
+                stack.last_mut().unwrap().1 += 1;
+                let v = succs[idx];
+                match color[v.index()] {
+                    Color::White => {
+                        color[v.index()] = Color::Gray;
+                        path.push(v);
+                        stack.push((v, 0));
+                    }
+                    Color::Gray => {
+                        // Found a back edge: extract the cycle from path.
+                        let pos = path.iter().position(|&x| x == v).unwrap();
+                        let mut cycle = path[pos..].to_vec();
+                        cycle.push(v);
+                        return Some(cycle);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[u.index()] = Color::Black;
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Verify, for every destination, that the global successor graph formed
+/// by the routers' current successor sets is acyclic. Returns
+/// `Err((dest, cycle))` on violation.
+pub fn check_loop_freedom(routers: &[MpdaRouter]) -> Result<(), (NodeId, Vec<NodeId>)> {
+    let n = routers.len();
+    for j in 0..n as u32 {
+        let j = NodeId(j);
+        if let Some(cycle) = find_cycle(n, |i| routers[i.index()].successors(j)) {
+            return Err((j, cycle));
+        }
+    }
+    Ok(())
+}
+
+/// Verify the potential argument of Theorem 1: for every successor edge
+/// `i → k` (k ≠ j), `FD^k_j < FD^i_j`. Returns the offending triple
+/// `(i, k, j)` on violation.
+pub fn check_fd_ordering(routers: &[MpdaRouter]) -> Result<(), (NodeId, NodeId, NodeId)> {
+    let n = routers.len();
+    for j in 0..n as u32 {
+        let j = NodeId(j);
+        for r in routers {
+            for &k in r.successors(j) {
+                if k == j {
+                    continue;
+                }
+                let fdk = routers[k.index()].feasible_distance(j);
+                let fdi = r.feasible_distance(j);
+                if !(fdk < fdi) {
+                    return Err((r.id(), k, j));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_no_cycle_in_dag() {
+        // 0 -> 1 -> 2, 0 -> 2.
+        let succ: Vec<Vec<NodeId>> = vec![vec![NodeId(1), NodeId(2)], vec![NodeId(2)], vec![]];
+        assert!(find_cycle(3, |i| succ[i.index()].as_slice()).is_none());
+    }
+
+    #[test]
+    fn finds_two_cycle() {
+        let succ: Vec<Vec<NodeId>> = vec![vec![NodeId(1)], vec![NodeId(0)], vec![]];
+        let c = find_cycle(3, |i| succ[i.index()].as_slice()).unwrap();
+        assert!(c.len() >= 3); // e.g. [0, 1, 0]
+        assert_eq!(c.first(), c.last());
+    }
+
+    #[test]
+    fn finds_long_cycle_behind_tail() {
+        // 0 -> 1 -> 2 -> 3 -> 1.
+        let succ: Vec<Vec<NodeId>> =
+            vec![vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(3)], vec![NodeId(1)]];
+        let c = find_cycle(4, |i| succ[i.index()].as_slice()).unwrap();
+        assert_eq!(c.first(), c.last());
+        assert!(c.contains(&NodeId(2)));
+        assert!(!c.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let succ: Vec<Vec<NodeId>> = vec![vec![NodeId(0)]];
+        assert!(find_cycle(1, |i| succ[i.index()].as_slice()).is_some());
+    }
+
+    #[test]
+    fn empty_graph_is_loop_free() {
+        let succ: Vec<Vec<NodeId>> = vec![vec![], vec![]];
+        assert!(find_cycle(2, |i| succ[i.index()].as_slice()).is_none());
+    }
+}

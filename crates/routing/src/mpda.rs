@@ -1,0 +1,544 @@
+//! MPDA — the Multiple-path Partial-topology Dissemination Algorithm
+//! (Fig. 4), the paper's key routing algorithm.
+//!
+//! MPDA is PDA plus single-hop inter-neighbor synchronization: "each LSU
+//! message sent by a router is acknowledged by all its neighbors before
+//! the router sends the next LSU". A router waiting for ACKs is in the
+//! **ACTIVE** state; otherwise **PASSIVE**. Events that arrive while
+//! ACTIVE update the neighbor tables and link costs (NTU) but the main
+//! table update (MTU) is deferred to the end of the ACTIVE phase. The
+//! feasible distance `FD^i_j` is managed so that the LFI conditions
+//! (Eqs. 16–17) hold at every instant, making the successor graph
+//! `SG_j(t)` loop-free at every instant (Theorem 3).
+//!
+//! The router is a poll-style state machine ([`MpdaRouter::handle`]):
+//! one input event in, zero or more messages out. Delivery of messages
+//! on a link must be reliable and FIFO (the paper's assumption, provided
+//! by both the in-memory harness and the packet simulator).
+
+use crate::core::LsCore;
+use crate::table::TopoTable;
+use mdr_net::{LinkCost, NodeId, INFINITE_COST};
+use mdr_proto::LsuMessage;
+use std::collections::BTreeSet;
+
+/// An input to the router state machine: receipt of an LSU or detection
+/// of an adjacent-link change (the event taxonomy of procedure PDA/MPDA).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouterEvent {
+    /// An LSU message arrived from a neighbor.
+    Lsu {
+        /// Sending neighbor.
+        from: NodeId,
+        /// The message.
+        msg: LsuMessage,
+    },
+    /// The adjacent link to `to` came up with initial cost `cost`.
+    LinkUp {
+        /// Neighbor at the other end.
+        to: NodeId,
+        /// Initial link cost (marginal delay).
+        cost: LinkCost,
+    },
+    /// The adjacent link to `to` failed.
+    LinkDown {
+        /// Neighbor at the other end.
+        to: NodeId,
+    },
+    /// The measured cost of the adjacent link to `to` changed.
+    LinkCost {
+        /// Neighbor at the other end.
+        to: NodeId,
+        /// New cost.
+        cost: LinkCost,
+    },
+}
+
+/// An outbound message with its destination neighbor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SendTo {
+    /// Destination neighbor (one hop).
+    pub to: NodeId,
+    /// Message to deliver.
+    pub msg: LsuMessage,
+}
+
+/// Result of handling one event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouterOutput {
+    /// Messages to transmit, in order.
+    pub sends: Vec<SendTo>,
+    /// True if distances or successor sets changed — the signal for the
+    /// flow-allocation layer to re-run the IH heuristic (§4.2: "When
+    /// `S^i_j` is computed for the first time or recomputed again due to
+    /// long-term route changes, traffic should be freshly distributed").
+    pub routes_changed: bool,
+}
+
+/// Protocol counters (message/work accounting used by the complexity
+/// benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Events processed.
+    pub events: u64,
+    /// LSU messages sent (including pure ACKs).
+    pub lsu_sent: u64,
+    /// Pure-ACK messages sent.
+    pub acks_sent: u64,
+    /// Topology entries sent.
+    pub entries_sent: u64,
+    /// LSU messages received.
+    pub lsu_received: u64,
+    /// Messages dropped because the sender is not an operational
+    /// neighbor (in-flight across a failed link).
+    pub dropped: u64,
+    /// MTU executions.
+    pub mtu_runs: u64,
+}
+
+/// The MPDA router.
+#[derive(Debug, Clone)]
+pub struct MpdaRouter {
+    core: LsCore,
+    /// Feasible distance `FD^i_j` per destination.
+    fd: Vec<LinkCost>,
+    /// Successor sets `S^i_j`, sorted by neighbor address.
+    successors: Vec<Vec<NodeId>>,
+    /// Neighbors whose ACK for our last entries-bearing LSU is pending.
+    /// Non-empty ⇔ ACTIVE.
+    pending_acks: BTreeSet<NodeId>,
+    /// Neighbors that came up and still need a full-table sync.
+    needs_full: BTreeSet<NodeId>,
+    stats: RouterStats,
+}
+
+impl MpdaRouter {
+    /// A router with address `id` in a network of `n` routers. It knows
+    /// nothing and has no operational links until [`RouterEvent::LinkUp`]
+    /// events arrive.
+    pub fn new(id: NodeId, n: usize) -> Self {
+        MpdaRouter {
+            core: LsCore::new(id, n),
+            fd: vec![INFINITE_COST; n],
+            successors: vec![Vec::new(); n],
+            pending_acks: BTreeSet::new(),
+            needs_full: BTreeSet::new(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Router address.
+    pub fn id(&self) -> NodeId {
+        self.core.id
+    }
+
+    /// True while waiting for ACKs (the ACTIVE state).
+    pub fn is_active(&self) -> bool {
+        !self.pending_acks.is_empty()
+    }
+
+    /// Current distance `D^i_j`.
+    pub fn distance(&self, j: NodeId) -> LinkCost {
+        self.core.dist[j.index()]
+    }
+
+    /// Current feasible distance `FD^i_j`.
+    pub fn feasible_distance(&self, j: NodeId) -> LinkCost {
+        self.fd[j.index()]
+    }
+
+    /// Successor set `S^i_j` (sorted by address).
+    pub fn successors(&self, j: NodeId) -> &[NodeId] {
+        &self.successors[j.index()]
+    }
+
+    /// `D^i_jk` — neighbor `k`'s distance to `j` as known here.
+    pub fn neighbor_distance(&self, k: NodeId, j: NodeId) -> LinkCost {
+        self.core.neighbor_distance(k, j)
+    }
+
+    /// Cost `l^i_k` of the adjacent link to `k` (None if down).
+    pub fn link_cost(&self, k: NodeId) -> Option<LinkCost> {
+        self.core.link_costs.get(&k).copied()
+    }
+
+    /// Operational neighbors, ascending.
+    pub fn neighbors(&self) -> Vec<NodeId> {
+        self.core.link_costs.keys().copied().collect()
+    }
+
+    /// The best successor for `j`: the `k ∈ S^i_j` minimizing
+    /// `D^i_jk + l^i_k` (Eq. 20's argmin) — what single-path forwarding
+    /// uses.
+    pub fn best_successor(&self, j: NodeId) -> Option<NodeId> {
+        let mut best: Option<(LinkCost, NodeId)> = None;
+        for &k in &self.successors[j.index()] {
+            let lk = match self.core.link_costs.get(&k) {
+                Some(&c) => c,
+                None => continue,
+            };
+            let total = self.core.neighbor_distance(k, j) + lk;
+            match best {
+                Some((b, _)) if total >= b => {}
+                _ => best = Some((total, k)),
+            }
+        }
+        best.map(|(_, k)| k)
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> RouterStats {
+        let mut s = self.stats;
+        s.mtu_runs = self.core.mtu_runs;
+        s
+    }
+
+    /// The main topology table `T^i` (the router's shortest-path tree).
+    pub fn main_topology(&self) -> &TopoTable {
+        &self.core.main_topo
+    }
+
+    /// Handle one event (procedure MPDA, Fig. 4).
+    pub fn handle(&mut self, event: RouterEvent) -> RouterOutput {
+        self.stats.events += 1;
+        let was_active = self.is_active();
+        let mut ack_to: Option<NodeId> = None;
+
+        // ---- Step 1: NTU ----
+        match &event {
+            RouterEvent::Lsu { from, msg } => {
+                if !self.core.is_neighbor(*from) {
+                    // In-flight message across a link we consider down.
+                    self.stats.dropped += 1;
+                    return RouterOutput::default();
+                }
+                self.stats.lsu_received += 1;
+                self.core.process_lsu(*from, msg);
+                if msg.ack {
+                    self.pending_acks.remove(from);
+                }
+                if !msg.entries.is_empty() {
+                    // Entries-bearing LSUs must be acknowledged.
+                    ack_to = Some(*from);
+                }
+            }
+            RouterEvent::LinkUp { to, cost } => {
+                self.core.link_up(*to, *cost);
+                self.needs_full.insert(*to);
+            }
+            RouterEvent::LinkDown { to } => {
+                self.core.link_down(*to);
+                // "Any pending ACKs from the neighbor at the other end of
+                // the link are treated as received."
+                self.pending_acks.remove(to);
+                self.needs_full.remove(to);
+            }
+            RouterEvent::LinkCost { to, cost } => {
+                self.core.link_cost_change(*to, *cost);
+            }
+        }
+
+        let last_ack = was_active && self.pending_acks.is_empty();
+        let old_dist = self.core.dist.clone();
+        let old_succ = self.successors.clone();
+
+        // ---- Steps 2-3: MTU and feasible-distance update ----
+        let mut diff = Vec::new();
+        if !was_active {
+            // Step 2: PASSIVE — update T^i immediately; FD can only drop.
+            diff = self.core.mtu();
+            for j in 0..self.core.n {
+                self.fd[j] = self.fd[j].min(self.core.dist[j]);
+            }
+        } else if last_ack {
+            // Step 3: ACTIVE phase ends — temp holds the distances as
+            // last *reported* to neighbors; FD may rise to
+            // min(reported, new), which is safe because every neighbor
+            // has acknowledged the reported values.
+            let temp = self.core.dist.clone();
+            diff = self.core.mtu();
+            for j in 0..self.core.n {
+                self.fd[j] = temp[j].min(self.core.dist[j]);
+            }
+        }
+        // (While ACTIVE mid-phase: NTU only; MTU deferred.)
+
+        // ---- Step 4: successor sets via the LFI condition (Eq. 17) ----
+        self.recompute_successors();
+
+        // ---- Steps 5-8: state transition and message generation ----
+        let mut sends = Vec::new();
+        let can_initiate = !was_active || last_ack;
+        if can_initiate {
+            let neighbors: Vec<NodeId> = self.core.link_costs.keys().copied().collect();
+            for k in neighbors {
+                let entries = if self.needs_full.contains(&k) {
+                    // Full-table sync to a freshly-up neighbor (NTU
+                    // step 2 of Fig. 2).
+                    self.core.main_topo.full_entries()
+                } else if !diff.is_empty() {
+                    diff.clone()
+                } else {
+                    continue;
+                };
+                if entries.is_empty() {
+                    // Nothing to say yet (e.g. isolated router whose
+                    // first link just came up and MTU found no tree).
+                    continue;
+                }
+                self.needs_full.remove(&k);
+                let ack = ack_to == Some(k);
+                if ack {
+                    ack_to = None;
+                }
+                self.stats.entries_sent += entries.len() as u64;
+                self.stats.lsu_sent += 1;
+                sends.push(SendTo {
+                    to: k,
+                    msg: LsuMessage { from: self.core.id, ack, entries },
+                });
+                self.pending_acks.insert(k);
+            }
+        }
+        // Step 7: acknowledge the received LSU even if we had nothing to
+        // send (or could not send because we are mid-ACTIVE).
+        if let Some(k) = ack_to {
+            if self.core.is_neighbor(k) {
+                self.stats.lsu_sent += 1;
+                self.stats.acks_sent += 1;
+                sends.push(SendTo { to: k, msg: LsuMessage::ack_only(self.core.id) });
+            }
+        }
+
+        let routes_changed = old_dist != self.core.dist || old_succ != self.successors;
+        RouterOutput { sends, routes_changed }
+    }
+
+    /// Eq. 17: `S^i_j = { k | D^i_jk < FD^i_j ∧ k ∈ N^i }`.
+    fn recompute_successors(&mut self) {
+        for j in 0..self.core.n {
+            let jd = NodeId(j as u32);
+            let fdj = self.fd[j];
+            let set = &mut self.successors[j];
+            set.clear();
+            if jd == self.core.id {
+                continue;
+            }
+            for &k in self.core.link_costs.keys() {
+                if self.core.neighbor_distance(k, jd) < fdj {
+                    set.push(k);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdr_proto::LsuEntry;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Deliver every queued message until quiescence, FIFO per pair,
+    /// round-robin over routers. Panics if it fails to drain (protocol
+    /// deadlock or livelock).
+    fn run_to_quiescence(routers: &mut [MpdaRouter], queues: &mut Vec<(NodeId, NodeId, LsuMessage)>) {
+        let mut steps = 0;
+        while let Some((from, to, msg)) = queues.first().cloned() {
+            queues.remove(0);
+            let out = routers[to.index()].handle(RouterEvent::Lsu { from, msg });
+            for s in out.sends {
+                queues.push((to, s.to, s.msg));
+            }
+            steps += 1;
+            assert!(steps < 100_000, "protocol did not quiesce");
+        }
+    }
+
+    /// Bring up a full mesh of `LinkUp` events for the given undirected
+    /// edges, then run to quiescence.
+    fn converge(nn: usize, edges: &[(u32, u32, f64)]) -> Vec<MpdaRouter> {
+        let mut routers: Vec<MpdaRouter> = (0..nn).map(|i| MpdaRouter::new(n(i as u32), nn)).collect();
+        let mut queues: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
+        for &(a, b, c) in edges {
+            let out = routers[a as usize].handle(RouterEvent::LinkUp { to: n(b), cost: c });
+            for s in out.sends {
+                queues.push((n(a), s.to, s.msg));
+            }
+            let out = routers[b as usize].handle(RouterEvent::LinkUp { to: n(a), cost: c });
+            for s in out.sends {
+                queues.push((n(b), s.to, s.msg));
+            }
+        }
+        run_to_quiescence(&mut routers, &mut queues);
+        routers
+    }
+
+    #[test]
+    fn two_node_convergence() {
+        let r = converge(2, &[(0, 1, 1.0)]);
+        assert_eq!(r[0].distance(n(1)), 1.0);
+        assert_eq!(r[1].distance(n(0)), 1.0);
+        assert_eq!(r[0].successors(n(1)), &[n(1)]);
+        assert!(!r[0].is_active());
+        assert!(!r[1].is_active());
+    }
+
+    #[test]
+    fn line_convergence() {
+        let r = converge(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(r[0].distance(n(2)), 2.0);
+        assert_eq!(r[2].distance(n(0)), 2.0);
+        assert_eq!(r[0].successors(n(2)), &[n(1)]);
+        assert_eq!(r[1].successors(n(2)), &[n(2)]);
+    }
+
+    #[test]
+    fn unequal_cost_multipath_successors() {
+        // Square: 0-1 (1), 0-2 (2), 1-3 (1), 2-3 (1). Node 0's paths to 3:
+        // via 1 (cost 2) and via 2 (cost 3) — both must be successors
+        // because D_3,1 = 1 < FD = 2? No: D_3,2 = 1 < 2 holds, so both.
+        let r = converge(
+            4,
+            &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.0), (2, 3, 1.0)],
+        );
+        assert_eq!(r[0].distance(n(3)), 2.0);
+        // Both neighbors are strictly closer to 3 than FD(0,3)=2:
+        // D(1→3)=1 < 2 and D(2→3)=1 < 2.
+        assert_eq!(r[0].successors(n(3)), &[n(1), n(2)]);
+        assert_eq!(r[0].best_successor(n(3)), Some(n(1)));
+    }
+
+    #[test]
+    fn successor_excluded_when_not_closer() {
+        // Triangle with equal costs: 0-1 (1), 0-2 (1), 1-2 (1).
+        // For destination 2: neighbor 1 has D(1→2)=1 which is NOT < FD(0,2)=1,
+        // so only 2 itself is a successor — exactly Eq. 14/17 strictness.
+        let r = converge(3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        assert_eq!(r[0].successors(n(2)), &[n(2)]);
+    }
+
+    #[test]
+    fn link_failure_reconvergence() {
+        let mut r = converge(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]);
+        assert_eq!(r[0].distance(n(2)), 2.0);
+        // Fail link 1-2 on both ends, then drain.
+        let mut queues: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
+        let out = r[1].handle(RouterEvent::LinkDown { to: n(2) });
+        for s in out.sends {
+            queues.push((n(1), s.to, s.msg));
+        }
+        let out = r[2].handle(RouterEvent::LinkDown { to: n(1) });
+        for s in out.sends {
+            queues.push((n(2), s.to, s.msg));
+        }
+        run_to_quiescence(&mut r, &mut queues);
+        assert_eq!(r[0].distance(n(2)), 5.0);
+        assert_eq!(r[0].successors(n(2)), &[n(2)]);
+        assert_eq!(r[1].distance(n(2)), 6.0);
+    }
+
+    #[test]
+    fn cost_increase_reconvergence() {
+        let mut r = converge(2, &[(0, 1, 1.0)]);
+        let mut queues: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
+        let out = r[0].handle(RouterEvent::LinkCost { to: n(1), cost: 3.0 });
+        for s in out.sends {
+            queues.push((n(0), s.to, s.msg));
+        }
+        run_to_quiescence(&mut r, &mut queues);
+        assert_eq!(r[0].distance(n(1)), 3.0);
+        // Asymmetric: router 1's own outgoing link is unchanged.
+        assert_eq!(r[1].distance(n(0)), 1.0);
+    }
+
+    #[test]
+    fn feasible_distance_tracks_distance_at_convergence() {
+        let r = converge(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        for router in &r {
+            for j in 0..3 {
+                let j = n(j);
+                if j == router.id() {
+                    continue;
+                }
+                assert_eq!(
+                    router.feasible_distance(j),
+                    router.distance(j),
+                    "router {} dest {j}",
+                    router.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem4_successors_at_convergence() {
+        // S_j = {k | D^k_j < D^i_j} after convergence (liveness).
+        let r = converge(
+            4,
+            &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.0), (2, 3, 1.0), (1, 2, 1.0)],
+        );
+        for i in 0..4usize {
+            for j in 0..4u32 {
+                let j = n(j);
+                if j == r[i].id() {
+                    continue;
+                }
+                let expect: Vec<NodeId> = r[i]
+                    .neighbors()
+                    .into_iter()
+                    .filter(|&k| r[k.index()].distance(j) < r[i].distance(j))
+                    .collect();
+                assert_eq!(r[i].successors(j), expect.as_slice(), "router {i} dest {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn message_from_non_neighbor_dropped() {
+        let mut r = MpdaRouter::new(n(0), 3);
+        let out = r.handle(RouterEvent::Lsu {
+            from: n(2),
+            msg: LsuMessage::update(n(2), vec![LsuEntry::add(n(2), n(1), 1.0)]),
+        });
+        assert!(out.sends.is_empty());
+        assert_eq!(r.stats().dropped, 1);
+        assert_eq!(r.distance(n(1)), INFINITE_COST);
+    }
+
+    #[test]
+    fn ack_only_messages_are_not_acked() {
+        let mut r = converge(2, &[(0, 1, 1.0)]);
+        let out = r[0].handle(RouterEvent::Lsu { from: n(1), msg: LsuMessage::ack_only(n(1)) });
+        assert!(out.sends.is_empty(), "pure ACK must not trigger a reply: {out:?}");
+    }
+
+    #[test]
+    fn routes_changed_flag() {
+        let mut r = MpdaRouter::new(n(0), 2);
+        let out = r.handle(RouterEvent::LinkUp { to: n(1), cost: 1.0 });
+        assert!(out.routes_changed);
+        assert!(r.is_active(), "awaiting the neighbor's ACK");
+        // While ACTIVE, a cost change is deferred (MTU does not run), so
+        // routes must NOT change yet — that is the synchronization.
+        let out = r.handle(RouterEvent::LinkCost { to: n(1), cost: 2.0 });
+        assert!(!out.routes_changed);
+        // The ACK ends the ACTIVE phase; the deferred change now lands.
+        let out = r.handle(RouterEvent::Lsu { from: n(1), msg: LsuMessage::ack_only(n(1)) });
+        assert!(out.routes_changed);
+        assert_eq!(r.distance(n(1)), 2.0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let r = converge(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let s = r[1].stats();
+        assert!(s.events > 0);
+        assert!(s.lsu_sent > 0);
+        assert!(s.lsu_received > 0);
+        assert!(s.mtu_runs > 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Shortest-path computations over link-state tables.
+//!
+//! Both PDA procedures run Dijkstra: NTU runs it on each neighbor
+//! topology `T^i_k` (rooted at the neighbor), MTU on the merged main
+//! table `T^i` (rooted at the router). "Because there are potentially
+//! many shortest-path trees, ties should be broken consistently during
+//! the run of Dijkstra's algorithm" (§4.1.1) — we break ties first on
+//! distance, then in favor of the lower-address parent, then the
+//! lower-address node, which makes the produced tree a pure function of
+//! the link set.
+
+use crate::table::TopoTable;
+use mdr_net::{LinkCost, NodeId, INFINITE_COST};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a shortest-path run over `n` nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpfResult {
+    /// `dist[j]` — cost of the shortest path root → `j`
+    /// ([`INFINITE_COST`] if unreachable).
+    pub dist: Vec<LinkCost>,
+    /// `parent[j]` — predecessor of `j` on its shortest path
+    /// (`None` for the root and unreachable nodes).
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl SpfResult {
+    /// True if `j` is reachable from the root.
+    pub fn reachable(&self, j: NodeId) -> bool {
+        self.dist[j.index()] < INFINITE_COST
+    }
+
+    /// Extract the links of the shortest-path tree, with their costs from
+    /// `links` (MTU step 6: "remove those links in `T^i` that are not
+    /// part of the shortest path tree").
+    pub fn tree_links(&self, links: &TopoTable) -> TopoTable {
+        let mut out = TopoTable::new();
+        for (j, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                let head = *p;
+                let tail = NodeId(j as u32);
+                if let Some(c) = links.cost(head, tail) {
+                    out.insert(head, tail, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The path root → `j` as a node list, if reachable.
+    pub fn path_to(&self, root: NodeId, j: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reachable(j) {
+            return None;
+        }
+        let mut path = vec![j];
+        let mut cur = j;
+        while cur != root {
+            cur = self.parent[cur.index()]?;
+            path.push(cur);
+            if path.len() > self.dist.len() {
+                return None; // defensive: corrupt parent pointers
+            }
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Heap entry ordered so that `BinaryHeap` pops the *smallest*
+/// `(dist, parent, node)` triple — the deterministic tie-break order.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: LinkCost,
+    parent: u32, // u32::MAX for the root
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller dist = "greater" for max-heap popping.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.parent.cmp(&self.parent))
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra's algorithm over a [`TopoTable`], for a network of `n`
+/// routers. Costs must be non-negative (link costs are marginal delays,
+/// which are strictly positive).
+pub fn dijkstra(n: usize, links: &TopoTable, root: NodeId) -> SpfResult {
+    let mut dist = vec![INFINITE_COST; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    if root.index() >= n {
+        return SpfResult { dist, parent };
+    }
+    // Adjacency snapshot, sorted by (head, tail) — TopoTable iterates in
+    // that order already.
+    let mut adj: Vec<Vec<(NodeId, LinkCost)>> = vec![Vec::new(); n];
+    for (h, t, c) in links.iter() {
+        if h.index() < n && t.index() < n {
+            adj[h.index()].push((t, c));
+        }
+    }
+    dist[root.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { dist: 0.0, parent: u32::MAX, node: root });
+    while let Some(HeapEntry { dist: d, parent: via, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        if via != u32::MAX {
+            parent[u.index()] = Some(NodeId(via));
+        }
+        for &(v, c) in &adj[u.index()] {
+            if done[v.index()] {
+                continue;
+            }
+            let nd = d + c;
+            // Strict improvement, or equal cost through a lower-address
+            // parent: push; the heap ordering resolves remaining ties.
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(HeapEntry { dist: nd, parent: u.0, node: v });
+            } else if nd == dist[v.index()] {
+                heap.push(HeapEntry { dist: nd, parent: u.0, node: v });
+            }
+        }
+    }
+    SpfResult { dist, parent }
+}
+
+/// Bellman-Ford over the same table — used by tests to cross-validate
+/// Dijkstra (Eq. 13 is the Bellman-Ford equation, as the paper notes).
+pub fn bellman_ford(n: usize, links: &TopoTable, root: NodeId) -> Vec<LinkCost> {
+    let mut dist = vec![INFINITE_COST; n];
+    if root.index() >= n {
+        return dist;
+    }
+    dist[root.index()] = 0.0;
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for (h, t, c) in links.iter() {
+            if h.index() >= n || t.index() >= n {
+                continue;
+            }
+            if dist[h.index()] < INFINITE_COST {
+                let nd = dist[h.index()] + c;
+                if nd < dist[t.index()] {
+                    dist[t.index()] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TopoTable {
+        // 0 -> 1 (1), 0 -> 2 (1), 1 -> 3 (1), 2 -> 3 (1): two equal paths.
+        let mut t = TopoTable::new();
+        t.insert(NodeId(0), NodeId(1), 1.0);
+        t.insert(NodeId(0), NodeId(2), 1.0);
+        t.insert(NodeId(1), NodeId(3), 1.0);
+        t.insert(NodeId(2), NodeId(3), 1.0);
+        t
+    }
+
+    #[test]
+    fn shortest_distances() {
+        let r = dijkstra(4, &diamond(), NodeId(0));
+        assert_eq!(r.dist, vec![0.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_address_parent() {
+        let r = dijkstra(4, &diamond(), NodeId(0));
+        // Node 3 reachable equally via 1 and 2; must pick 1.
+        assert_eq!(r.parent[3], Some(NodeId(1)));
+    }
+
+    #[test]
+    fn deterministic_regardless_of_insert_order() {
+        let mut t = TopoTable::new();
+        // Insert in reversed order.
+        t.insert(NodeId(2), NodeId(3), 1.0);
+        t.insert(NodeId(1), NodeId(3), 1.0);
+        t.insert(NodeId(0), NodeId(2), 1.0);
+        t.insert(NodeId(0), NodeId(1), 1.0);
+        let a = dijkstra(4, &t, NodeId(0));
+        let b = dijkstra(4, &diamond(), NodeId(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut t = TopoTable::new();
+        t.insert(NodeId(0), NodeId(1), 1.0);
+        let r = dijkstra(3, &t, NodeId(0));
+        assert!(!r.reachable(NodeId(2)));
+        assert_eq!(r.parent[2], None);
+        assert_eq!(r.path_to(NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn respects_asymmetric_costs() {
+        let mut t = TopoTable::new();
+        t.insert(NodeId(0), NodeId(1), 5.0);
+        t.insert(NodeId(1), NodeId(0), 1.0);
+        let a = dijkstra(2, &t, NodeId(0));
+        let b = dijkstra(2, &t, NodeId(1));
+        assert_eq!(a.dist[1], 5.0);
+        assert_eq!(b.dist[0], 1.0);
+    }
+
+    #[test]
+    fn tree_links_form_tree() {
+        let t = diamond();
+        let r = dijkstra(4, &t, NodeId(0));
+        let tree = r.tree_links(&t);
+        assert_eq!(tree.len(), 3); // n-1 links for 4 reachable nodes
+        assert_eq!(tree.cost(NodeId(0), NodeId(1)), Some(1.0));
+        assert_eq!(tree.cost(NodeId(1), NodeId(3)), Some(1.0));
+        assert_eq!(tree.cost(NodeId(2), NodeId(3)), None); // pruned
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let r = dijkstra(4, &diamond(), NodeId(0));
+        assert_eq!(
+            r.path_to(NodeId(0), NodeId(3)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(3)])
+        );
+        assert_eq!(r.path_to(NodeId(0), NodeId(0)), Some(vec![NodeId(0)]));
+    }
+
+    #[test]
+    fn agrees_with_bellman_ford() {
+        let t = diamond();
+        let d = dijkstra(4, &t, NodeId(0));
+        let bf = bellman_ford(4, &t, NodeId(0));
+        assert_eq!(d.dist, bf);
+    }
+
+    #[test]
+    fn agrees_with_bellman_ford_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..20);
+            let mut t = TopoTable::new();
+            for h in 0..n {
+                for tl in 0..n {
+                    if h != tl && rng.gen_bool(0.3) {
+                        t.insert(
+                            NodeId(h as u32),
+                            NodeId(tl as u32),
+                            (rng.gen_range(1..100) as f64) / 10.0,
+                        );
+                    }
+                }
+            }
+            let root = NodeId(rng.gen_range(0..n) as u32);
+            let d = dijkstra(n, &t, root);
+            let bf = bellman_ford(n, &t, root);
+            for j in 0..n {
+                assert!(
+                    (d.dist[j] - bf[j]).abs() < 1e-9,
+                    "mismatch at {j}: {} vs {}",
+                    d.dist[j],
+                    bf[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_out_of_range_is_all_unreachable() {
+        let r = dijkstra(2, &diamond(), NodeId(9));
+        assert!(!r.reachable(NodeId(0)));
+    }
+}

@@ -1,0 +1,250 @@
+//! Topology tables.
+//!
+//! "The main topology table, `T^i`, stores the characteristics of each
+//! link known to router `i`. Each entry in `T^i` is a triplet `[h, t, d]`
+//! where `h` is the head, `t` is the tail and `d` is the cost of the link
+//! `h → t`." (§4.1.1). Neighbor tables `T^i_k` have the same shape.
+//!
+//! Backed by a `BTreeMap` keyed on `(head, tail)` so iteration order —
+//! and therefore every diff, merge, and Dijkstra run — is deterministic.
+
+use mdr_net::{LinkCost, NodeId};
+use mdr_proto::{LsuEntry, LsuMessage, LsuOp};
+use std::collections::BTreeMap;
+
+/// A set of directed links with costs: the `[h, t, d]` triplet store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TopoTable {
+    links: BTreeMap<(NodeId, NodeId), LinkCost>,
+}
+
+impl TopoTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a link.
+    pub fn insert(&mut self, head: NodeId, tail: NodeId, cost: LinkCost) {
+        self.links.insert((head, tail), cost);
+    }
+
+    /// Remove a link; returns its old cost if present.
+    pub fn remove(&mut self, head: NodeId, tail: NodeId) -> Option<LinkCost> {
+        self.links.remove(&(head, tail))
+    }
+
+    /// Cost of link `head → tail`, if known.
+    pub fn cost(&self, head: NodeId, tail: NodeId) -> Option<LinkCost> {
+        self.links.get(&(head, tail)).copied()
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True if no links are stored.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Remove all links.
+    pub fn clear(&mut self) {
+        self.links.clear();
+    }
+
+    /// Iterate `(head, tail, cost)` in `(head, tail)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkCost)> + '_ {
+        self.links.iter().map(|(&(h, t), &c)| (h, t, c))
+    }
+
+    /// Links whose head is `h`, in tail order.
+    pub fn links_from(&self, h: NodeId) -> impl Iterator<Item = (NodeId, LinkCost)> + '_ {
+        self.links
+            .range((h, NodeId(0))..=(h, NodeId(u32::MAX)))
+            .map(|(&(_, t), &c)| (t, c))
+    }
+
+    /// Drop every link whose head is `h` (used when re-copying a head's
+    /// links from its preferred neighbor in MTU).
+    pub fn remove_links_from(&mut self, h: NodeId) {
+        let keys: Vec<(NodeId, NodeId)> = self
+            .links
+            .range((h, NodeId(0))..=(h, NodeId(u32::MAX)))
+            .map(|(&k, _)| k)
+            .collect();
+        for k in keys {
+            self.links.remove(&k);
+        }
+    }
+
+    /// Apply one LSU entry (NTU step 1a: "add links, delete links or
+    /// change links according to the specification of each entry").
+    /// `Add` and `Change` are deliberately interchangeable on receive —
+    /// robustness against reordered joins.
+    pub fn apply_entry(&mut self, e: &LsuEntry) {
+        match e.op {
+            LsuOp::Add | LsuOp::Change => self.insert(e.head, e.tail, e.cost),
+            LsuOp::Delete => {
+                self.remove(e.head, e.tail);
+            }
+        }
+    }
+
+    /// Apply a whole LSU message.
+    pub fn apply_message(&mut self, msg: &LsuMessage) {
+        for e in &msg.entries {
+            self.apply_entry(e);
+        }
+    }
+
+    /// Compute the LSU entries that transform `self` into `new` (MTU
+    /// step 8 / PDA step 3: "Compose an LSU message consisting of
+    /// topology differences using add, delete and change link entries").
+    pub fn diff(&self, new: &TopoTable) -> Vec<LsuEntry> {
+        let mut out = Vec::new();
+        // Adds and changes, in deterministic (head, tail) order.
+        for (h, t, c) in new.iter() {
+            match self.cost(h, t) {
+                None => out.push(LsuEntry::add(h, t, c)),
+                Some(old) if old != c => out.push(LsuEntry::change(h, t, c)),
+                Some(_) => {}
+            }
+        }
+        // Deletes.
+        for (h, t, _) in self.iter() {
+            if new.cost(h, t).is_none() {
+                out.push(LsuEntry::delete(h, t));
+            }
+        }
+        out
+    }
+
+    /// Entries describing the full table (sent to a neighbor whose link
+    /// just came up — NTU step 2).
+    pub fn full_entries(&self) -> Vec<LsuEntry> {
+        self.iter().map(|(h, t, c)| LsuEntry::add(h, t, c)).collect()
+    }
+
+    /// All node ids appearing as a head or tail.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = Vec::new();
+        for (h, t, _) in self.iter() {
+            v.push(h);
+            v.push(t);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl FromIterator<(NodeId, NodeId, LinkCost)> for TopoTable {
+    fn from_iter<I: IntoIterator<Item = (NodeId, NodeId, LinkCost)>>(iter: I) -> Self {
+        let mut t = TopoTable::new();
+        for (h, tl, c) in iter {
+            t.insert(h, tl, c);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = TopoTable::new();
+        t.insert(n(0), n(1), 2.0);
+        assert_eq!(t.cost(n(0), n(1)), Some(2.0));
+        assert_eq!(t.cost(n(1), n(0)), None);
+        assert_eq!(t.remove(n(0), n(1)), Some(2.0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn links_from_selects_head() {
+        let t: TopoTable =
+            [(n(0), n(1), 1.0), (n(0), n(2), 2.0), (n(1), n(2), 3.0)].into_iter().collect();
+        let from0: Vec<_> = t.links_from(n(0)).collect();
+        assert_eq!(from0, vec![(n(1), 1.0), (n(2), 2.0)]);
+        let from2: Vec<_> = t.links_from(n(2)).collect();
+        assert!(from2.is_empty());
+    }
+
+    #[test]
+    fn remove_links_from_clears_only_that_head() {
+        let mut t: TopoTable =
+            [(n(0), n(1), 1.0), (n(0), n(2), 2.0), (n(1), n(2), 3.0)].into_iter().collect();
+        t.remove_links_from(n(0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cost(n(1), n(2)), Some(3.0));
+    }
+
+    #[test]
+    fn diff_produces_minimal_entries() {
+        let old: TopoTable =
+            [(n(0), n(1), 1.0), (n(0), n(2), 2.0), (n(1), n(2), 3.0)].into_iter().collect();
+        let new: TopoTable =
+            [(n(0), n(1), 1.0), (n(0), n(2), 9.0), (n(2), n(3), 4.0)].into_iter().collect();
+        let d = old.diff(&new);
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(&LsuEntry::change(n(0), n(2), 9.0)));
+        assert!(d.contains(&LsuEntry::add(n(2), n(3), 4.0)));
+        assert!(d.contains(&LsuEntry::delete(n(1), n(2))));
+    }
+
+    #[test]
+    fn diff_then_apply_reproduces_table() {
+        let old: TopoTable = [(n(0), n(1), 1.0), (n(1), n(2), 3.0)].into_iter().collect();
+        let new: TopoTable = [(n(0), n(1), 5.0), (n(2), n(0), 1.0)].into_iter().collect();
+        let entries = old.diff(&new);
+        let mut rebuilt = old.clone();
+        for e in &entries {
+            rebuilt.apply_entry(e);
+        }
+        assert_eq!(rebuilt, new);
+    }
+
+    #[test]
+    fn empty_diff_for_identical_tables() {
+        let t: TopoTable = [(n(0), n(1), 1.0)].into_iter().collect();
+        assert!(t.diff(&t.clone()).is_empty());
+    }
+
+    #[test]
+    fn full_entries_roundtrip() {
+        let t: TopoTable = [(n(0), n(1), 1.0), (n(1), n(2), 3.0)].into_iter().collect();
+        let mut fresh = TopoTable::new();
+        for e in t.full_entries() {
+            fresh.apply_entry(&e);
+        }
+        assert_eq!(fresh, t);
+    }
+
+    #[test]
+    fn nodes_deduplicated_sorted() {
+        let t: TopoTable = [(n(2), n(1), 1.0), (n(1), n(2), 3.0)].into_iter().collect();
+        assert_eq!(t.nodes(), vec![n(1), n(2)]);
+    }
+
+    #[test]
+    fn apply_add_acts_as_change_when_present() {
+        let mut t: TopoTable = [(n(0), n(1), 1.0)].into_iter().collect();
+        t.apply_entry(&LsuEntry::add(n(0), n(1), 7.0));
+        assert_eq!(t.cost(n(0), n(1)), Some(7.0));
+    }
+
+    #[test]
+    fn delete_missing_is_noop() {
+        let mut t = TopoTable::new();
+        t.apply_entry(&LsuEntry::delete(n(0), n(1)));
+        assert!(t.is_empty());
+    }
+}

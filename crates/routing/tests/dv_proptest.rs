@@ -1,0 +1,164 @@
+//! Property-based tests for the distance-vector LFI instantiation: on
+//! random connected topologies with random costs and random delivery
+//! schedules, MDVP must (a) stay loop-free after every delivery,
+//! (b) converge to the same distances and successor sets as MPDA —
+//! two instantiations of one framework.
+
+use mdr_net::{topo, NodeId};
+use mdr_proto::LsuMessage;
+use mdr_routing::{dv, DvEvent, DvMessage, DvRouter, MpdaRouter, RouterEvent};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Integer costs keep path sums exact in f64 so the MPDA/MDVP
+/// equivalence check is not split by summation-order ulps.
+fn cost(a: NodeId, b: NodeId, salt: u32) -> f64 {
+    1.0 + ((a.0.wrapping_mul(2654435761) ^ b.0.wrapping_mul(40503) ^ salt) % 9) as f64
+}
+
+/// Drive a DV network to quiescence under a seeded random schedule,
+/// asserting loop freedom at every step. Returns the routers.
+fn converge_dv(
+    t: &mdr_net::Topology,
+    salt: u32,
+    sched_seed: u64,
+) -> Result<Vec<DvRouter>, TestCaseError> {
+    let n = t.node_count();
+    let mut routers: Vec<DvRouter> = (0..n).map(|i| DvRouter::new(NodeId(i as u32), n)).collect();
+    let mut queues: BTreeMap<(NodeId, NodeId), Vec<DvMessage>> = BTreeMap::new();
+    for l in t.links() {
+        let out = routers[l.from.index()].handle(DvEvent::LinkUp {
+            to: l.to,
+            cost: cost(l.from, l.to, salt),
+        });
+        for (to, msg) in out.sends {
+            queues.entry((l.from, to)).or_default().push(msg);
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(sched_seed);
+    for step in 0..2_000_000u64 {
+        prop_assert!(dv::dv_loop_free(&routers), "loop at step {step}");
+        let keys: Vec<(NodeId, NodeId)> = queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&k, _)| k)
+            .collect();
+        if keys.is_empty() {
+            return Ok(routers);
+        }
+        let (from, to) = keys[rng.gen_range(0..keys.len())];
+        let msg = queues.get_mut(&(from, to)).unwrap().remove(0);
+        let out = routers[to.index()].handle(DvEvent::Message { from, msg });
+        for (t2, m2) in out.sends {
+            queues.entry((to, t2)).or_default().push(m2);
+        }
+    }
+    prop_assert!(false, "no quiescence");
+    unreachable!()
+}
+
+/// Drive an MPDA network to quiescence (FIFO round-robin, order is
+/// irrelevant for the final state).
+fn converge_mpda(t: &mdr_net::Topology, salt: u32) -> Vec<MpdaRouter> {
+    let n = t.node_count();
+    let mut routers: Vec<MpdaRouter> =
+        (0..n).map(|i| MpdaRouter::new(NodeId(i as u32), n)).collect();
+    let mut queue: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
+    for l in t.links() {
+        let out = routers[l.from.index()].handle(RouterEvent::LinkUp {
+            to: l.to,
+            cost: cost(l.from, l.to, salt),
+        });
+        for s in out.sends {
+            queue.push((l.from, s.to, s.msg));
+        }
+    }
+    let mut guard = 0;
+    while !queue.is_empty() {
+        let (from, to, msg) = queue.remove(0);
+        let out = routers[to.index()].handle(RouterEvent::Lsu { from, msg });
+        for s in out.sends {
+            queue.push((to, s.to, s.msg));
+        }
+        guard += 1;
+        assert!(guard < 2_000_000);
+    }
+    routers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// MDVP and MPDA converge to identical distances and successor sets.
+    #[test]
+    fn dv_equals_mpda_at_convergence(
+        n in 4usize..10,
+        topo_seed in 0u64..500,
+        sched_seed in 0u64..500,
+        salt in 0u32..50,
+    ) {
+        let t = topo::random_connected(n, 3.0, 1e7, 0.001, topo_seed);
+        let dvs = converge_dv(&t, salt, sched_seed)?;
+        let mps = converge_mpda(&t, salt);
+        for i in 0..n {
+            for j in 0..n as u32 {
+                let j = NodeId(j);
+                let a = dvs[i].distance(j);
+                let b = mps[i].distance(j);
+                prop_assert!(
+                    (a - b).abs() < 1e-9 || (a > 1e15 && b > 1e15),
+                    "distance mismatch at ({i},{j}): {a} vs {b}"
+                );
+                prop_assert_eq!(
+                    dvs[i].successors(j),
+                    mps[i].successors(j),
+                    "successors mismatch at ({},{})", i, j
+                );
+            }
+        }
+    }
+
+    /// MDVP stays loop-free through cost churn delivered in random order.
+    #[test]
+    fn dv_loop_free_under_churn(
+        n in 4usize..9,
+        topo_seed in 0u64..300,
+        sched_seed in 0u64..300,
+        churn in prop::collection::vec((0u32..10_000, 10u32..120), 1..6),
+    ) {
+        let t = topo::random_connected(n, 3.0, 1e7, 0.001, topo_seed);
+        let mut routers = converge_dv(&t, 1, sched_seed)?;
+        let mut queues: BTreeMap<(NodeId, NodeId), Vec<DvMessage>> = BTreeMap::new();
+        let links: Vec<_> = t.links().to_vec();
+        for (sel, c) in &churn {
+            let l = &links[(*sel as usize) % links.len()];
+            let out = routers[l.from.index()].handle(DvEvent::LinkCost {
+                to: l.to,
+                cost: *c as f64 / 10.0,
+            });
+            for (to, msg) in out.sends {
+                queues.entry((l.from, to)).or_default().push(msg);
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(sched_seed ^ 0xabcd);
+        for _ in 0..2_000_000u64 {
+            prop_assert!(dv::dv_loop_free(&routers), "loop during churn");
+            let keys: Vec<(NodeId, NodeId)> = queues
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(&k, _)| k)
+                .collect();
+            if keys.is_empty() {
+                break;
+            }
+            let (from, to) = keys[rng.gen_range(0..keys.len())];
+            let msg = queues.get_mut(&(from, to)).unwrap().remove(0);
+            let out = routers[to.index()].handle(DvEvent::Message { from, msg });
+            for (t2, m2) in out.sends {
+                queues.entry((to, t2)).or_default().push(m2);
+            }
+        }
+    }
+}

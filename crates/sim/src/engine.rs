@@ -1,0 +1,906 @@
+//! The discrete-event simulation engine.
+//!
+//! See the crate docs for the model. The engine owns one
+//! [`MpdaRouter`] + [`Allocator`] + per-link [`LinkEstimator`] per
+//! router, a FIFO packet queue per directed link, and a deterministic
+//! event queue. Control messages (LSUs) traverse the same links as data
+//! (serialization + propagation delay) but do not occupy the data
+//! queues — the paper's evaluation makes the same simplification, and at
+//! these scales LSU traffic is negligible against 10 Mb/s links.
+
+use crate::estimator::{EstimatorKind, LinkEstimator};
+use crate::events::{Ev, EventQueue, Packet};
+use crate::scenario::{Scenario, ScenarioEvent};
+use crate::stats::{DelaySeries, FlowStats, LinkStats};
+use mdr_flow::{Allocator, Mode, SuccessorCost, Update};
+use mdr_net::{LinkDelayModel, LinkId, Mm1, NodeId, Topology, TrafficMatrix};
+use mdr_opt::RoutingVars;
+use mdr_proto::LsuMessage;
+use mdr_routing::{MpdaRouter, RouterEvent};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Packet-length distribution of the traffic sources.
+///
+/// The paper's delay model assumes M/M/1 (exponential lengths), but
+/// §4.3 notes "the M/M/1 assumption does not hold in practice in the
+/// presence of very bursty traffic" — these variants let experiments
+/// quantify the model-mismatch sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketDist {
+    /// Exponential lengths (the M/M/1 regime).
+    Exponential,
+    /// Fixed-length packets (M/D/1-like; *less* queueing than M/M/1).
+    Deterministic,
+    /// Internet-style bimodal mix: 60% short (ACK-sized) and 40% long
+    /// packets, scaled to preserve the configured mean (*burstier* than
+    /// M/M/1).
+    Bimodal,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Forwarding discipline: MP (multipath) or SP (single path).
+    pub mode: Mode,
+    /// Long-term routing update period `T_l` (seconds). Phased randomly
+    /// per router (§4.2: update periods "should be phased randomly at
+    /// each router").
+    pub t_long: f64,
+    /// Short-term load-balancing period `T_s` (seconds).
+    pub t_short: f64,
+    /// Mean packet length in bits.
+    pub mean_packet_bits: f64,
+    /// Packet-length distribution around that mean.
+    pub packet_dist: PacketDist,
+    /// Marginal-delay estimation technique.
+    pub estimator: EstimatorKind,
+    /// Warm-up time before measurement starts (seconds).
+    pub warmup: f64,
+    /// Measured duration after warm-up (seconds).
+    pub duration: f64,
+    /// RNG seed — same seed, same run, bit for bit.
+    pub seed: u64,
+    /// Relative cost change needed before a long-term update reports a
+    /// new link cost into MPDA (hysteresis against LSU churn).
+    pub cost_change_threshold: f64,
+    /// Defensive per-packet hop budget.
+    pub ttl: u16,
+    /// Bucket width of the per-flow delay time series (seconds).
+    pub series_bucket: f64,
+    /// AH step gain γ (1.0 = Fig. 7 literal; smaller damps the
+    /// rebalancing — see `mdr_flow::heuristics`).
+    pub ah_gain: f64,
+    /// When set, forwarding follows these routing variables verbatim and
+    /// the adaptive machinery (routing protocol timers, estimators, AH)
+    /// is disabled. Used to measure a precomputed allocation — e.g.
+    /// Gallager's OPT — under identical packet-level conditions, the way
+    /// the paper's simulations measured OPT quasi-statically.
+    pub fixed_routing: Option<RoutingVars>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mode: Mode::Multipath,
+            t_long: 10.0,
+            t_short: 2.0,
+            mean_packet_bits: 1000.0,
+            packet_dist: PacketDist::Exponential,
+            estimator: EstimatorKind::Mm1,
+            warmup: 15.0,
+            duration: 60.0,
+            seed: 1,
+            cost_change_threshold: 0.05,
+            ttl: 64,
+            series_bucket: 1.0,
+            ah_gain: 0.4,
+            fixed_routing: None,
+        }
+    }
+}
+
+/// Final measurements of one run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-flow statistics, in traffic-matrix flow order.
+    pub flows: Vec<FlowStats>,
+    /// Per-directed-link statistics.
+    pub links: Vec<LinkStats>,
+    /// Per-flow delay time series.
+    pub series: DelaySeries,
+    /// Convenience: mean end-to-end delay per flow, milliseconds.
+    pub mean_delays_ms: Vec<f64>,
+    /// LSU messages delivered.
+    pub control_messages: u64,
+    /// LSU bytes delivered.
+    pub control_bytes: u64,
+    /// Total delivered packets (post warm-up).
+    pub delivered: u64,
+    /// Total drops (no route + ttl) over the whole run.
+    pub dropped: u64,
+    /// Measured duration (s).
+    pub duration: f64,
+}
+
+impl SimReport {
+    /// Network-wide mean of the per-flow mean delays, in milliseconds.
+    pub fn mean_delay_ms(&self) -> f64 {
+        if self.mean_delays_ms.is_empty() {
+            return 0.0;
+        }
+        self.mean_delays_ms.iter().sum::<f64>() / self.mean_delays_ms.len() as f64
+    }
+}
+
+struct FlowSt {
+    src: NodeId,
+    dst: NodeId,
+    rate: f64,
+    epoch: u32,
+}
+
+struct LinkSt {
+    up: bool,
+    busy: bool,
+    epoch: u32,
+    queue: VecDeque<(Packet, f64)>,
+}
+
+struct NodeSt {
+    router: MpdaRouter,
+    alloc: Allocator,
+    est: BTreeMap<NodeId, LinkEstimator>,
+    reported: BTreeMap<NodeId, f64>,
+}
+
+/// The simulator. Construct with [`Simulator::new`], then [`Simulator::run`].
+pub struct Simulator {
+    topo: Topology,
+    cfg: SimConfig,
+    models: Vec<Mm1>,
+    time: f64,
+    queue: EventQueue,
+    rng: SmallRng,
+    nodes: Vec<NodeSt>,
+    links: Vec<LinkSt>,
+    flows: Vec<FlowSt>,
+    scenario: Vec<(f64, ScenarioEvent)>,
+    // measurement
+    warmup_end: f64,
+    end_time: f64,
+    flow_stats: Vec<FlowStats>,
+    link_stats: Vec<LinkStats>,
+    series: DelaySeries,
+    ctl_msgs: u64,
+    ctl_bytes: u64,
+}
+
+impl Simulator {
+    /// Build a simulator over `topo` carrying `traffic`, with scripted
+    /// `scenario` perturbations.
+    pub fn new(topo: &Topology, traffic: &TrafficMatrix, scenario: &Scenario, cfg: SimConfig) -> Self {
+        assert!(cfg.t_short > 0.0 && cfg.t_long > 0.0, "update periods must be positive");
+        assert!(cfg.mean_packet_bits > 0.0);
+        let n = topo.node_count();
+        let models: Vec<Mm1> = topo
+            .links()
+            .iter()
+            .map(|l| Mm1::new(l.capacity, l.prop_delay, cfg.mean_packet_bits))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let queue = EventQueue::new();
+
+        // Routers, allocators, estimators.
+        let mut nodes: Vec<NodeSt> = (0..n)
+            .map(|i| NodeSt {
+                router: MpdaRouter::new(NodeId(i as u32), n),
+                alloc: Allocator::new(n, cfg.mode).with_ah_gain(cfg.ah_gain),
+                est: BTreeMap::new(),
+                reported: BTreeMap::new(),
+            })
+            .collect();
+        let links: Vec<LinkSt> = topo
+            .links()
+            .iter()
+            .map(|_| LinkSt { up: true, busy: false, epoch: 0, queue: VecDeque::new() })
+            .collect();
+
+        // Bring every adjacent link up at its idle marginal cost and
+        // schedule the resulting LSUs.
+        let mut boot_sends: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
+        for (lid, l) in topo.links().iter().enumerate() {
+            let idle = models[lid].marginal_delay(0.0);
+            nodes[l.from.index()]
+                .est
+                .insert(l.to, LinkEstimator::new(cfg.estimator, models[lid], 0.0));
+            nodes[l.from.index()].reported.insert(l.to, idle);
+            let out = nodes[l.from.index()]
+                .router
+                .handle(RouterEvent::LinkUp { to: l.to, cost: idle });
+            for s in out.sends {
+                boot_sends.push((l.from, s.to, s.msg));
+            }
+        }
+
+        let flows: Vec<FlowSt> = traffic
+            .flows()
+            .iter()
+            .map(|f| FlowSt { src: f.src, dst: f.dst, rate: f.rate, epoch: 0 })
+            .collect();
+        let nflows = flows.len();
+
+        let mut sim = Simulator {
+            topo: topo.clone(),
+            models,
+            time: 0.0,
+            queue,
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15),
+            nodes,
+            links,
+            flows,
+            scenario: scenario.events(),
+            warmup_end: cfg.warmup,
+            end_time: cfg.warmup + cfg.duration,
+            flow_stats: vec![FlowStats::default(); nflows],
+            link_stats: vec![LinkStats::default(); topo.link_count()],
+            series: DelaySeries::new(nflows, cfg.series_bucket),
+            ctl_msgs: 0,
+            ctl_bytes: 0,
+            cfg,
+        };
+        // Dispatch boot LSUs with real wire delays.
+        for (from, to, msg) in boot_sends {
+            sim.send_control(from, to, msg);
+        }
+        // Ticks, phased randomly per router (none under fixed routing:
+        // the allocation must not adapt).
+        if sim.cfg.fixed_routing.is_none() {
+            for i in 0..n {
+                let ps = rng.gen::<f64>() * sim.cfg.t_short;
+                let pl = rng.gen::<f64>() * sim.cfg.t_long;
+                sim.queue.push(ps, Ev::ShortTermTick { node: NodeId(i as u32) });
+                sim.queue.push(pl, Ev::LongTermTick { node: NodeId(i as u32) });
+            }
+        }
+        // First packet of every flow.
+        for f in 0..nflows {
+            let t0 = sim.next_interarrival(f);
+            sim.queue.push(t0, Ev::Generate { flow: f });
+        }
+        // Scripted events.
+        for (idx, (t, _)) in sim.scenario.iter().enumerate() {
+            sim.queue.push(*t, Ev::Scenario { index: idx });
+        }
+        let _ = rng;
+        sim
+    }
+
+    fn next_interarrival(&mut self, flow: usize) -> f64 {
+        let rate = self.flows[flow].rate;
+        if rate <= 0.0 {
+            return f64::MAX; // rearmed by SetFlowRate
+        }
+        let lambda = rate / self.cfg.mean_packet_bits; // packets/s
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        self.time + (-u.ln()) / lambda
+    }
+
+    fn sample_packet_bits(&mut self) -> f64 {
+        let mean = self.cfg.mean_packet_bits;
+        match self.cfg.packet_dist {
+            PacketDist::Exponential => {
+                let u: f64 = self.rng.gen::<f64>().max(1e-12);
+                (-u.ln()) * mean
+            }
+            PacketDist::Deterministic => mean,
+            PacketDist::Bimodal => {
+                // 60% short at mean/5; 40% long sized to keep the mean:
+                // 0.6*(m/5) + 0.4*L = m  =>  L = 2.2 m.
+                if self.rng.gen::<f64>() < 0.6 {
+                    mean / 5.0
+                } else {
+                    2.2 * mean
+                }
+            }
+        }
+    }
+
+    /// Schedule delivery of an LSU over the wire.
+    fn send_control(&mut self, from: NodeId, to: NodeId, msg: LsuMessage) {
+        let lid = match self.topo.link_between(from, to) {
+            Some(l) => l,
+            None => return,
+        };
+        if !self.links[lid.index()].up {
+            return; // lost on a dead wire
+        }
+        let l = self.topo.link(lid);
+        let bits = (mdr_proto::encoded_len(&msg) * 8) as f64;
+        let at = self.time + l.prop_delay + bits / l.capacity;
+        self.ctl_msgs += 1;
+        self.ctl_bytes += (bits / 8.0) as u64;
+        self.queue.push(at, Ev::Control { node: to, from, msg });
+    }
+
+    /// Marginal distances `D^i_jk + l^i_k` through the current successor
+    /// set of router `i` toward `j`, using the freshest local link-cost
+    /// estimates.
+    fn successor_costs(&self, i: NodeId, j: NodeId) -> Vec<SuccessorCost> {
+        let node = &self.nodes[i.index()];
+        node.router
+            .successors(j)
+            .iter()
+            .filter_map(|&k| {
+                let lk = node.est.get(&k).map(|e| e.cost()).or(node.router.link_cost(k))?;
+                Some(SuccessorCost::new(k, node.router.neighbor_distance(k, j) + lk))
+            })
+            .collect()
+    }
+
+    /// Apply a router output: transmit LSUs, refresh allocation if
+    /// routes changed.
+    fn apply_router_output(&mut self, i: NodeId, out: mdr_routing::RouterOutput) {
+        for s in out.sends {
+            self.send_control(i, s.to, s.msg);
+        }
+        if out.routes_changed {
+            for j in 0..self.topo.node_count() as u32 {
+                let j = NodeId(j);
+                if j == i {
+                    continue;
+                }
+                let sc = self.successor_costs(i, j);
+                self.nodes[i.index()].alloc.refresh(j, &sc);
+            }
+        }
+    }
+
+    /// Forward a packet sitting at `node` (its source or an intermediate
+    /// hop).
+    fn forward(&mut self, node: NodeId, mut pkt: Packet) {
+        if pkt.dst == node {
+            let delay = self.time - pkt.created;
+            let f = pkt.flow as usize;
+            self.series.record(f, self.time, delay);
+            if pkt.created >= self.warmup_end {
+                self.flow_stats[f].deliver(delay);
+            }
+            return;
+        }
+        if pkt.ttl == 0 {
+            self.flow_stats[pkt.flow as usize].dropped_ttl += 1;
+            return;
+        }
+        pkt.ttl -= 1;
+        // Weighted choice over the routing parameters (no allocation:
+        // `alloc` and `rng` are disjoint fields).
+        let chosen = {
+            let pairs = match &self.cfg.fixed_routing {
+                Some(vars) => vars.get(node, pkt.dst),
+                None => self.nodes[node.index()].alloc.params(pkt.dst).pairs(),
+            };
+            let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+            if pairs.is_empty() || total <= 0.0 {
+                None
+            } else {
+                let mut pick = self.rng.gen::<f64>() * total;
+                let mut chosen = pairs[pairs.len() - 1].0;
+                for &(k, w) in pairs {
+                    if pick < w {
+                        chosen = k;
+                        break;
+                    }
+                    pick -= w;
+                }
+                Some(chosen)
+            }
+        };
+        let chosen = match chosen {
+            Some(k) => k,
+            None => {
+                self.flow_stats[pkt.flow as usize].dropped_no_route += 1;
+                return;
+            }
+        };
+        let lid = match self.topo.link_between(node, chosen) {
+            Some(l) if self.links[l.index()].up => l,
+            _ => {
+                self.flow_stats[pkt.flow as usize].dropped_no_route += 1;
+                return;
+            }
+        };
+        self.enqueue_packet(lid, pkt);
+    }
+
+    fn enqueue_packet(&mut self, lid: LinkId, pkt: Packet) {
+        let bits = pkt.bits;
+        let ls = &mut self.links[lid.index()];
+        ls.queue.push_back((pkt, self.time));
+        let qlen = ls.queue.len();
+        if qlen > self.link_stats[lid.index()].max_queue {
+            self.link_stats[lid.index()].max_queue = qlen;
+        }
+        if !ls.busy {
+            ls.busy = true;
+            let c = self.topo.link(lid).capacity;
+            self.queue.push(self.time + bits / c, Ev::LinkDeparture { link: lid });
+        }
+    }
+
+    fn on_link_departure(&mut self, lid: LinkId) {
+        let ls = &mut self.links[lid.index()];
+        if !ls.up || !ls.busy {
+            return; // stale event from before a failure
+        }
+        let (pkt, enq_t) = match ls.queue.pop_front() {
+            Some(x) => x,
+            None => {
+                ls.busy = false;
+                return;
+            }
+        };
+        let next_bits = ls.queue.front().map(|(p, _)| p.bits);
+        let link = *self.topo.link(lid);
+        let qdelay = self.time - enq_t;
+        // Stats + estimator at the transmitting router.
+        if self.time >= self.warmup_end {
+            let st = &mut self.link_stats[lid.index()];
+            st.bits += pkt.bits;
+            st.packets += 1;
+            st.delay_sum += qdelay;
+        }
+        if let Some(e) = self.nodes[link.from.index()].est.get_mut(&link.to) {
+            e.on_packet(pkt.bits, qdelay);
+        }
+        // Next serialization.
+        match next_bits {
+            Some(b) => {
+                self.queue.push(self.time + b / link.capacity, Ev::LinkDeparture { link: lid })
+            }
+            None => self.links[lid.index()].busy = false,
+        }
+        // Propagation, then arrival at the far router.
+        self.queue
+            .push(self.time + link.prop_delay, Ev::NodeArrival { node: link.to, packet: pkt });
+    }
+
+    fn on_short_tick(&mut self, i: NodeId) {
+        let now = self.time;
+        let nbrs: Vec<NodeId> = self.nodes[i.index()].est.keys().copied().collect();
+        for k in nbrs {
+            if let Some(e) = self.nodes[i.index()].est.get_mut(&k) {
+                e.close_window(now);
+            }
+        }
+        for j in 0..self.topo.node_count() as u32 {
+            let j = NodeId(j);
+            if j == i {
+                continue;
+            }
+            let sc = self.successor_costs(i, j);
+            self.nodes[i.index()].alloc.update(j, &sc, Update::ShortTerm);
+        }
+        self.queue.push(now + self.cfg.t_short, Ev::ShortTermTick { node: i });
+    }
+
+    fn on_long_tick(&mut self, i: NodeId) {
+        let nbrs: Vec<NodeId> = self.nodes[i.index()].est.keys().copied().collect();
+        for k in nbrs {
+            let (up, cost) = {
+                let lid = self.topo.link_between(i, k);
+                let up = lid.map(|l| self.links[l.index()].up).unwrap_or(false);
+                let cost = self.nodes[i.index()].est.get(&k).map(|e| e.cost()).unwrap_or(0.0);
+                (up, cost)
+            };
+            if !up {
+                continue;
+            }
+            let reported = *self.nodes[i.index()].reported.get(&k).unwrap_or(&cost);
+            let rel = (cost - reported).abs() / reported.max(1e-30);
+            if rel > self.cfg.cost_change_threshold {
+                self.nodes[i.index()].reported.insert(k, cost);
+                let out = self.nodes[i.index()].router.handle(RouterEvent::LinkCost { to: k, cost });
+                self.apply_router_output(i, out);
+            }
+        }
+        self.queue.push(self.time + self.cfg.t_long, Ev::LongTermTick { node: i });
+    }
+
+    fn on_scenario(&mut self, idx: usize) {
+        let (_, ev) = self.scenario[idx].clone();
+        match ev {
+            ScenarioEvent::SetFlowRate { flow, rate } => {
+                self.flows[flow].rate = rate;
+                self.flows[flow].epoch += 1;
+                let t = self.next_interarrival(flow);
+                if t.is_finite() {
+                    self.queue.push(t, Ev::Generate { flow });
+                }
+            }
+            ScenarioEvent::FailLink { a, b } => {
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(lid) = self.topo.link_between(x, y) {
+                        let ls = &mut self.links[lid.index()];
+                        ls.up = false;
+                        ls.busy = false;
+                        ls.epoch += 1;
+                        for (p, _) in ls.queue.drain(..) {
+                            self.flow_stats[p.flow as usize].dropped_no_route += 1;
+                        }
+                        let out = self.nodes[x.index()].router.handle(RouterEvent::LinkDown { to: y });
+                        self.apply_router_output(x, out);
+                    }
+                }
+            }
+            ScenarioEvent::RestoreLink { a, b } => {
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(lid) = self.topo.link_between(x, y) {
+                        self.links[lid.index()].up = true;
+                        let idle = self.models[lid.index()].marginal_delay(0.0);
+                        self.nodes[x.index()]
+                            .est
+                            .insert(y, LinkEstimator::new(self.cfg.estimator, self.models[lid.index()], self.time));
+                        self.nodes[x.index()].reported.insert(y, idle);
+                        let out = self.nodes[x.index()]
+                            .router
+                            .handle(RouterEvent::LinkUp { to: y, cost: idle });
+                        self.apply_router_output(x, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run to completion and report.
+    pub fn run(&mut self) -> SimReport {
+        // Keep a small tail margin so packets in flight at end_time can
+        // drain into the stats? No: measurement closes at end_time.
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.end_time {
+                break;
+            }
+            self.time = t;
+            match ev {
+                Ev::Generate { flow } => {
+                    if self.flows[flow].rate > 0.0 {
+                        let bits = self.sample_packet_bits();
+                        let pkt = Packet {
+                            flow: flow as u32,
+                            dst: self.flows[flow].dst,
+                            created: self.time,
+                            bits,
+                            ttl: self.cfg.ttl,
+                        };
+                        let src = self.flows[flow].src;
+                        self.forward(src, pkt);
+                        let nt = self.next_interarrival(flow);
+                        if nt.is_finite() {
+                            self.queue.push(nt, Ev::Generate { flow });
+                        }
+                    }
+                }
+                Ev::LinkDeparture { link } => self.on_link_departure(link),
+                Ev::NodeArrival { node, packet } => self.forward(node, packet),
+                Ev::Control { node, from, msg } => {
+                    let out = self.nodes[node.index()].router.handle(RouterEvent::Lsu { from, msg });
+                    self.apply_router_output(node, out);
+                }
+                Ev::ShortTermTick { node } => self.on_short_tick(node),
+                Ev::LongTermTick { node } => self.on_long_tick(node),
+                Ev::Scenario { index } => self.on_scenario(index),
+                Ev::Sample => {}
+            }
+        }
+        let mean_delays_ms: Vec<f64> =
+            self.flow_stats.iter().map(|f| f.mean_delay() * 1000.0).collect();
+        let delivered = self.flow_stats.iter().map(|f| f.delivered).sum();
+        let dropped = self
+            .flow_stats
+            .iter()
+            .map(|f| f.dropped_no_route + f.dropped_ttl)
+            .sum();
+        SimReport {
+            flows: self.flow_stats.clone(),
+            links: self.link_stats.clone(),
+            series: self.series.clone(),
+            mean_delays_ms,
+            control_messages: self.ctl_msgs,
+            control_bytes: self.ctl_bytes,
+            delivered,
+            dropped,
+            duration: self.cfg.duration,
+        }
+    }
+
+    /// Extract the current routing variables (for analytic cross-checks
+    /// against the same traffic).
+    pub fn routing_vars(&self) -> RoutingVars {
+        let n = self.topo.node_count();
+        let mut vars = RoutingVars::new(n);
+        for i in 0..n as u32 {
+            let i = NodeId(i);
+            for j in 0..n as u32 {
+                let j = NodeId(j);
+                if i == j {
+                    continue;
+                }
+                let pairs: Vec<(NodeId, f64)> =
+                    self.nodes[i.index()].alloc.params(j).pairs().to_vec();
+                vars.set(i, j, pairs);
+            }
+        }
+        vars
+    }
+
+    /// Access a router (tests & diagnostics).
+    pub fn router(&self, i: NodeId) -> &MpdaRouter {
+        &self.nodes[i.index()].router
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdr_net::{Flow, TopologyBuilder};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn two_node() -> Topology {
+        TopologyBuilder::new()
+            .nodes(2)
+            .bidi(n(0), n(1), 1_000_000.0, 0.001)
+            .build()
+            .unwrap()
+    }
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig { warmup: 5.0, duration: 10.0, ..Default::default() }
+    }
+
+    #[test]
+    fn single_link_delay_matches_mm1() {
+        // 1 Mb/s link, 1000-bit packets (1000 pkts/s service), offered
+        // 500 kb/s (rho = 0.5): M/M/1 sojourn = 1/(mu - lambda) = 2 ms,
+        // plus 1 ms propagation = 3 ms.
+        let t = two_node();
+        let traffic =
+            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 500_000.0)]).unwrap();
+        let cfg = SimConfig { warmup: 10.0, duration: 60.0, ..Default::default() };
+        let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
+        let r = sim.run();
+        let got = r.mean_delays_ms[0];
+        assert!(
+            (got - 3.0).abs() < 0.3,
+            "expected ~3 ms, got {got} ms ({} delivered)",
+            r.delivered
+        );
+        assert_eq!(r.flows[0].dropped_ttl, 0);
+        assert!(r.delivered > 20_000);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let t = two_node();
+        let traffic =
+            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 300_000.0)]).unwrap();
+        let r1 = Simulator::new(&t, &traffic, &Scenario::new(), quick_cfg()).run();
+        let r2 = Simulator::new(&t, &traffic, &Scenario::new(), quick_cfg()).run();
+        assert_eq!(r1.delivered, r2.delivered);
+        assert_eq!(r1.mean_delays_ms, r2.mean_delays_ms);
+        assert_eq!(r1.control_messages, r2.control_messages);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t = two_node();
+        let traffic =
+            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 300_000.0)]).unwrap();
+        let r1 = Simulator::new(&t, &traffic, &Scenario::new(), quick_cfg()).run();
+        let r2 = Simulator::new(
+            &t,
+            &traffic,
+            &Scenario::new(),
+            SimConfig { seed: 2, ..quick_cfg() },
+        )
+        .run();
+        assert_ne!(r1.mean_delays_ms, r2.mean_delays_ms);
+    }
+
+    #[test]
+    fn multipath_uses_parallel_paths() {
+        // Diamond with heavy load: MP must spread over both 2-hop paths.
+        let t = TopologyBuilder::new()
+            .nodes(4)
+            .bidi(n(0), n(1), 1_000_000.0, 0.001)
+            .bidi(n(0), n(2), 1_000_000.0, 0.001)
+            .bidi(n(1), n(3), 1_000_000.0, 0.001)
+            .bidi(n(2), n(3), 1_000_000.0, 0.001)
+            .build()
+            .unwrap();
+        let traffic =
+            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 1_200_000.0)]).unwrap();
+        let cfg = SimConfig { warmup: 20.0, duration: 40.0, ..Default::default() };
+        let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
+        let r = sim.run();
+        // 1.2 Mb/s cannot fit one 1 Mb/s path: deliveries prove splitting.
+        let l01 = t.link_between(n(0), n(1)).unwrap();
+        let l02 = t.link_between(n(0), n(2)).unwrap();
+        let u1 = r.links[l01.index()].utilization(1_000_000.0, 40.0);
+        let u2 = r.links[l02.index()].utilization(1_000_000.0, 40.0);
+        assert!(u1 > 0.2 && u2 > 0.2, "u1={u1} u2={u2}");
+        assert!(r.flows[0].mean_delay() < 0.5, "network must not melt down");
+        assert_eq!(r.flows[0].dropped_ttl, 0);
+    }
+
+    #[test]
+    fn single_path_mode_uses_one_path_under_light_load() {
+        let t = TopologyBuilder::new()
+            .nodes(4)
+            .bidi(n(0), n(1), 1_000_000.0, 0.001)
+            .bidi(n(0), n(2), 1_000_000.0, 0.001)
+            .bidi(n(1), n(3), 1_000_000.0, 0.001)
+            .bidi(n(2), n(3), 1_000_000.0, 0.001)
+            .build()
+            .unwrap();
+        let traffic =
+            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 200_000.0)]).unwrap();
+        let cfg = SimConfig { mode: Mode::SinglePath, ..quick_cfg() };
+        let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
+        let r = sim.run();
+        let l01 = t.link_between(n(0), n(1)).unwrap();
+        let l02 = t.link_between(n(0), n(2)).unwrap();
+        let p1 = r.links[l01.index()].packets;
+        let p2 = r.links[l02.index()].packets;
+        assert!(p1 + p2 > 1000);
+        // SP may *flap* between the two equal-cost paths across ticks
+        // (the oscillation §1 describes), but at any instant the routing
+        // parameters put all traffic on exactly one successor:
+        let vars = sim.routing_vars();
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i == j {
+                    continue;
+                }
+                let s = vars.successors(NodeId(i), NodeId(j));
+                assert!(s.len() <= 1, "SP has {} successors at ({i},{j})", s.len());
+            }
+        }
+    }
+
+    #[test]
+    fn link_failure_reroutes() {
+        // Triangle: 0-1 direct plus 0-2-1 detour.
+        let t = TopologyBuilder::new()
+            .nodes(3)
+            .bidi(n(0), n(1), 1_000_000.0, 0.001)
+            .bidi(n(0), n(2), 1_000_000.0, 0.001)
+            .bidi(n(2), n(1), 1_000_000.0, 0.001)
+            .build()
+            .unwrap();
+        let traffic =
+            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 200_000.0)]).unwrap();
+        let scen = Scenario::new().at(10.0, ScenarioEvent::FailLink { a: n(0), b: n(1) });
+        let cfg = SimConfig { warmup: 15.0, duration: 20.0, ..Default::default() };
+        let mut sim = Simulator::new(&t, &traffic, &scen, cfg);
+        let r = sim.run();
+        // Measured deliveries happen after the failure: all must detour.
+        let l02 = t.link_between(n(0), n(2)).unwrap();
+        assert!(r.links[l02.index()].packets > 1000);
+        assert!(r.delivered > 1000);
+        // Only the handful of packets in flight at the failure are lost.
+        assert!(r.dropped < 100, "dropped {}", r.dropped);
+    }
+
+    #[test]
+    fn traffic_change_takes_effect() {
+        let t = two_node();
+        let traffic =
+            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 100_000.0)]).unwrap();
+        let scen =
+            Scenario::new().at(5.0, ScenarioEvent::SetFlowRate { flow: 0, rate: 800_000.0 });
+        let cfg = SimConfig { warmup: 10.0, duration: 20.0, ..Default::default() };
+        let mut sim = Simulator::new(&t, &traffic, &scen, cfg);
+        let r = sim.run();
+        // Post-warmup rate is 800 kb/s => ~800 pkts/s * 20 s.
+        assert!(
+            (10_000..25_000).contains(&(r.delivered as i64)),
+            "delivered {}",
+            r.delivered
+        );
+    }
+
+    #[test]
+    fn zero_rate_flow_sends_nothing() {
+        let t = two_node();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 0.0)]).unwrap();
+        let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), quick_cfg());
+        let r = sim.run();
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn control_plane_carries_messages() {
+        let t = mdr_net::topo::ring(5, 1_000_000.0, 0.001);
+        let traffic = TrafficMatrix::empty(5);
+        let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), quick_cfg());
+        let r = sim.run();
+        assert!(r.control_messages > 10, "boot convergence needs LSUs");
+        assert!(r.control_bytes > 0);
+        // Converged distances visible through the router accessor.
+        assert!((sim.router(n(0)).distance(n(2)) - 2.0 * sim.router(n(0)).distance(n(1))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_vars_extraction_is_valid() {
+        let t = mdr_net::topo::net1();
+        let flows = mdr_net::topo::net1_flows(500_000.0);
+        let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+        let cfg = SimConfig { warmup: 10.0, duration: 10.0, ..Default::default() };
+        let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
+        let _ = sim.run();
+        let vars = sim.routing_vars();
+        let models: Vec<Mm1> = t
+            .links()
+            .iter()
+            .map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0))
+            .collect();
+        // The extracted variables must evaluate cleanly (acyclic, routed).
+        let eval = mdr_opt::evaluate(&t, &models, &traffic, &vars).unwrap();
+        assert!(eval.total_delay > 0.0);
+        assert!(eval.max_utilization < 1.0);
+    }
+
+    #[test]
+    fn packet_distributions_order_delays_as_theory_predicts() {
+        // M/D/1 waits half of M/M/1; the bimodal mix is burstier than
+        // exponential. At rho = 0.7 the ordering must be
+        // deterministic < exponential < bimodal.
+        let t = two_node();
+        let traffic =
+            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 700_000.0)]).unwrap();
+        let mut delays = Vec::new();
+        for dist in [PacketDist::Deterministic, PacketDist::Exponential, PacketDist::Bimodal] {
+            let cfg = SimConfig {
+                packet_dist: dist,
+                warmup: 10.0,
+                duration: 40.0,
+                ..Default::default()
+            };
+            let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
+            let r = sim.run();
+            delays.push(r.mean_delays_ms[0]);
+        }
+        assert!(
+            delays[0] < delays[1] && delays[1] < delays[2],
+            "expected det < exp < bimodal, got {delays:?}"
+        );
+    }
+
+    #[test]
+    fn no_ttl_drops_ever() {
+        // Loop-freedom end to end: with MPDA + LFI the TTL guard must
+        // never fire, even across failures and cost churn.
+        let t = mdr_net::topo::net1();
+        let flows = mdr_net::topo::net1_flows(1_000_000.0);
+        let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+        let scen = Scenario::new()
+            .at(8.0, ScenarioEvent::FailLink { a: n(4), b: n(5) })
+            .at(16.0, ScenarioEvent::RestoreLink { a: n(4), b: n(5) });
+        let cfg = SimConfig { warmup: 12.0, duration: 15.0, t_short: 1.0, ..Default::default() };
+        let mut sim = Simulator::new(&t, &traffic, &scen, cfg);
+        let r = sim.run();
+        let ttl_drops: u64 = r.flows.iter().map(|f| f.dropped_ttl).sum();
+        assert_eq!(ttl_drops, 0);
+        assert!(r.delivered > 10_000);
+    }
+}

@@ -1,0 +1,183 @@
+//! The event queue: a total order over simulation events.
+//!
+//! Events are ordered by `(time, seq)` where `seq` is the insertion
+//! sequence number — ties in simulated time resolve in scheduling order,
+//! making every run a pure function of the configuration (the smoltcp
+//! "no surprises" rule applied to simulation).
+
+use mdr_net::{LinkId, NodeId};
+use mdr_proto::LsuMessage;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ev {
+    /// A source generates the next packet of flow `flow`.
+    Generate {
+        /// Index into the traffic matrix's flow list.
+        flow: usize,
+    },
+    /// The head-of-line packet on `link` finishes serialization.
+    LinkDeparture {
+        /// The transmitting link.
+        link: LinkId,
+    },
+    /// A data packet reaches router `node` (after propagation).
+    NodeArrival {
+        /// Receiving router.
+        node: NodeId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A control (LSU) message reaches router `node` from neighbor
+    /// `from`.
+    Control {
+        /// Receiving router.
+        node: NodeId,
+        /// Transmitting neighbor.
+        from: NodeId,
+        /// The message.
+        msg: LsuMessage,
+    },
+    /// Router `node` closes a `T_s` measurement window: refresh local
+    /// link costs and run AH.
+    ShortTermTick {
+        /// The router.
+        node: NodeId,
+    },
+    /// Router `node` performs a `T_l` long-term routing update.
+    LongTermTick {
+        /// The router.
+        node: NodeId,
+    },
+    /// A scripted scenario event fires.
+    Scenario {
+        /// Index into the scenario's event list.
+        index: usize,
+    },
+    /// Statistics sampling tick (time-series buckets).
+    Sample,
+}
+
+/// A data packet in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Flow index (for per-flow statistics).
+    pub flow: u32,
+    /// Final destination router.
+    pub dst: NodeId,
+    /// Creation time at the source.
+    pub created: f64,
+    /// Length in bits.
+    pub bits: f64,
+    /// Remaining hop budget (defensive; MPDA forwarding cannot loop,
+    /// and tests assert this never reaches zero).
+    pub ttl: u16,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    time: f64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `ev` at absolute time `time`.
+    pub fn push(&mut self, time: f64, ev: Ev) {
+        debug_assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
+        self.heap.push(Entry { time, seq: self.seq, ev });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, Ev)> {
+        self.heap.pop().map(|e| (e.time, e.ev))
+    }
+
+    /// Events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, Ev::Sample);
+        q.push(1.0, Ev::Generate { flow: 0 });
+        q.push(3.0, Ev::Generate { flow: 1 });
+        assert_eq!(q.pop().unwrap().0, 1.0);
+        assert_eq!(q.pop().unwrap().0, 2.0);
+        assert_eq!(q.pop().unwrap().0, 3.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_resolve_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, Ev::Generate { flow: 0 });
+        q.push(1.0, Ev::Generate { flow: 1 });
+        q.push(1.0, Ev::Generate { flow: 2 });
+        for expect in 0..3 {
+            match q.pop().unwrap().1 {
+                Ev::Generate { flow } => assert_eq!(flow, expect),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, Ev::Sample);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Scripted scenario events: traffic changes and link failures injected
+//! at fixed simulated times (the "dynamic environments" of §5, plus the
+//! fault-injection idiom of the guides this workspace follows).
+
+use mdr_net::NodeId;
+
+/// One scripted perturbation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioEvent {
+    /// Change the offered rate of flow `flow` (index into the traffic
+    /// matrix flow list) to `rate` bits/s.
+    SetFlowRate {
+        /// Flow index.
+        flow: usize,
+        /// New rate in bits/s.
+        rate: f64,
+    },
+    /// Fail the physical (bidirectional) link between `a` and `b`.
+    FailLink {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+    },
+    /// Restore the physical link between `a` and `b`.
+    RestoreLink {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+    },
+}
+
+/// A time-ordered script of perturbations.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    events: Vec<(f64, ScenarioEvent)>,
+}
+
+impl Scenario {
+    /// Empty scenario (pure steady-state run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an event at absolute simulated time `t`.
+    pub fn at(mut self, t: f64, ev: ScenarioEvent) -> Self {
+        self.events.push((t, ev));
+        self
+    }
+
+    /// The scripted events, sorted by time.
+    pub fn events(&self) -> Vec<(f64, ScenarioEvent)> {
+        let mut v = self.events.clone();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        v
+    }
+
+    /// True if no events are scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sorted_by_time() {
+        let s = Scenario::new()
+            .at(5.0, ScenarioEvent::SetFlowRate { flow: 0, rate: 1e6 })
+            .at(1.0, ScenarioEvent::FailLink { a: NodeId(0), b: NodeId(1) });
+        let e = s.events();
+        assert_eq!(e[0].0, 1.0);
+        assert_eq!(e[1].0, 5.0);
+        assert!(!s.is_empty());
+        assert!(Scenario::new().is_empty());
+    }
+}

@@ -1,0 +1,2 @@
+//! Workspace-level integration test support (see `tests/*.rs`).
+pub fn placeholder() {}

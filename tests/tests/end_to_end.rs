@@ -1,0 +1,145 @@
+//! End-to-end integration: the full stack (topology → MPDA → IH/AH →
+//! packet simulator → measurements) reproduces the paper's headline
+//! inequalities on a scale small enough for the default test profile.
+
+use mdr::prelude::*;
+
+/// A diamond where one flow exceeds any single path: the canonical
+/// multipath win.
+fn diamond() -> (Topology, Vec<Flow>) {
+    let mut b = TopologyBuilder::new();
+    let a = b.add_node("a");
+    let x = b.add_node("x");
+    let y = b.add_node("y");
+    let z = b.add_node("z");
+    let t = b
+        .bidi(a, x, 1_000_000.0, 0.001)
+        .bidi(a, y, 1_000_000.0, 0.001)
+        .bidi(x, z, 1_000_000.0, 0.001)
+        .bidi(y, z, 1_000_000.0, 0.001)
+        .build()
+        .unwrap();
+    let flows = vec![Flow::new(a, z, 1_200_000.0)];
+    (t, flows)
+}
+
+fn quick() -> RunConfig {
+    RunConfig { warmup: 10.0, duration: 20.0, seed: 3, mean_packet_bits: 1000.0 }
+}
+
+/// The saturating diamond needs a longer warm-up: AH takes several
+/// `T_s` periods to balance, and the backlog built before that persists.
+fn diamond_cfg() -> RunConfig {
+    RunConfig { warmup: 25.0, duration: 30.0, seed: 3, mean_packet_bits: 1000.0 }
+}
+
+#[test]
+fn multipath_beats_single_path_when_one_path_saturates() {
+    let (t, flows) = diamond();
+    let mp = mdr::run(&t, &flows, Scheme::mp(10.0, 1.0), diamond_cfg()).unwrap();
+    let sp = mdr::run(&t, &flows, Scheme::sp(10.0), diamond_cfg()).unwrap();
+    assert!(
+        sp.mean_delay_ms > 3.0 * mp.mean_delay_ms,
+        "SP {} ms vs MP {} ms",
+        sp.mean_delay_ms,
+        mp.mean_delay_ms
+    );
+}
+
+#[test]
+fn mp_tracks_opt_on_diamond() {
+    let (t, flows) = diamond();
+    let opt = mdr::run(&t, &flows, Scheme::opt(), diamond_cfg()).unwrap();
+    let mp = mdr::run(&t, &flows, Scheme::mp(10.0, 1.0), diamond_cfg()).unwrap();
+    assert!(
+        mp.mean_delay_ms < 10.0 * opt.mean_delay_ms,
+        "MP {} ms vs OPT {} ms",
+        mp.mean_delay_ms,
+        opt.mean_delay_ms
+    );
+    // OPT splits evenly on the symmetric diamond.
+    let eval = opt.analytic.unwrap();
+    assert!(eval.max_utilization < 0.7);
+}
+
+#[test]
+fn loop_freedom_no_ttl_drops_across_schemes_and_failures() {
+    let t = topo::net1();
+    let flows = topo::net1_flows(1_500_000.0);
+    let scen = Scenario::new()
+        .at(6.0, ScenarioEvent::FailLink { a: NodeId(4), b: NodeId(5) })
+        .at(12.0, ScenarioEvent::RestoreLink { a: NodeId(4), b: NodeId(5) });
+    for scheme in [Scheme::mp(5.0, 1.0), Scheme::sp(5.0)] {
+        let cfg = RunConfig { warmup: 8.0, duration: 10.0, seed: 5, mean_packet_bits: 1000.0 };
+        let r = mdr::run_with_scenario(&t, &flows, scheme, cfg, &scen).unwrap();
+        let rep = r.report.unwrap();
+        let ttl: u64 = rep.flows.iter().map(|f| f.dropped_ttl).sum();
+        assert_eq!(ttl, 0, "{}: packets looped", r.label);
+        assert!(rep.delivered > 10_000);
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let t = topo::net1();
+    let flows = topo::net1_flows(800_000.0);
+    let a = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), quick()).unwrap();
+    let b = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), quick()).unwrap();
+    assert_eq!(a.per_flow_delay_ms, b.per_flow_delay_ms);
+    assert_eq!(
+        a.report.unwrap().control_messages,
+        b.report.unwrap().control_messages
+    );
+}
+
+#[test]
+fn light_load_all_schemes_equivalent() {
+    // "When connectivity is low or network load is light, MP routing
+    // cannot offer any advantage over SP" — at 100 kb/s per flow all
+    // three schemes ride the shortest paths.
+    let t = topo::net1();
+    let flows = topo::net1_flows(100_000.0);
+    let opt = mdr::run(&t, &flows, Scheme::opt(), quick()).unwrap();
+    let mp = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), quick()).unwrap();
+    let sp = mdr::run(&t, &flows, Scheme::sp(10.0), quick()).unwrap();
+    for (a, b) in [(mp.mean_delay_ms, opt.mean_delay_ms), (sp.mean_delay_ms, mp.mean_delay_ms)] {
+        let ratio = a / b;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+}
+
+#[test]
+fn dynamic_rate_change_applies() {
+    let t = topo::net1();
+    let flows = topo::net1_flows(500_000.0);
+    // Kill all traffic mid-run; deliveries must stop growing.
+    let mut scen = Scenario::new();
+    for i in 0..flows.len() {
+        scen = scen.at(15.0, ScenarioEvent::SetFlowRate { flow: i, rate: 0.0 });
+    }
+    let cfg = RunConfig { warmup: 5.0, duration: 20.0, seed: 2, mean_packet_bits: 1000.0 };
+    let r = mdr::run_with_scenario(&t, &flows, Scheme::mp(10.0, 2.0), cfg, &scen).unwrap();
+    let rep = r.report.unwrap();
+    // ~10 s of traffic at 5 Mb/s total = ~50k packets, not ~100k.
+    assert!(rep.delivered < 70_000, "delivered {}", rep.delivered);
+    assert!(rep.delivered > 30_000);
+}
+
+#[test]
+fn analytic_and_measured_delays_agree_for_fixed_routing() {
+    // The simulator's physics match the M/M/1 analytic model when the
+    // routing is pinned (Kleinrock independence holds well at this
+    // scale) — the cross-validation that justifies comparing measured
+    // MP/SP against OPT.
+    let t = topo::net1();
+    let flows = topo::net1_flows(1_200_000.0);
+    let r = mdr::run(&t, &flows, Scheme::opt(), quick()).unwrap();
+    let analytic = r.analytic.unwrap();
+    for (m, a) in r.per_flow_delay_ms.iter().zip(&analytic.flow_delays) {
+        let a_ms = a * 1000.0;
+        assert!(
+            (m - a_ms).abs() / a_ms < 0.2,
+            "measured {m} ms vs analytic {a_ms} ms"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Miniature versions of the paper's evaluation claims, fast enough for
+//! every test run. The full figures live in `crates/bench`; these
+//! guard the *direction* of each result so a regression anywhere in the
+//! stack (routing, allocation, estimation, simulation) trips a test.
+
+use mdr::prelude::*;
+
+fn cfg(seed: u64) -> RunConfig {
+    RunConfig { warmup: 15.0, duration: 25.0, seed, mean_packet_bits: 1000.0 }
+}
+
+/// Fig. 10 direction: MP within a modest envelope of OPT on NET1.
+#[test]
+fn net1_mp_close_to_opt() {
+    let t = topo::net1();
+    let flows = topo::net1_flows(2_200_000.0);
+    let opt = mdr::run(&t, &flows, Scheme::opt(), cfg(7)).unwrap();
+    let mp = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), cfg(7)).unwrap();
+    let ratio = mp.mean_delay_ms / opt.mean_delay_ms;
+    assert!(
+        (0.95..1.25).contains(&ratio),
+        "MP/OPT = {ratio} (MP {} ms, OPT {} ms)",
+        mp.mean_delay_ms,
+        opt.mean_delay_ms
+    );
+}
+
+/// Fig. 12 direction: SP substantially worse than MP on loaded NET1.
+#[test]
+fn net1_sp_much_worse_than_mp() {
+    let t = topo::net1();
+    let flows = topo::net1_flows(2_500_000.0);
+    let mp = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), cfg(7)).unwrap();
+    let sp = mdr::run(&t, &flows, Scheme::sp(10.0), cfg(7)).unwrap();
+    assert!(
+        sp.mean_delay_ms > 1.8 * mp.mean_delay_ms,
+        "SP {} ms vs MP {} ms",
+        sp.mean_delay_ms,
+        mp.mean_delay_ms
+    );
+}
+
+/// Fig. 9 direction: MP tracks OPT on CAIRN.
+#[test]
+fn cairn_mp_close_to_opt() {
+    let t = topo::cairn();
+    let flows = topo::cairn_flows(&t, 3_500_000.0);
+    let opt = mdr::run(&t, &flows, Scheme::opt(), cfg(7)).unwrap();
+    let mp = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), cfg(7)).unwrap();
+    let ratio = mp.mean_delay_ms / opt.mean_delay_ms;
+    assert!((0.9..1.3).contains(&ratio), "MP/OPT = {ratio}");
+}
+
+/// §5.2 direction: MP with T_s = T_l still close to OPT (the cheapest
+/// possible MP deployment beats SP).
+#[test]
+fn mp_with_coarse_ts_still_good() {
+    let t = topo::net1();
+    let flows = topo::net1_flows(2_400_000.0);
+    let mp_coarse = mdr::run(&t, &flows, Scheme::mp(10.0, 10.0), cfg(7)).unwrap();
+    let sp = mdr::run(&t, &flows, Scheme::sp(10.0), cfg(7)).unwrap();
+    assert!(
+        mp_coarse.mean_delay_ms < sp.mean_delay_ms,
+        "MP-TL-10-TS-10 {} ms vs SP {} ms",
+        mp_coarse.mean_delay_ms,
+        sp.mean_delay_ms
+    );
+}
+
+/// The OPT solver is a valid lower bound: no scheme's *analytic*
+/// evaluation beats it on the same instance.
+#[test]
+fn opt_is_lower_bound_analytically() {
+    let t = topo::net1();
+    let flows = topo::net1_flows(2_000_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+    let models: Vec<Mm1> = t
+        .links()
+        .iter()
+        .map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0))
+        .collect();
+    let opt = mdr::opt::solve(&t, &models, &traffic, GallagerConfig::default()).unwrap();
+    // Run MP, extract its converged routing variables, evaluate them on
+    // the same analytic model: must not undercut OPT.
+    let sim_cfg = SimConfig { warmup: 15.0, duration: 20.0, seed: 7, ..Default::default() };
+    let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), sim_cfg);
+    let _ = sim.run();
+    let mp_eval = evaluate(&t, &models, &traffic, &sim.routing_vars()).unwrap();
+    assert!(
+        opt.eval.total_delay <= mp_eval.total_delay * 1.0001,
+        "OPT D_T {} vs MP D_T {}",
+        opt.eval.total_delay,
+        mp_eval.total_delay
+    );
+}
+
+/// OPT's objective is monotone in offered load (regression guard for
+/// the solver's step-size robustness).
+#[test]
+fn opt_monotone_in_load() {
+    let t = topo::net1();
+    let models: Vec<Mm1> = t
+        .links()
+        .iter()
+        .map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0))
+        .collect();
+    let mut prev = 0.0;
+    for &rate in &[1_000_000.0, 1_500_000.0, 2_000_000.0, 2_500_000.0, 3_000_000.0] {
+        let flows = topo::net1_flows(rate);
+        let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+        let r = mdr::opt::solve(
+            &t,
+            &models,
+            &traffic,
+            GallagerConfig { eta: rate * rate * 2e-7, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            r.eval.total_delay > prev,
+            "D_T not monotone at {rate}: {} after {prev}",
+            r.eval.total_delay
+        );
+        prev = r.eval.total_delay;
+    }
+}
