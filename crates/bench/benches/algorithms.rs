@@ -11,10 +11,7 @@ use mdr_routing::{bellman_ford, dijkstra, TopoTable};
 use std::hint::black_box;
 
 fn table_of(t: &Topology) -> TopoTable {
-    t.links()
-        .iter()
-        .map(|l| (l.from, l.to, 1.0 + ((l.from.0 * 7 + l.to.0) % 5) as f64))
-        .collect()
+    t.links().iter().map(|l| (l.from, l.to, 1.0 + ((l.from.0 * 7 + l.to.0) % 5) as f64)).collect()
 }
 
 fn bench_spf(c: &mut Criterion) {
@@ -57,9 +54,8 @@ fn bench_mpda_event(c: &mut Criterion) {
 fn bench_heuristics(c: &mut Criterion) {
     let mut g = c.benchmark_group("flow_heuristics");
     for k in [2usize, 4, 8] {
-        let succ: Vec<SuccessorCost> = (0..k)
-            .map(|i| SuccessorCost::new(NodeId(i as u32 + 1), 1.0 + i as f64))
-            .collect();
+        let succ: Vec<SuccessorCost> =
+            (0..k).map(|i| SuccessorCost::new(NodeId(i as u32 + 1), 1.0 + i as f64)).collect();
         g.bench_with_input(BenchmarkId::new("ih", k), &k, |b, _| {
             b.iter(|| black_box(mdr::flow::initial_assignment(&succ)))
         });
@@ -101,16 +97,11 @@ fn bench_opt_solver(c: &mut Criterion) {
     let t = topo::net1();
     let flows = topo::net1_flows(1_500_000.0);
     let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
-    let models: Vec<Mm1> = t
-        .links()
-        .iter()
-        .map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0))
-        .collect();
+    let models: Vec<Mm1> =
+        t.links().iter().map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0)).collect();
     g.bench_function("gallager_net1", |b| {
         b.iter(|| {
-            black_box(
-                mdr::opt::solve(&t, &models, &traffic, GallagerConfig::default()).unwrap(),
-            )
+            black_box(mdr::opt::solve(&t, &models, &traffic, GallagerConfig::default()).unwrap())
         })
     });
     let vars = mdr::opt::shortest_path_vars(&t, &models);

@@ -21,17 +21,63 @@ fn bench_engine(c: &mut Criterion) {
         g.throughput(Throughput::Elements(pkts));
         g.bench_with_input(BenchmarkId::new("packets", name), &name, |b, _| {
             b.iter(|| {
-                let cfg = SimConfig {
-                    warmup: 3.0,
-                    duration: 3.0,
-                    seed: 1,
-                    ..Default::default()
-                };
+                let cfg = SimConfig { warmup: 3.0, duration: 3.0, seed: 1, ..Default::default() };
                 let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
                 black_box(sim.run())
             })
         });
     }
+    g.finish();
+}
+
+fn bench_events_per_second(c: &mut Criterion) {
+    // Exact events/second of the engine: the event count comes from the
+    // report itself (`events_processed`), so the throughput figure is
+    // precise rather than a packet-rate approximation.
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for (name, t, flows) in [
+        ("net1", topo::net1(), topo::net1_flows(1_500_000.0)),
+        ("cairn", topo::cairn(), topo::cairn_flows(&topo::cairn(), 2_000_000.0)),
+    ] {
+        let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+        let cfg = SimConfig { warmup: 3.0, duration: 3.0, seed: 1, ..Default::default() };
+        let events =
+            Simulator::new(&t, &traffic, &Scenario::new(), cfg.clone()).run().events_processed;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::new("events", name), &name, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg.clone());
+                black_box(sim.run())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_run_many_scaling(c: &mut Criterion) {
+    // Multi-run scaling: a batch of independent simulations through the
+    // serial loop vs the parallel harness. On a single-core host the
+    // two are expected to tie; on multi-core the parallel batch should
+    // approach jobs/core scaling.
+    let mut g = c.benchmark_group("batch");
+    g.sample_size(10);
+    let t = topo::cairn();
+    let flows = topo::cairn_flows(&t, 1_500_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+    let jobs = || -> Vec<SimJob> {
+        (0..4u64)
+            .map(|seed| {
+                let cfg =
+                    SimConfig { warmup: 1.0, duration: 2.0, seed: seed + 1, ..Default::default() };
+                SimJob::new(&t, &traffic, cfg)
+            })
+            .collect()
+    };
+    g.bench_function("serial_4_runs", |b| {
+        b.iter(|| black_box(jobs().iter().map(|j| j.run()).collect::<Vec<_>>()))
+    });
+    g.bench_function("run_many_4_runs", |b| b.iter(|| black_box(run_many(jobs()))));
     g.finish();
 }
 
@@ -44,12 +90,7 @@ fn bench_boot_convergence(c: &mut Criterion) {
         let traffic = TrafficMatrix::empty(t.node_count());
         g.bench_with_input(BenchmarkId::new("control_plane", name), &name, |b, _| {
             b.iter(|| {
-                let cfg = SimConfig {
-                    warmup: 1.0,
-                    duration: 1.0,
-                    seed: 1,
-                    ..Default::default()
-                };
+                let cfg = SimConfig { warmup: 1.0, duration: 1.0, seed: 1, ..Default::default() };
                 let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
                 black_box(sim.run())
             })
@@ -58,5 +99,11 @@ fn bench_boot_convergence(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_boot_convergence);
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_events_per_second,
+    bench_run_many_scaling,
+    bench_boot_convergence
+);
 criterion_main!(benches);

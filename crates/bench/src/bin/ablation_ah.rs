@@ -1,59 +1,5 @@
-//! Ablation: the AH heuristic and its step gain.
-//!
-//! §4.2 argues AH matters because "the initial distribution obtained by
-//! IH is far from being balanced". This ablation runs MP on both
-//! evaluation topologies with:
-//!
-//! * AH disabled (γ = 0 — IH's distribution frozen between route
-//!   changes),
-//! * damped AH (γ = 0.25, 0.4, 0.5),
-//! * the paper-literal AH (γ = 1 — the largest Property-1-preserving
-//!   step, which fully drains the most-constrained link each `T_s`).
-//!
-//! The sweep documents the design choice DESIGN.md calls out: the
-//! literal step oscillates at high load, γ ≈ 0.4 tracks OPT closely,
-//! and no AH at all is measurably worse than any damped setting.
-
-use mdr::prelude::*;
-use mdr_bench::{cairn_setup, net1_setup, Figure, CAIRN_RATE, NET1_RATE};
+//! Ablation — the AH heuristic and its step gain (see figures::ablation_ah).
 
 fn main() {
-    let gains = [0.0, 0.25, 0.4, 0.5, 1.0];
-    let mut fig = Figure::new(
-        "ablation_ah",
-        "Mean delay (ms) vs AH gain (0 = AH off, 1 = Fig. 7 literal)",
-        gains.iter().map(|g| format!("gain {g}")).collect(),
-    );
-    for (name, topo_, flows) in [
-        ("CAIRN", cairn_setup(CAIRN_RATE).0, cairn_setup(CAIRN_RATE).1),
-        ("NET1", net1_setup(NET1_RATE).0, net1_setup(NET1_RATE).1),
-    ] {
-        let traffic = TrafficMatrix::from_flows(&topo_, &flows).expect("traffic");
-        let opt = mdr::run(&topo_, &flows, Scheme::opt(), RunConfig::default()).expect("opt");
-        let mut vals = Vec::new();
-        for &gain in &gains {
-            let cfg = SimConfig {
-                mode: Mode::Multipath,
-                t_long: 10.0,
-                t_short: 2.0,
-                ah_gain: gain,
-                warmup: 30.0,
-                duration: 60.0,
-                seed: 7,
-                ..Default::default()
-            };
-            let mut sim = Simulator::new(&topo_, &traffic, &Scenario::new(), cfg);
-            let r = sim.run();
-            println!(
-                "{name} gain {gain}: MP {:.3} ms (OPT {:.3} ms, ratio {:.2})",
-                r.mean_delay_ms(),
-                opt.mean_delay_ms,
-                r.mean_delay_ms() / opt.mean_delay_ms
-            );
-            vals.push(r.mean_delay_ms());
-        }
-        fig.add_series(name, vals);
-        fig.note(format!("{name} OPT reference: {:.3} ms", opt.mean_delay_ms));
-    }
-    fig.finish();
+    mdr_bench::figures::ablation_ah();
 }

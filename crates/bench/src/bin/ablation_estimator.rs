@@ -1,39 +1,5 @@
-//! Ablation: marginal-delay estimation technique (§4.3).
-//!
-//! The paper: "our approach does not depend on which specific technique
-//! is used for marginal-delay estimation, although some methods may be
-//! better than others" — and motivates the PA-style online estimator by
-//! its independence from a-priori capacity knowledge. This ablation runs
-//! MP with the closed-form M/M/1 estimator (capacity known) and the
-//! capacity-oblivious online estimator, on both topologies.
-
-use mdr::prelude::*;
-use mdr_bench::{cairn_setup, figure_run_config, net1_setup, Figure, CAIRN_RATE, NET1_RATE};
+//! Ablation — marginal-delay estimation technique (see figures::ablation_estimator).
 
 fn main() {
-    let mut fig = Figure::new(
-        "ablation_estimator",
-        "Mean delay (ms): closed-form M/M/1 vs capacity-oblivious online estimator",
-        vec!["M/M/1 (capacity known)".into(), "PA-style (capacity unknown)".into()],
-    );
-    for (name, topo_, flows) in [
-        ("CAIRN", cairn_setup(CAIRN_RATE).0, cairn_setup(CAIRN_RATE).1),
-        ("NET1", net1_setup(NET1_RATE).0, net1_setup(NET1_RATE).1),
-    ] {
-        let mut vals = Vec::new();
-        for est in [EstimatorKind::Mm1, EstimatorKind::Pa] {
-            let scheme = Scheme::Mp { t_long: 10.0, t_short: 2.0, estimator: est };
-            let r = mdr::run(&topo_, &flows, scheme, figure_run_config()).expect("run");
-            println!("{name} {est:?}: MP {:.3} ms", r.mean_delay_ms);
-            vals.push(r.mean_delay_ms);
-        }
-        fig.add_series(name, vals);
-    }
-    fig.note(
-        "CAIRN: estimator-agnostic (within ~1%). NET1 sits at a knife-edge load where the \
-PA-style estimator's noisier costs lose a few ms versus the closed form — consistent \
-with the paper's caveat that 'some methods may be better than others'."
-            .into(),
-    );
-    fig.finish();
+    mdr_bench::figures::ablation_estimator();
 }

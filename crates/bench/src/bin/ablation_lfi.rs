@@ -1,114 +1,5 @@
-//! Ablation: the LFI conditions (Theorem 1 / Theorem 3).
-//!
-//! Runs the *same* link-state machinery with and without MPDA's
-//! feasible-distance synchronization, under identical randomized
-//! link-cost churn and failures, and counts how often the global
-//! successor graph contains a loop:
-//!
-//! * **MPDA** (Eq. 17, `D^i_jk < FD^i_j`) — must show **zero** loops at
-//!   every instant (the Safety property);
-//! * **PDA** (Eq. 14, `D^i_jk < D^i_j`, no synchronization) — forms
-//!   transient loops, which is exactly why the paper needs the LFI
-//!   machinery.
-
-use mdr::prelude::*;
-use mdr_bench::Figure;
-use mdr_routing::{lfi, Harness};
-use mdr_net::topo;
+//! Ablation — the LFI conditions (see figures::ablation_lfi).
 
 fn main() {
-    let mut fig = Figure::new(
-        "ablation_lfi",
-        "Transient routing loops with and without the LFI conditions",
-        vec!["deliveries".into(), "loop observations".into(), "loop rate %".into()],
-    );
-    let t = topo::random_connected(16, 3.5, 1e7, 0.001, 99);
-    let cost = |a: NodeId, b: NodeId, salt: u32| {
-        1.0 + ((a.0.wrapping_mul(2654435761) ^ b.0.wrapping_mul(40503) ^ salt) % 90) as f64 / 10.0
-    };
-    let links: Vec<_> = t.links().to_vec();
-
-    // --- MPDA arm ---
-    let mut h = Harness::mpda(&t, |a, b| cost(a, b, 0), 5);
-    assert!(h.run_to_quiescence(2_000_000));
-    for (round, l) in links.iter().cycle().take(120).enumerate() {
-        h.change_cost(l.from, l.to, cost(l.from, l.to, round as u32 + 1));
-    }
-    let n = t.node_count();
-    let (steps, loops) = {
-        let mut steps = 0u64;
-        let mut loops = 0u64;
-        loop {
-            if lfi::check_loop_freedom(&h.routers).is_err() {
-                loops += 1;
-            }
-            if !h.step() {
-                break;
-            }
-            steps += 1;
-        }
-        (steps, loops)
-    };
-    println!("MPDA (LFI on):  {steps} deliveries, {loops} loop observations");
-    fig.add_series(
-        "MPDA (LFI on)",
-        vec![steps as f64, loops as f64, 100.0 * loops as f64 / steps.max(1) as f64],
-    );
-    assert_eq!(loops, 0, "Theorem 3 violated");
-
-    // --- PDA arm: identical churn, Eq. 14 successors ---
-    let mut h = Harness::pda(&t, |a, b| cost(a, b, 0), 5);
-    assert!(h.run_to_quiescence(2_000_000));
-    for (round, l) in links.iter().cycle().take(120).enumerate() {
-        h.change_cost(l.from, l.to, cost(l.from, l.to, round as u32 + 1));
-    }
-    let succ_snapshot = |h: &Harness<mdr_routing::PdaRouter>| -> Vec<Vec<Vec<NodeId>>> {
-        (0..n as u32)
-            .map(|j| {
-                h.routers
-                    .iter()
-                    .map(|r| r.successors(NodeId(j)))
-                    .collect()
-            })
-            .collect()
-    };
-    let (steps, loops) = {
-        let mut steps = 0u64;
-        let mut loops = 0u64;
-        loop {
-            let snap = succ_snapshot(&h);
-            let mut looped = false;
-            for j in 0..n {
-                if lfi::find_cycle(n, |i| snap[j][i.index()].as_slice()).is_some() {
-                    looped = true;
-                    break;
-                }
-            }
-            if looped {
-                loops += 1;
-            }
-            if !h.step() {
-                break;
-            }
-            steps += 1;
-        }
-        (steps, loops)
-    };
-    println!("PDA (LFI off):  {steps} deliveries, {loops} loop observations");
-    // Sanity: at quiescence Eq. 14 gives a DAG again (Theorem 2), so the
-    // loop observations above are genuinely *transient*.
-    h.assert_converged();
-    let snap = succ_snapshot(&h);
-    for j in 0..n {
-        assert!(
-            lfi::find_cycle(n, |i| snap[j][i.index()].as_slice()).is_none(),
-            "PDA still looping at quiescence for destination {j}"
-        );
-    }
-    fig.add_series(
-        "PDA (LFI off)",
-        vec![steps as f64, loops as f64, 100.0 * loops as f64 / steps.max(1) as f64],
-    );
-    fig.note("identical topology, costs, churn script and delivery schedule for both arms".into());
-    fig.finish();
+    mdr_bench::figures::ablation_lfi();
 }

@@ -1,42 +1,5 @@
-//! Ablation: traffic burstiness vs the M/M/1 design assumption (§4.3).
-//!
-//! The delay model and the closed-form estimator assume exponential
-//! packet lengths. This ablation re-runs the NET1 comparison with
-//! deterministic (M/D/1-like, smoother) and bimodal (burstier) packet
-//! lengths: the *relative* ordering MP < SP must survive model
-//! mismatch, even as absolute delays shift — the paper's robustness
-//! argument for the framework.
-
-use mdr::prelude::*;
-use mdr_bench::{net1_setup, Figure, NET1_RATE};
+//! Ablation — traffic burstiness vs the M/M/1 assumption (see figures::ablation_traffic).
 
 fn main() {
-    let (t, flows, _) = net1_setup(NET1_RATE * 0.96); // just off the knife edge
-    let traffic = TrafficMatrix::from_flows(&t, &flows).expect("traffic");
-    let dists = [PacketDist::Deterministic, PacketDist::Exponential, PacketDist::Bimodal];
-    let mut fig = Figure::new(
-        "ablation_traffic",
-        "Mean delay (ms) under packet-length model mismatch (NET1)",
-        dists.iter().map(|d| format!("{d:?}")).collect(),
-    );
-    for (label, mode) in [("MP-TL-10-TS-2", Mode::Multipath), ("SP-TL-10", Mode::SinglePath)] {
-        let mut vals = Vec::new();
-        for dist in dists {
-            let cfg = SimConfig {
-                mode,
-                packet_dist: dist,
-                warmup: 30.0,
-                duration: 60.0,
-                seed: 7,
-                ..Default::default()
-            };
-            let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
-            let r = sim.run();
-            println!("{label} {dist:?}: {:.3} ms", r.mean_delay_ms());
-            vals.push(r.mean_delay_ms());
-        }
-        fig.add_series(label, vals);
-    }
-    fig.note("MP's advantage must survive the M/M/1 model mismatch in both directions".into());
-    fig.finish();
+    mdr_bench::figures::ablation_traffic();
 }

@@ -1,50 +1,92 @@
-//! Run every figure/experiment binary in sequence (the one-shot
-//! reproduction driver). Equivalent to executing each `fig*`,
-//! `dynamic_traffic`, `link_failure`, `convergence`, `load_sweep` and
-//! `ablation_*` binary; results land under `results/`.
+//! Run every figure/experiment in-process (the one-shot reproduction
+//! driver), timing each one and recording simulator throughput.
+//!
+//! Results land under `results/` as before; in addition a
+//! `BENCH_sim.json` is written beside `results/` with, per experiment:
+//! wall-clock seconds, discrete events simulated, and events/second.
+//! Pass experiment names (substrings) as arguments to run a subset,
+//! e.g. `all_figures fig9 fig10`.
 
-use std::process::Command;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchRow {
+    name: String,
+    wall_s: f64,
+    sim_events: u64,
+    events_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    /// Worker threads the batch APIs used (`RAYON_NUM_THREADS` or the
+    /// machine's available parallelism).
+    threads: usize,
+    total_wall_s: f64,
+    total_sim_events: u64,
+    events_per_s: f64,
+    experiments: Vec<BenchRow>,
+}
 
 fn main() {
-    let bins = [
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig14",
-        "dynamic_traffic",
-        "link_failure",
-        "convergence",
-        "load_sweep",
-        "ablation_lfi",
-        "ablation_ah",
-        "ablation_estimator",
-        "ablation_traffic",
-        "extension_dv",
-    ];
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
-    let mut failed = Vec::new();
-    for bin in bins {
-        println!("\n########## {bin} ##########");
-        let status = Command::new(exe_dir.join(bin)).status();
-        match status {
-            Ok(s) if s.success() => {}
-            other => {
-                eprintln!("{bin} failed: {other:?}");
-                failed.push(bin);
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let threads = mdr::sim::par::num_threads();
+    let mut rows = Vec::new();
+    let t0 = Instant::now();
+    for exp in mdr_bench::figures::all() {
+        if !filters.is_empty() && !filters.iter().any(|f| exp.name.contains(f.as_str())) {
+            continue;
+        }
+        println!("\n########## {} ##########", exp.name);
+        let ev0 = mdr_bench::sim_events();
+        let start = Instant::now();
+        (exp.run)();
+        let wall_s = start.elapsed().as_secs_f64();
+        let sim_events = mdr_bench::sim_events() - ev0;
+        let events_per_s = sim_events as f64 / wall_s.max(1e-9);
+        println!(
+            "[{}] wall {:.2} s, {} simulator events ({:.3} M events/s)",
+            exp.name,
+            wall_s,
+            sim_events,
+            events_per_s / 1e6
+        );
+        rows.push(BenchRow { name: exp.name.to_string(), wall_s, sim_events, events_per_s });
+    }
+    if rows.is_empty() && !filters.is_empty() {
+        eprintln!("error: no experiment matches {:?}", filters);
+        eprintln!(
+            "available: {}",
+            mdr_bench::figures::all().iter().map(|e| e.name).collect::<Vec<_>>().join(" ")
+        );
+        std::process::exit(2);
+    }
+    let total_wall_s = t0.elapsed().as_secs_f64();
+    let total_sim_events = mdr_bench::sim_events();
+    let report = BenchReport {
+        threads,
+        total_wall_s,
+        total_sim_events,
+        events_per_s: total_sim_events as f64 / total_wall_s.max(1e-9),
+        experiments: rows,
+    };
+    let path = mdr_bench::results_dir().join("../BENCH_sim.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("\nbenchmark summary written to {}", path.display());
             }
         }
+        Err(e) => eprintln!("warning: could not serialize benchmark summary: {e}"),
     }
-    if failed.is_empty() {
-        println!("\nall experiments completed; see results/*.json");
-    } else {
-        eprintln!("\nFAILED: {failed:?}");
-        std::process::exit(1);
-    }
+    println!(
+        "all experiments completed in {:.1} s on {} thread(s) ({} events, {:.3} M events/s); see results/*.json",
+        total_wall_s,
+        threads,
+        total_sim_events,
+        total_sim_events as f64 / total_wall_s.max(1e-9) / 1e6
+    );
 }

@@ -1,78 +1,5 @@
-//! Theorems 2–4 — MPDA convergence behaviour and the complexity claim.
-//!
-//! Measures, across random topologies of growing size: messages and
-//! events to converge from cold boot, and to reconverge after a single
-//! link-cost change and a single link failure. The paper's claim: "the
-//! complexity of implementing our routing framework is similar to the
-//! complexity of routing protocols that provide single-path routing"
-//! — MPDA's message counts must scale like a link-state protocol's, not
-//! like a diffusing computation spanning the network.
-
-use mdr::prelude::*;
-use mdr_bench::Figure;
-use mdr_routing::Harness;
+//! Theorems 2–4 — MPDA convergence cost vs network size (see figures::convergence).
 
 fn main() {
-    let mut fig = Figure::new(
-        "convergence",
-        "MPDA convergence cost vs network size (random topologies, avg degree 3.5)",
-        vec![
-            "boot msgs/node".into(),
-            "boot msgs/link".into(),
-            "cost-change msgs/node".into(),
-            "failure msgs/node".into(),
-        ],
-    );
-    let sizes = [8usize, 16, 32, 64];
-    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for &n in &sizes {
-        let mut boot_n = 0.0;
-        let mut boot_l = 0.0;
-        let mut chg = 0.0;
-        let mut fail = 0.0;
-        let trials = 5;
-        for trial in 0..trials {
-            let t = topo::random_connected(n, 3.5, 1e7, 0.001, 1000 + trial);
-            let mut h = Harness::mpda(&t, |a, b| 1.0 + ((a.0 * 13 + b.0 * 7) % 10) as f64, trial);
-            assert!(h.run_to_quiescence(10_000_000));
-            h.assert_converged();
-            h.assert_loop_free();
-            let boot = h.delivered();
-            boot_n += boot as f64 / n as f64 / trials as f64;
-            boot_l += boot as f64 / t.link_count() as f64 / trials as f64;
-
-            let l = t.links()[0];
-            h.change_cost(l.from, l.to, 25.0);
-            let before = h.delivered();
-            assert!(h.run_to_quiescence(10_000_000));
-            h.assert_converged();
-            chg += (h.delivered() - before) as f64 / n as f64 / trials as f64;
-
-            // Fail a link whose removal keeps the graph connected (the
-            // random generator starts from a spanning tree built over
-            // links 0..n-1, so later extra links are safe to cut).
-            if t.link_count() / 2 > n {
-                let extra = t.links().last().copied().unwrap();
-                let before = h.delivered();
-                h.fail_link(extra.from, extra.to);
-                assert!(h.run_to_quiescence(10_000_000));
-                h.assert_converged();
-                h.assert_loop_free();
-                fail += (h.delivered() - before) as f64 / n as f64 / trials as f64;
-            }
-        }
-        println!(
-            "n={n:>3}: boot {boot_n:8.1} msgs/node ({boot_l:6.2} msgs/link)   cost-change {chg:7.2} msgs/node   failure {fail:7.2} msgs/node"
-        );
-        rows[0].push(boot_n);
-        rows[1].push(boot_l);
-        rows[2].push(chg);
-        rows[3].push(fail);
-    }
-    // Transpose into the figure (series = sizes).
-    for (i, &n) in sizes.iter().enumerate() {
-        fig.add_series(&format!("n={n}"), rows.iter().map(|r| r[i]).collect());
-    }
-    fig.note("messages counted per router; single perturbations settle in O(1) messages/node".into());
-    fig.finish();
+    mdr_bench::figures::convergence();
 }

@@ -1,63 +1,5 @@
-//! §5 prose — "the average delays achieved via our approximation scheme
-//! … are significantly better than single-path routing in a dynamic
-//! environment."
-//!
-//! One flow (sri → mit) doubles its offered rate for a 30-second burst
-//! while the rest of the network carries its base load. MP absorbs the
-//! burst by spreading the extra traffic over its loop-free multipaths
-//! (AH works at the `T_s` cadence with purely local measurements); SP
-//! must carry it single-path until its next long-term update, and then
-//! moves the whole flow at once.
-
-use mdr::prelude::*;
-use mdr_bench::{cairn_setup, Figure};
+//! §5 prose — MP vs SP under a traffic burst (see figures::dynamic_traffic).
 
 fn main() {
-    let base = 2_500_000.0;
-    let (t, flows, labels) = cairn_setup(base);
-    let scen = Scenario::new()
-        .at(60.0, ScenarioEvent::SetFlowRate { flow: 4, rate: base * 2.0 })
-        .at(90.0, ScenarioEvent::SetFlowRate { flow: 4, rate: base });
-    let cfg = RunConfig { warmup: 30.0, duration: 90.0, seed: 7, mean_packet_bits: 1000.0 };
-
-    let mut fig = Figure::new(
-        "dynamic_traffic",
-        "MP vs SP under a traffic burst in CAIRN (sri->mit doubles during t in [60, 90) s)",
-        labels,
-    );
-    for scheme in [Scheme::mp(10.0, 2.0), Scheme::sp(10.0)] {
-        let r = mdr::run_with_scenario(&t, &flows, scheme, cfg, &scen).expect("run");
-        let rep = r.report.as_ref().expect("simulated scheme");
-        let mut sum = 0.0;
-        let mut cnt = 0u32;
-        for fi in 0..flows.len() {
-            for (b, v) in rep.series.series(fi).iter().enumerate() {
-                if (60..90).contains(&b) {
-                    if let Some(x) = v {
-                        sum += x;
-                        cnt += 1;
-                    }
-                }
-            }
-        }
-        let worst_p99 = rep
-            .flows
-            .iter()
-            .map(|f| f.percentile(0.99))
-            .fold(0.0f64, f64::max);
-        fig.note(format!(
-            "{}: during-burst mean {:.2} ms (overall {:.2} ms, worst-flow p99 {:.1} ms)",
-            r.label,
-            sum / cnt.max(1) as f64 * 1000.0,
-            r.mean_delay_ms,
-            worst_p99 * 1000.0
-        ));
-        fig.add_series(&r.label, r.per_flow_delay_ms.clone());
-    }
-    fig.note(
-        "paper claim: MP significantly better than SP in dynamic environments — here MP's \
-during-burst delays are roughly half of SP's"
-            .to_string(),
-    );
-    fig.finish();
+    mdr_bench::figures::dynamic_traffic();
 }

@@ -1,126 +1,5 @@
-//! Extension experiment: the two LFI instantiations compared.
-//!
-//! MPDA (link-state) and MDVP (distance-vector) implement the same
-//! framework — same feasible-distance discipline, same successor sets.
-//! This experiment quantifies the classic protocol tradeoff between
-//! them on random topologies: messages to converge from cold boot and
-//! to absorb one link-cost change, and verifies state equality at
-//! convergence.
-
-use mdr::prelude::*;
-use mdr_bench::Figure;
-use mdr_routing::dv;
-use std::collections::BTreeMap;
-
-/// Integer costs: path sums are exact in f64, so the two protocols'
-/// strict `<` successor comparisons cannot be split by 1-ulp summation
-/// differences (they sum path costs in different orders).
-fn cost(a: NodeId, b: NodeId, salt: u32) -> f64 {
-    1.0 + ((a.0.wrapping_mul(97) ^ b.0.wrapping_mul(31) ^ salt) % 9) as f64
-}
-
-/// Converge a DV network FIFO round-robin; returns (routers, messages).
-fn run_dv(t: &Topology, salt: u32) -> (Vec<DvRouter>, u64) {
-    let n = t.node_count();
-    let mut routers: Vec<DvRouter> = (0..n).map(|i| DvRouter::new(NodeId(i as u32), n)).collect();
-    let mut queue: Vec<(NodeId, NodeId, DvMessage)> = Vec::new();
-    for l in t.links() {
-        let out = routers[l.from.index()]
-            .handle(DvEvent::LinkUp { to: l.to, cost: cost(l.from, l.to, salt) });
-        for (to, m) in out.sends {
-            queue.push((l.from, to, m));
-        }
-    }
-    let mut msgs = 0u64;
-    while !queue.is_empty() {
-        let (from, to, msg) = queue.remove(0);
-        msgs += 1;
-        assert!(msgs < 10_000_000);
-        let out = routers[to.index()].handle(DvEvent::Message { from, msg });
-        for (t2, m2) in out.sends {
-            queue.push((to, t2, m2));
-        }
-        assert!(dv::dv_loop_free(&routers));
-    }
-    (routers, msgs)
-}
-
-/// Feed one cost change into a converged DV network; count messages.
-fn dv_change(routers: &mut [DvRouter], from: NodeId, to: NodeId, c: f64) -> u64 {
-    let mut queue: Vec<(NodeId, NodeId, DvMessage)> = Vec::new();
-    let out = routers[from.index()].handle(DvEvent::LinkCost { to, cost: c });
-    for (t2, m2) in out.sends {
-        queue.push((from, t2, m2));
-    }
-    let mut msgs = 0u64;
-    while !queue.is_empty() {
-        let (f2, t2, msg) = queue.remove(0);
-        msgs += 1;
-        assert!(msgs < 10_000_000);
-        let out = routers[t2.index()].handle(DvEvent::Message { from: f2, msg });
-        for (t3, m3) in out.sends {
-            queue.push((t2, t3, m3));
-        }
-    }
-    msgs
-}
+//! Extension — MPDA vs MDVP message complexity (see figures::extension_dv).
 
 fn main() {
-    let mut fig = Figure::new(
-        "extension_dv",
-        "LFI over link state (MPDA) vs distance vectors (MDVP): messages to converge",
-        vec![
-            "boot msgs/node (MPDA)".into(),
-            "boot msgs/node (MDVP)".into(),
-            "cost-change msgs/node (MPDA)".into(),
-            "cost-change msgs/node (MDVP)".into(),
-        ],
-    );
-    let sizes = [8usize, 16, 32];
-    let mut per_size: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
-    for &n in &sizes {
-        let trials = 5u64;
-        let mut acc = [0.0f64; 4];
-        for trial in 0..trials {
-            let t = topo::random_connected(n, 3.5, 1e7, 0.001, 2000 + trial);
-            // MPDA arm via the routing harness.
-            let mut h = mdr_routing::Harness::mpda(&t, |a, b| cost(a, b, trial as u32), trial);
-            assert!(h.run_to_quiescence(10_000_000));
-            h.assert_converged();
-            acc[0] += h.delivered() as f64 / n as f64 / trials as f64;
-            // MDVP arm.
-            let (mut dvs, boot) = run_dv(&t, trial as u32);
-            acc[1] += boot as f64 / n as f64 / trials as f64;
-            // State equality at convergence.
-            for i in 0..n {
-                for j in 0..n as u32 {
-                    let j = NodeId(j);
-                    let a = dvs[i].distance(j);
-                    let b = h.routers[i].distance(j);
-                    assert!(
-                        (a - b).abs() < 1e-9 || (a > 1e15 && b > 1e15),
-                        "distance mismatch ({i},{j})"
-                    );
-                    assert_eq!(dvs[i].successors(j), h.routers[i].successors(j));
-                }
-            }
-            // One cost change on each.
-            let l = t.links()[0];
-            let before = h.delivered();
-            h.change_cost(l.from, l.to, 42.0);
-            assert!(h.run_to_quiescence(10_000_000));
-            acc[2] += (h.delivered() - before) as f64 / n as f64 / trials as f64;
-            acc[3] += dv_change(&mut dvs, l.from, l.to, 42.0) as f64 / n as f64 / trials as f64;
-        }
-        println!(
-            "n={n:>3}: boot MPDA {:.1} vs MDVP {:.1} msgs/node; cost-change MPDA {:.2} vs MDVP {:.2}",
-            acc[0], acc[1], acc[2], acc[3]
-        );
-        per_size.insert(n, acc.to_vec());
-    }
-    for (&n, acc) in &per_size {
-        fig.add_series(&format!("n={n}"), acc.clone());
-    }
-    fig.note("identical distances and successor sets verified at every convergence".into());
-    fig.finish();
+    mdr_bench::figures::extension_dv();
 }

@@ -1,22 +1,5 @@
-//! Fig. 10 — "Delays of OPT and MP in NET1".
-//!
-//! The paper's claim: MP-TL-10-TS-2 within an 8% envelope of OPT.
-
-use mdr_bench::{comparison_figure, figure_run_config, net1_setup, NET1_RATE};
-use mdr::prelude::*;
+//! Fig. 10 — delays of OPT and MP in NET1 (see figures::fig10).
 
 fn main() {
-    let (t, flows, labels) = net1_setup(NET1_RATE);
-    let mut fig = comparison_figure(
-        "fig10",
-        "Delays of OPT and MP in NET1 (stationary traffic)",
-        &t,
-        &flows,
-        labels,
-        &[Scheme::opt(), Scheme::mp(10.0, 2.0)],
-        Some(8.0),
-        figure_run_config(),
-    );
-    fig.note(format!("per-flow rate {} Mb/s; paper claim: MP within the OPT+8% envelope", NET1_RATE / 1e6));
-    fig.finish();
+    mdr_bench::figures::fig10();
 }

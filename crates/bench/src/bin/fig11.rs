@@ -1,29 +1,5 @@
-//! Fig. 11 — "Delays of MP and SP in CAIRN".
-//!
-//! The paper's claims: SP delays for some flows are two to four times
-//! those of MP, and even MP-TL-10-TS-10 (no faster short-term cadence
-//! than the long-term one) is much closer to OPT than SP-TL-10.
-
-use mdr_bench::{cairn_setup, comparison_figure, figure_run_config, CAIRN_RATE};
-use mdr::prelude::*;
+//! Fig. 11 — delays of MP and SP in CAIRN (see figures::fig11).
 
 fn main() {
-    let (t, flows, labels) = cairn_setup(CAIRN_RATE);
-    let mut fig = comparison_figure(
-        "fig11",
-        "Delays of MP and SP in CAIRN",
-        &t,
-        &flows,
-        labels,
-        &[
-            Scheme::opt(),
-            Scheme::mp(10.0, 10.0),
-            Scheme::mp(10.0, 2.0),
-            Scheme::sp(10.0),
-        ],
-        None,
-        figure_run_config(),
-    );
-    fig.note("paper claim: SP delays for some flows are 2-4x those of MP".to_string());
-    fig.finish();
+    mdr_bench::figures::fig11();
 }

@@ -1,28 +1,5 @@
-//! Fig. 12 — "Delays of MP and SP in NET1".
-//!
-//! The paper's claim: with NET1's higher connectivity, SP delays reach
-//! five to six times those of MP for some flows.
-
-use mdr_bench::{comparison_figure, figure_run_config, net1_setup, NET1_RATE};
-use mdr::prelude::*;
+//! Fig. 12 — delays of MP and SP in NET1 (see figures::fig12).
 
 fn main() {
-    let (t, flows, labels) = net1_setup(NET1_RATE);
-    let mut fig = comparison_figure(
-        "fig12",
-        "Delays of MP and SP in NET1",
-        &t,
-        &flows,
-        labels,
-        &[
-            Scheme::opt(),
-            Scheme::mp(10.0, 10.0),
-            Scheme::mp(10.0, 2.0),
-            Scheme::sp(10.0),
-        ],
-        None,
-        figure_run_config(),
-    );
-    fig.note("paper claim: SP delays for some flows are 5-6x those of MP (higher connectivity than CAIRN)".to_string());
-    fig.finish();
+    mdr_bench::figures::fig12();
 }

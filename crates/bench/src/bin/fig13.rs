@@ -1,31 +1,5 @@
-//! Fig. 13 — effect of the tuning parameter `T_l` in CAIRN.
-//!
-//! The paper's claim (§5.2): "when T_l is increased from 10 to 20
-//! seconds, the delays in SP have more than doubled, while the delays of
-//! MP remain relatively unchanged" — MP's local load balancing buys
-//! insensitivity to the long-term update period.
-
-use mdr_bench::{cairn_setup, comparison_figure_seeds, figure_run_config, CAIRN_RATE};
-use mdr::prelude::*;
+//! Fig. 13 — effect of T_l in CAIRN (see figures::fig13).
 
 fn main() {
-    let (t, flows, labels) = cairn_setup(CAIRN_RATE);
-    let cfg = mdr::RunConfig { duration: 120.0, ..figure_run_config() };
-    let mut fig = comparison_figure_seeds(
-        "fig13",
-        "Effect of T_l on MP and SP in CAIRN",
-        &t,
-        &flows,
-        labels,
-        &[
-            Scheme::mp(10.0, 2.0),
-            Scheme::mp(20.0, 2.0),
-            Scheme::sp(10.0),
-            Scheme::sp(20.0),
-        ],
-        cfg,
-        &[1, 7, 13, 21],
-    );
-    fig.note("paper claim: T_l 10->20 s more than doubles SP delays; MP nearly unchanged".to_string());
-    fig.finish();
+    mdr_bench::figures::fig13();
 }

@@ -1,35 +1,5 @@
-//! Fig. 14 — effect of the tuning parameter `T_l` in NET1 (same claim
-//! as Fig. 13, on the higher-connectivity topology).
-
-use mdr_bench::{comparison_figure_seeds, figure_run_config, net1_setup, NET1_RATE};
-use mdr::prelude::*;
+//! Fig. 14 — effect of T_l in NET1 (see figures::fig14).
 
 fn main() {
-    let (t, flows, labels) = net1_setup(NET1_RATE);
-    let cfg = mdr::RunConfig { duration: 120.0, ..figure_run_config() };
-    let mut fig = comparison_figure_seeds(
-        "fig14",
-        "Effect of T_l on MP and SP in NET1",
-        &t,
-        &flows,
-        labels,
-        &[
-            Scheme::mp(10.0, 2.0),
-            Scheme::mp(20.0, 2.0),
-            Scheme::sp(10.0),
-            Scheme::sp(20.0),
-        ],
-        cfg,
-        &[1, 7, 13, 21],
-    );
-    fig.note("paper claim: SP delays grow significantly with T_l; MP delays change negligibly".to_string());
-    fig.note(
-        "reproduction note: MP's insensitivity reproduces; SP's T_l sensitivity does NOT on \
-our NET1 reconstruction — its waist makes SP's delay a function of waist utilization \
-alone, so route staleness is inconsequential. The published constraints (degrees 3-5, \
-diameter 4) do not pin down the asymmetric-alternative structure the SP effect needs; \
-see fig13 (CAIRN), where the effect reproduces cleanly."
-            .to_string(),
-    );
-    fig.finish();
+    mdr_bench::figures::fig14();
 }

@@ -1,52 +1,5 @@
-//! Fig. 8 — the evaluation topologies.
-//!
-//! Prints the CAIRN and NET1 adjacency and verifies the published
-//! structural constraints (NET1: hop diameter 4, degrees 3–5; CAIRN:
-//! 10 Mb/s capacity cap, all §5 flow endpoints present).
-
-use mdr::prelude::*;
-
-fn dump(name: &str, t: &Topology) {
-    println!("== {name}: {} nodes, {} directed links ==", t.node_count(), t.link_count());
-    for n in t.nodes() {
-        let nbrs: Vec<String> = t.neighbors(n).map(|k| t.name(k).to_string()).collect();
-        println!("  {:<8} deg {}: {}", t.name(n), t.degree(n), nbrs.join(", "));
-    }
-    println!("  hop diameter: {:?}", t.diameter());
-    println!();
-}
+//! Fig. 8 — the evaluation topologies (structural checks; see figures::fig8).
 
 fn main() {
-    let cairn = topo::cairn();
-    dump("CAIRN (reconstruction)", &cairn);
-    assert!(cairn.is_connected());
-    assert!(cairn.links().iter().all(|l| l.capacity <= topo::EVAL_CAPACITY));
-    for (s, d) in topo::cairn_flow_pairs(&cairn) {
-        assert_ne!(s, d);
-    }
-    println!(
-        "CAIRN flows: {}",
-        topo::cairn_flow_pairs(&cairn)
-            .iter()
-            .map(|(s, d)| format!("({},{})", cairn.name(*s), cairn.name(*d)))
-            .collect::<Vec<_>>()
-            .join(" ")
-    );
-    println!();
-
-    let net1 = topo::net1();
-    dump("NET1 (reconstruction)", &net1);
-    assert_eq!(net1.diameter(), Some(4), "paper: diameter four");
-    for n in net1.nodes() {
-        assert!((3..=5).contains(&net1.degree(n)), "paper: degrees 3-5");
-    }
-    println!(
-        "NET1 flows: {}",
-        topo::net1_flow_pairs()
-            .iter()
-            .map(|(s, d)| format!("({s},{d})"))
-            .collect::<Vec<_>>()
-            .join(" ")
-    );
-    println!("\nall Fig. 8 structural constraints verified");
+    mdr_bench::figures::fig8();
 }

@@ -1,23 +1,5 @@
-//! Fig. 9 — "Delays of OPT and MP in CAIRN".
-//!
-//! The paper's claim: the per-flow average delays of MP-TL-10-TS-2 stay
-//! within a 5% envelope of OPT under stationary traffic.
-
-use mdr_bench::{cairn_setup, comparison_figure, figure_run_config, CAIRN_RATE};
-use mdr::prelude::*;
+//! Fig. 9 — delays of OPT and MP in CAIRN (see figures::fig9).
 
 fn main() {
-    let (t, flows, labels) = cairn_setup(CAIRN_RATE);
-    let mut fig = comparison_figure(
-        "fig9",
-        "Delays of OPT and MP in CAIRN (stationary traffic)",
-        &t,
-        &flows,
-        labels,
-        &[Scheme::opt(), Scheme::mp(10.0, 2.0)],
-        Some(5.0),
-        figure_run_config(),
-    );
-    fig.note(format!("per-flow rate {} Mb/s; paper claim: MP within the OPT+5% envelope", CAIRN_RATE / 1e6));
-    fig.finish();
+    mdr_bench::figures::fig9();
 }

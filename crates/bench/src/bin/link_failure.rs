@@ -1,69 +1,5 @@
-//! §5 prose — "In the presence of link failures, MP can only perform
-//! better than SP, because of availability of alternate paths."
-//!
-//! Fails one of CAIRN's cross-country trunks mid-run (the worst possible
-//! single failure for the measured flows), restores it later, and
-//! compares MP and SP delays plus packet losses across the episode.
-
-use mdr::prelude::*;
-use mdr_bench::{cairn_setup, Figure, CAIRN_RATE};
+//! §5 prose — MP vs SP across a trunk failure (see figures::link_failure).
 
 fn main() {
-    // Slightly lighter than the figure load so the surviving trunk can
-    // carry the detoured traffic at all — the failure halves the
-    // cross-country capacity.
-    let (t, flows, labels) = cairn_setup(CAIRN_RATE * 0.8);
-    let sri = t.node_by_name("sri").unwrap();
-    let mci = t.node_by_name("mci-r").unwrap();
-    let scen = Scenario::new()
-        .at(60.0, ScenarioEvent::FailLink { a: sri, b: mci })
-        .at(90.0, ScenarioEvent::RestoreLink { a: sri, b: mci });
-    let cfg = RunConfig { warmup: 30.0, duration: 90.0, seed: 7, mean_packet_bits: 1000.0 };
-
-    let mut fig = Figure::new(
-        "link_failure",
-        "MP vs SP across a trunk failure (sri--mci-r down for t in [60, 90) s)",
-        labels,
-    );
-    for scheme in [Scheme::mp(10.0, 2.0), Scheme::sp(10.0)] {
-        let r = mdr::run_with_scenario(&t, &flows, scheme, cfg, &scen).expect("run");
-        let rep = r.report.as_ref().expect("simulated scheme");
-        // Mean delay inside the failure window [60, 90) s.
-        let mut sum = 0.0;
-        let mut cnt = 0u32;
-        for fi in 0..flows.len() {
-            for (b, v) in rep.series.series(fi).iter().enumerate() {
-                if (60..90).contains(&b) {
-                    if let Some(x) = v {
-                        sum += x;
-                        cnt += 1;
-                    }
-                }
-            }
-        }
-        let worst_p99 = rep
-            .flows
-            .iter()
-            .map(|f| f.percentile(0.99))
-            .fold(0.0f64, f64::max);
-        fig.note(format!(
-            "{}: during-failure mean {:.2} ms (worst-flow p99 {:.1} ms); delivered {} dropped {} (ttl drops {})",
-            r.label,
-            sum / cnt.max(1) as f64 * 1000.0,
-            worst_p99 * 1000.0,
-            rep.delivered,
-            rep.dropped,
-            rep.flows.iter().map(|f| f.dropped_ttl).sum::<u64>()
-        ));
-        fig.add_series(&r.label, r.per_flow_delay_ms.clone());
-    }
-    fig.note(
-        "reproduction note: the paper's claim is qualitative (MP 'can only perform better'). \
-In our setup both schemes ride on MPDA's instantaneous loop-free reroute, and failing one \
-of CAIRN's two trunks leaves no alternate cross-country paths to split over, so MP and SP \
-recover equally well (a few hundred in-flight packets lost out of millions); MP is never \
-worse, which is the claim."
-            .to_string(),
-    );
-    fig.finish();
+    mdr_bench::figures::link_failure();
 }

@@ -1,61 +1,5 @@
-//! Load sweep: mean delays of OPT / MP / SP on both topologies across
-//! per-flow offered rates. Not a paper figure per se, but it locates the
-//! operating points the figures use and verifies the crossover claim of
-//! §5.1 ("When connectivity is low or network load is light, MP routing
-//! cannot offer any advantage over SP").
-
-use mdr::prelude::*;
-use mdr_bench::{cairn_setup, mean, net1_setup, Figure};
-
-fn sweep(name: &str, topo: &Topology, base_flows: &[Flow], rates: &[f64]) {
-    let mut fig = Figure::new(
-        &format!("load_sweep_{name}"),
-        &format!("Mean delay (ms) vs per-flow rate on {name}"),
-        rates.iter().map(|r| format!("{:.1} Mb/s", r / 1e6)).collect(),
-    );
-    let cfg = RunConfig { warmup: 20.0, duration: 30.0, seed: 7, mean_packet_bits: 1000.0 };
-    let mut opt_v = Vec::new();
-    let mut mp_v = Vec::new();
-    let mut sp_v = Vec::new();
-    for &rate in rates {
-        let flows: Vec<Flow> =
-            base_flows.iter().map(|f| Flow::new(f.src, f.dst, rate)).collect();
-        let opt = mdr::run(topo, &flows, Scheme::opt(), cfg).expect("opt");
-        let mp = mdr::run(topo, &flows, Scheme::mp(10.0, 2.0), cfg).expect("mp");
-        let sp = mdr::run(topo, &flows, Scheme::sp(10.0), cfg).expect("sp");
-        println!(
-            "{name} rate {:>5.2} Mb/s: OPT {:>8.3} ms   MP {:>8.3} ms   SP {:>8.3} ms   (MP/OPT {:.2}, SP/MP {:.2})",
-            rate / 1e6,
-            opt.mean_delay_ms,
-            mp.mean_delay_ms,
-            sp.mean_delay_ms,
-            mp.mean_delay_ms / opt.mean_delay_ms,
-            sp.mean_delay_ms / mp.mean_delay_ms
-        );
-        opt_v.push(opt.mean_delay_ms);
-        mp_v.push(mp.mean_delay_ms);
-        sp_v.push(sp.mean_delay_ms);
-    }
-    fig.add_series("OPT", opt_v);
-    fig.add_series("MP-TL-10-TS-2", mp_v);
-    fig.add_series("SP-TL-10", sp_v.clone());
-    let _ = mean(&sp_v);
-    fig.finish();
-}
+//! Load sweep on both topologies (see figures::load_sweep).
 
 fn main() {
-    let (ct, cf, _) = cairn_setup(1.0);
-    sweep(
-        "cairn",
-        &ct,
-        &cf,
-        &[1_000_000.0, 2_000_000.0, 3_000_000.0, 4_000_000.0, 5_000_000.0, 6_000_000.0],
-    );
-    let (nt, nf, _) = net1_setup(1.0);
-    sweep(
-        "net1",
-        &nt,
-        &nf,
-        &[1_000_000.0, 1_500_000.0, 2_000_000.0, 2_200_000.0, 2_400_000.0, 2_600_000.0, 2_800_000.0, 3_000_000.0],
-    );
+    mdr_bench::figures::load_sweep();
 }

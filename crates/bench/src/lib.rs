@@ -9,6 +9,49 @@ use mdr::prelude::*;
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod figures;
+
+/// Simulator events processed by runs dispatched through this library
+/// (see [`record_sim_events`]) — the throughput numerator of
+/// `BENCH_sim.json`.
+static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Add `n` simulator events to the process-wide counter.
+pub fn record_sim_events(n: u64) {
+    SIM_EVENTS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Simulator events recorded so far in this process.
+pub fn sim_events() -> u64 {
+    SIM_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Run a batch of scheme evaluations in parallel (job order preserved),
+/// panicking on the first error — figure inputs are static, so an error
+/// is a bug — and recording every simulated event into [`sim_events`].
+pub fn run_jobs_recorded(jobs: Vec<RunJob>) -> Vec<RunResult> {
+    run_jobs(jobs)
+        .into_iter()
+        .map(|r| {
+            let r = r.expect("scheme run");
+            if let Some(rep) = &r.report {
+                record_sim_events(rep.events_processed);
+            }
+            r
+        })
+        .collect()
+}
+
+/// Run a batch of raw simulator jobs in parallel, recording events.
+pub fn run_many_recorded(jobs: Vec<SimJob>) -> Vec<SimReport> {
+    let reports = run_many(jobs);
+    for r in &reports {
+        record_sim_events(r.events_processed);
+    }
+    reports
+}
 
 /// Standard simulated durations for figure runs: warm-up long enough to
 /// cover boot convergence and initial balancing, measurement window long
@@ -22,10 +65,7 @@ pub fn figure_run_config() -> RunConfig {
 pub fn cairn_setup(rate: f64) -> (Topology, Vec<Flow>, Vec<String>) {
     let t = topo::cairn();
     let flows = topo::cairn_flows(&t, rate);
-    let labels = flows
-        .iter()
-        .map(|f| format!("{}->{}", t.name(f.src), t.name(f.dst)))
-        .collect();
+    let labels = flows.iter().map(|f| format!("{}->{}", t.name(f.src), t.name(f.dst))).collect();
     (t, flows, labels)
 }
 
@@ -79,13 +119,7 @@ impl Figure {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
-        let w = self
-            .flow_labels
-            .iter()
-            .map(|l| l.len())
-            .max()
-            .unwrap_or(4)
-            .max(7);
+        let w = self.flow_labels.iter().map(|l| l.len()).max().unwrap_or(4).max(7);
         out.push_str(&format!("{:<w$}", "flow", w = w + 2));
         for (label, _) in &self.series {
             out.push_str(&format!("{:>16}", label));
@@ -153,12 +187,8 @@ pub fn mean(xs: &[f64]) -> f64 {
 
 /// Per-flow ratio statistics `a[i] / b[i]` — (min, mean, max).
 pub fn ratio_stats(a: &[f64], b: &[f64]) -> (f64, f64, f64) {
-    let ratios: Vec<f64> = a
-        .iter()
-        .zip(b)
-        .filter(|&(_, &bb)| bb > 0.0)
-        .map(|(&aa, &bb)| aa / bb)
-        .collect();
+    let ratios: Vec<f64> =
+        a.iter().zip(b).filter(|&(_, &bb)| bb > 0.0).map(|(&aa, &bb)| aa / bb).collect();
     if ratios.is_empty() {
         return (0.0, 0.0, 0.0);
     }
@@ -170,6 +200,7 @@ pub fn ratio_stats(a: &[f64], b: &[f64]) -> (f64, f64, f64) {
 /// Run a set of schemes over one setup and assemble the per-flow delay
 /// figure. If `envelope_pct` is given, an `OPT+x%` series is inserted
 /// right after OPT, mirroring the paper's envelope plots (Figs. 9–10).
+#[allow(clippy::too_many_arguments)]
 pub fn comparison_figure(
     id: &str,
     title: &str,
@@ -181,9 +212,10 @@ pub fn comparison_figure(
     cfg: RunConfig,
 ) -> Figure {
     let mut fig = Figure::new(id, title, flow_labels);
+    let jobs: Vec<RunJob> = schemes.iter().map(|&s| RunJob::new(topo, flows, s, cfg)).collect();
+    let results = run_jobs_recorded(jobs);
     let mut opt_delays: Option<Vec<f64>> = None;
-    for scheme in schemes {
-        let r = mdr::run(topo, flows, *scheme, cfg).expect("scheme run");
+    for (scheme, r) in schemes.iter().zip(results) {
         if matches!(scheme, Scheme::Opt { .. }) {
             opt_delays = Some(r.per_flow_delay_ms.clone());
             fig.add_series(&r.label, r.per_flow_delay_ms.clone());
@@ -230,10 +262,17 @@ pub fn comparison_figure_seeds(
     seeds: &[u64],
 ) -> Figure {
     let mut fig = Figure::new(id, title, flow_labels);
-    for scheme in schemes {
+    // One batch over the whole (scheme × seed) grid; results come back
+    // in job order, so chunking by seeds recovers each scheme's runs.
+    let jobs: Vec<RunJob> = schemes
+        .iter()
+        .flat_map(|&scheme| seeds.iter().map(move |&seed| (scheme, seed)))
+        .map(|(scheme, seed)| RunJob::new(topo, flows, scheme, RunConfig { seed, ..cfg }))
+        .collect();
+    let results = run_jobs_recorded(jobs);
+    for (scheme, chunk) in schemes.iter().zip(results.chunks(seeds.len())) {
         let mut acc: Vec<f64> = vec![0.0; flows.len()];
-        for &seed in seeds {
-            let r = mdr::run(topo, flows, *scheme, RunConfig { seed, ..cfg }).expect("run");
+        for r in chunk {
             for (a, v) in acc.iter_mut().zip(&r.per_flow_delay_ms) {
                 *a += v / seeds.len() as f64;
             }

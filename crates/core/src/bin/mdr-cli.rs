@@ -75,9 +75,7 @@ impl Args {
         let mut i = 0;
         while i < rest.len() {
             let key = rest[i].as_str();
-            let val = rest
-                .get(i + 1)
-                .ok_or_else(|| format!("missing value for {key}"))?;
+            let val = rest.get(i + 1).ok_or_else(|| format!("missing value for {key}"))?;
             let fval = || -> Result<f64, String> {
                 val.parse::<f64>().map_err(|_| format!("bad number for {key}: {val:?}"))
             };
@@ -90,8 +88,7 @@ impl Args {
                 "--warmup" => args.warmup = fval()?,
                 "--duration" => args.duration = fval()?,
                 "--seed" => {
-                    args.seed =
-                        val.parse::<u64>().map_err(|_| format!("bad seed {val:?}"))?
+                    args.seed = val.parse::<u64>().map_err(|_| format!("bad seed {val:?}"))?
                 }
                 other => return Err(format!("unknown option {other:?}")),
             }
@@ -120,8 +117,8 @@ impl Args {
             path => {
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| format!("cannot read {path}: {e}"))?;
-                let spec = mdr::net::NetworkSpec::from_json(&text)
-                    .map_err(|e| format!("{path}: {e}"))?;
+                let spec =
+                    mdr::net::NetworkSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
                 spec.build().map_err(|e| format!("{path}: {e}"))
             }
         }
@@ -195,11 +192,9 @@ fn main() -> ExitCode {
             }
         }
         Command::Compare => {
-            for scheme in [
-                Scheme::opt(),
-                Scheme::mp(args.t_long, args.t_short),
-                Scheme::sp(args.t_long),
-            ] {
+            for scheme in
+                [Scheme::opt(), Scheme::mp(args.t_long, args.t_short), Scheme::sp(args.t_long)]
+            {
                 match mdr::run(&t, &flows, scheme, cfg) {
                     Ok(r) => print_result(&t, &flows, &r),
                     Err(e) => {
@@ -224,7 +219,15 @@ mod tests {
     #[test]
     fn parse_run_command() {
         let a = Args::parse(&sv(&[
-            "run", "--network", "cairn", "--rate", "4e6", "--scheme", "sp", "--tl", "20",
+            "run",
+            "--network",
+            "cairn",
+            "--rate",
+            "4e6",
+            "--scheme",
+            "sp",
+            "--tl",
+            "20",
         ]))
         .unwrap();
         assert_eq!(a.command, Command::Run);

@@ -43,4 +43,6 @@ pub use mdr_sim as sim;
 pub mod prelude;
 pub mod scheme;
 
-pub use scheme::{run, run_with_scenario, MdrError, RunConfig, RunResult, Scheme};
+pub use scheme::{
+    run, run_jobs, run_jobs_with, run_with_scenario, MdrError, RunConfig, RunJob, RunResult, Scheme,
+};

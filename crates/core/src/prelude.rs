@@ -1,12 +1,16 @@
 //! Convenience re-exports for applications.
 
-pub use crate::scheme::{run, run_with_scenario, MdrError, RunConfig, RunResult, Scheme};
+pub use crate::scheme::{
+    run, run_jobs, run_jobs_with, run_with_scenario, MdrError, RunConfig, RunJob, RunResult, Scheme,
+};
 pub use mdr_flow::{Allocator, Mode, SuccessorCost, Update};
 pub use mdr_net::{
-    topo, Flow, Link, LinkDelayModel, LinkId, Mm1, NodeId, Topology, TopologyBuilder,
-    TrafficMatrix,
+    topo, Flow, Link, LinkDelayModel, LinkId, Mm1, NodeId, Topology, TopologyBuilder, TrafficMatrix,
 };
 pub use mdr_opt::{evaluate, GallagerConfig, RoutingVars};
 pub use mdr_proto::{LsuEntry, LsuMessage, LsuOp};
 pub use mdr_routing::{DvEvent, DvMessage, DvRouter, Harness, MpdaRouter, PdaRouter, RouterEvent};
-pub use mdr_sim::{EstimatorKind, PacketDist, Scenario, ScenarioEvent, SimConfig, SimReport, Simulator};
+pub use mdr_sim::{
+    run_many, run_many_with, EstimatorKind, PacketDist, RunSet, Scenario, ScenarioEvent, SimConfig,
+    SimJob, SimReport, Simulator,
+};

@@ -136,10 +136,7 @@ impl From<EvalError> for MdrError {
 
 /// Unit-packet delay models for OPT (relative costs only).
 fn models_for(topo: &Topology, mean_packet_bits: f64) -> Vec<Mm1> {
-    topo.links()
-        .iter()
-        .map(|l| Mm1::new(l.capacity, l.prop_delay, mean_packet_bits))
-        .collect()
+    topo.links().iter().map(|l| Mm1::new(l.capacity, l.prop_delay, mean_packet_bits)).collect()
 }
 
 /// A default η for Gallager's solver scaled to the traffic: the update
@@ -243,6 +240,56 @@ pub fn run_with_scenario(
             finish(scheme, report)
         }
     }
+}
+
+/// One scheme evaluation in a batch — everything [`run_with_scenario`]
+/// needs, owned, so batches can move across worker threads.
+#[derive(Debug, Clone)]
+pub struct RunJob {
+    /// The network.
+    pub topo: Topology,
+    /// Offered flows.
+    pub flows: Vec<Flow>,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Run parameters.
+    pub cfg: RunConfig,
+    /// Scripted perturbations (empty for steady state).
+    pub scenario: Scenario,
+}
+
+impl RunJob {
+    /// A steady-state job.
+    pub fn new(topo: &Topology, flows: &[Flow], scheme: Scheme, cfg: RunConfig) -> Self {
+        RunJob { topo: topo.clone(), flows: flows.to_vec(), scheme, cfg, scenario: Scenario::new() }
+    }
+
+    /// Attach a scenario.
+    pub fn with_scenario(mut self, scenario: &Scenario) -> Self {
+        self.scenario = scenario.clone();
+        self
+    }
+
+    /// Run this job alone.
+    pub fn run(&self) -> Result<RunResult, MdrError> {
+        run_with_scenario(&self.topo, &self.flows, self.scheme, self.cfg, &self.scenario)
+    }
+}
+
+/// Run a batch of independent scheme evaluations across CPU cores
+/// (worker count: `RAYON_NUM_THREADS` or the machine's parallelism).
+///
+/// Results come back in job order and are bit-identical to calling
+/// [`RunJob::run`] on each job serially — every job is a pure function
+/// of its inputs, so parallelism is unobservable except in wall-clock
+/// time.
+pub fn run_jobs(jobs: Vec<RunJob>) -> Vec<Result<RunResult, MdrError>> {
+    mdr_sim::par::parallel_map(jobs, |j| j.run())
+}
+
+/// [`run_jobs`] with an explicit worker count.
+pub fn run_jobs_with(threads: usize, jobs: Vec<RunJob>) -> Vec<Result<RunResult, MdrError>> {
+    mdr_sim::par::parallel_map_with(threads, jobs, |j| j.run())
 }
 
 fn finish(scheme: Scheme, report: SimReport) -> Result<RunResult, MdrError> {

@@ -79,12 +79,10 @@ impl Allocator {
                 // Best successor only; ties to the lower address (the
                 // successor list from MPDA is address-sorted, and strict
                 // `<` keeps the first minimum).
-                let best = successors
-                    .iter()
-                    .fold(None::<SuccessorCost>, |acc, s| match acc {
-                        Some(b) if b.cost <= s.cost => Some(b),
-                        _ => Some(*s),
-                    });
+                let best = successors.iter().fold(None::<SuccessorCost>, |acc, s| match acc {
+                    Some(b) if b.cost <= s.cost => Some(b),
+                    _ => Some(*s),
+                });
                 self.params[j.index()] = match best {
                     Some(b) => DestParams::from_pairs(vec![(b.neighbor, 1.0)]),
                     None => DestParams::new(),

@@ -235,10 +235,7 @@ mod tests {
         let mut p = initial_assignment(&succ);
         incremental_adjustment(&mut p, &succ);
         assert!(p.validate().is_ok());
-        let zeroes = [n(1), n(2), n(3)]
-            .iter()
-            .filter(|&&k| p.fraction(k) < 1e-12)
-            .count();
+        let zeroes = [n(1), n(2), n(3)].iter().filter(|&&k| p.fraction(k) < 1e-12).count();
         assert_eq!(zeroes, 1, "exactly one link fully drained: {:?}", p.pairs());
         assert!(p.fraction(n(1)) > 0.5);
     }
@@ -264,13 +261,11 @@ mod tests {
     fn ah_preserves_property1_under_iteration() {
         // Iterate AH with drifting costs; Property 1 must hold throughout.
         let mut costs = [1.0, 2.0, 3.0];
-        let succ: Vec<SuccessorCost> =
-            (0..3).map(|i| sc(i as u32 + 1, costs[i])).collect();
+        let succ: Vec<SuccessorCost> = (0..3).map(|i| sc(i as u32 + 1, costs[i])).collect();
         let mut p = initial_assignment(&succ);
         for step in 0..50 {
             costs[step % 3] = 1.0 + ((step * 7) % 5) as f64;
-            let succ: Vec<SuccessorCost> =
-                (0..3).map(|i| sc(i as u32 + 1, costs[i])).collect();
+            let succ: Vec<SuccessorCost> = (0..3).map(|i| sc(i as u32 + 1, costs[i])).collect();
             incremental_adjustment(&mut p, &succ);
             assert!(p.validate().is_ok(), "step {step}: {:?}", p.pairs());
         }

@@ -49,10 +49,7 @@ impl DestParams {
 
     /// Fraction toward `k` (0 for non-successors, per Property 1 rule 1).
     pub fn fraction(&self, k: NodeId) -> f64 {
-        self.entries
-            .binary_search_by_key(&k, |&(n, _)| n)
-            .map(|i| self.entries[i].1)
-            .unwrap_or(0.0)
+        self.entries.binary_search_by_key(&k, |&(n, _)| n).map(|i| self.entries[i].1).unwrap_or(0.0)
     }
 
     /// The `(neighbor, fraction)` pairs, ascending by neighbor.

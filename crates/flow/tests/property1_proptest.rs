@@ -12,13 +12,9 @@ fn arb_successors(max: usize) -> impl Strategy<Value = Vec<SuccessorCost>> {
     prop::collection::btree_set(0u32..32, 0..max).prop_flat_map(|set| {
         let nbrs: Vec<u32> = set.into_iter().collect();
         let len = nbrs.len();
-        (Just(nbrs), prop::collection::vec(0.001f64..1000.0, len))
-            .prop_map(|(nbrs, costs)| {
-                nbrs.into_iter()
-                    .zip(costs)
-                    .map(|(k, c)| SuccessorCost::new(NodeId(k), c))
-                    .collect()
-            })
+        (Just(nbrs), prop::collection::vec(0.001f64..1000.0, len)).prop_map(|(nbrs, costs)| {
+            nbrs.into_iter().zip(costs).map(|(k, c)| SuccessorCost::new(NodeId(k), c)).collect()
+        })
     })
 }
 

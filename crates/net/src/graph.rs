@@ -85,10 +85,7 @@ impl Topology {
 
     /// Directed link id from `a` to `b`, if one exists.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.out_adj[a.index()]
-            .iter()
-            .copied()
-            .find(|&id| self.links[id.index()].to == b)
+        self.out_adj[a.index()].iter().copied().find(|&id| self.links[id.index()].to == b)
     }
 
     /// The reverse direction of a directed link, if present (always

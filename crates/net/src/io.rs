@@ -150,9 +150,7 @@ impl NetworkSpec {
         for l in topo.links() {
             // Emit each bidirectional pair once, as one `bidi` entry, if
             // the reverse exists with identical parameters.
-            let rev = topo
-                .link_between(l.to, l.from)
-                .map(|id| *topo.link(id));
+            let rev = topo.link_between(l.to, l.from).map(|id| *topo.link(id));
             let symmetric = rev
                 .map(|r| r.capacity == l.capacity && r.prop_delay == l.prop_delay)
                 .unwrap_or(false);

@@ -21,8 +21,8 @@
 pub mod delay;
 pub mod error;
 pub mod graph;
-pub mod io;
 pub mod ids;
+pub mod io;
 pub mod link;
 pub mod topo;
 pub mod traffic;
@@ -30,7 +30,7 @@ pub mod traffic;
 pub use delay::{LinkDelayModel, Mm1};
 pub use error::NetError;
 pub use graph::{Topology, TopologyBuilder};
-pub use io::{FlowSpec, LinkSpec, NetworkSpec, SpecError};
 pub use ids::{LinkId, NodeId};
+pub use io::{FlowSpec, LinkSpec, NetworkSpec, SpecError};
 pub use link::{Link, LinkCost, INFINITE_COST};
 pub use traffic::{Flow, TrafficMatrix};

@@ -57,6 +57,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn infinite_cost_is_finite_and_huge() {
         assert!(INFINITE_COST.is_finite());
         assert!(INFINITE_COST > 1e15);

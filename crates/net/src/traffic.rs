@@ -118,11 +118,7 @@ impl TrafficMatrix {
         TrafficMatrix {
             n: self.n,
             rates: self.rates.iter().map(|r| r * factor).collect(),
-            flows: self
-                .flows
-                .iter()
-                .map(|f| Flow::new(f.src, f.dst, f.rate * factor))
-                .collect(),
+            flows: self.flows.iter().map(|f| Flow::new(f.src, f.dst, f.rate * factor)).collect(),
         }
     }
 }
@@ -202,8 +198,7 @@ mod tests {
     #[test]
     fn scaling() {
         let t = topo3();
-        let m =
-            TrafficMatrix::from_flows(&t, &[Flow::new(NodeId(0), NodeId(2), 2.0)]).unwrap();
+        let m = TrafficMatrix::from_flows(&t, &[Flow::new(NodeId(0), NodeId(2), 2.0)]).unwrap();
         let s = m.scaled(1.5);
         assert_eq!(s.rate(NodeId(0), NodeId(2)), 3.0);
         assert_eq!(s.flows()[0].rate, 3.0);

@@ -85,10 +85,8 @@ fn topo_order(n: usize, j: NodeId, vars: &RoutingVars) -> Result<Vec<NodeId>, Ev
             indeg[k.index()] += 1;
         }
     }
-    let mut stack: Vec<NodeId> = (0..n as u32)
-        .map(NodeId)
-        .filter(|x| indeg[x.index()] == 0)
-        .collect();
+    let mut stack: Vec<NodeId> =
+        (0..n as u32).map(NodeId).filter(|x| indeg[x.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(u) = stack.pop() {
         order.push(u);
@@ -147,9 +145,7 @@ pub fn evaluate(
             for &(k, frac) in succ {
                 let part = inflow * frac;
                 node_flow[j.index()][k.index()] += part; // wrong for k == j? t at dest not needed
-                let lid = topo
-                    .link_between(i, k)
-                    .ok_or(EvalError::NoRoute { at: i, dst: j })?;
+                let lid = topo.link_between(i, k).ok_or(EvalError::NoRoute { at: i, dst: j })?;
                 link_flow[lid.index()] += part;
             }
         }
@@ -213,11 +209,8 @@ pub fn evaluate(
         }
     }
 
-    let flow_delays = traffic
-        .flows()
-        .iter()
-        .map(|f| pair_delay[f.dst.index()][f.src.index()])
-        .collect();
+    let flow_delays =
+        traffic.flows().iter().map(|f| pair_delay[f.dst.index()][f.src.index()]).collect();
 
     Ok(Evaluation { link_flow, node_flow, total_delay, pair_delay, flow_delays, max_utilization })
 }
@@ -233,11 +226,7 @@ mod tests {
 
     /// Two-node network, one link.
     fn simple() -> (Topology, Vec<Mm1>) {
-        let t = TopologyBuilder::new()
-            .nodes(2)
-            .bidi(n(0), n(1), 10.0, 0.5)
-            .build()
-            .unwrap();
+        let t = TopologyBuilder::new().nodes(2).bidi(n(0), n(1), 10.0, 0.5).build().unwrap();
         let m = t.links().iter().map(|l| Mm1::unit_packets(l.capacity, l.prop_delay)).collect();
         (t, m)
     }
@@ -334,10 +323,7 @@ mod tests {
         let mut v3 = RoutingVars::new(3);
         v3.set(n(0), n(2), vec![(n(1), 1.0)]);
         v3.set(n(1), n(2), vec![(n(0), 1.0)]); // loop 0 <-> 1
-        assert_eq!(
-            evaluate(&t3, &m3, &traffic3, &v3).unwrap_err(),
-            EvalError::CyclicRouting(n(2))
-        );
+        assert_eq!(evaluate(&t3, &m3, &traffic3, &v3).unwrap_err(), EvalError::CyclicRouting(n(2)));
         let _ = (t, m, traffic, v);
     }
 
@@ -357,10 +343,7 @@ mod tests {
         let (t, _) = simple();
         let traffic = TrafficMatrix::empty(2);
         let v = RoutingVars::new(2);
-        assert_eq!(
-            evaluate(&t, &[], &traffic, &v).unwrap_err(),
-            EvalError::ModelCountMismatch
-        );
+        assert_eq!(evaluate(&t, &[], &traffic, &v).unwrap_err(), EvalError::ModelCountMismatch);
     }
 
     #[test]

@@ -189,9 +189,8 @@ fn step(
             if candidates.is_empty() {
                 continue;
             }
-            let (kmin, amin) = candidates
-                .iter()
-                .fold((candidates[0].0, candidates[0].1), |(bk, bc), &(k, c)| {
+            let (kmin, amin) =
+                candidates.iter().fold((candidates[0].0, candidates[0].1), |(bk, bc), &(k, c)| {
                     if c < bc {
                         (k, c)
                     } else {
@@ -298,8 +297,7 @@ fn iterate(
                 Err(e) => return Err(e),
             };
             if cand_eval.total_delay <= eval.total_delay {
-                let impr =
-                    (eval.total_delay - cand_eval.total_delay) / eval.total_delay.max(1e-30);
+                let impr = (eval.total_delay - cand_eval.total_delay) / eval.total_delay.max(1e-30);
                 *vars = candidate;
                 eval = cand_eval;
                 history.push(eval.total_delay);
@@ -324,7 +322,6 @@ fn iterate(
     }
     Ok((cfg.max_iters, false, history))
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -355,8 +352,7 @@ mod tests {
             .unwrap();
         let m = models_of(&t);
         let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 8.0)]).unwrap();
-        let r = solve(&t, &m, &traffic, GallagerConfig { eta: 0.5, ..Default::default() })
-            .unwrap();
+        let r = solve(&t, &m, &traffic, GallagerConfig { eta: 0.5, ..Default::default() }).unwrap();
         let f1 = r.vars.fraction(n(0), n(3), n(1));
         let f2 = r.vars.fraction(n(0), n(3), n(2));
         assert!((f1 - 0.5).abs() < 0.02, "f1 = {f1}");
@@ -379,8 +375,7 @@ mod tests {
             .unwrap();
         let m = models_of(&t);
         let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(2), 8.0)]).unwrap();
-        let r = solve(&t, &m, &traffic, GallagerConfig { eta: 0.3, ..Default::default() })
-            .unwrap();
+        let r = solve(&t, &m, &traffic, GallagerConfig { eta: 0.3, ..Default::default() }).unwrap();
         // The single direct path (cap 6) cannot even carry 8; OPT must
         // shift most onto the detour.
         let via1 = r.vars.fraction(n(0), n(2), n(1));
@@ -389,9 +384,8 @@ mod tests {
         // Optimality condition (Eq. 7): marginal distances through both
         // used successors are equal within tolerance.
         let eval = &r.eval;
-        let lm: Vec<f64> = (0..t.link_count())
-            .map(|id| m[id].marginal_delay(eval.link_flow[id]))
-            .collect();
+        let lm: Vec<f64> =
+            (0..t.link_count()).map(|id| m[id].marginal_delay(eval.link_flow[id])).collect();
         let delta = super::marginal_distances(&t, &r.vars, &lm, n(2));
         let l02 = t.link_between(n(0), n(2)).unwrap();
         let l01 = t.link_between(n(0), n(1)).unwrap();
@@ -409,13 +403,8 @@ mod tests {
         let m = models_of(&t);
         let flows = mdr_net::topo::net1_flows(1_500_000.0);
         let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
-        let r = solve(
-            &t,
-            &m,
-            &traffic,
-            GallagerConfig { eta: 1e-7, max_iters: 300, tol: 1e-12 },
-        )
-        .unwrap();
+        let r = solve(&t, &m, &traffic, GallagerConfig { eta: 1e-7, max_iters: 300, tol: 1e-12 })
+            .unwrap();
         for w in r.history.windows(2) {
             assert!(
                 w[1] <= w[0] * 1.0001,
@@ -435,8 +424,8 @@ mod tests {
         let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
         let sp = shortest_path_vars(&t, &m);
         let sp_eval = evaluate(&t, &m, &traffic, &sp).unwrap();
-        let r = solve(&t, &m, &traffic, GallagerConfig { eta: 1e-6, ..Default::default() })
-            .unwrap();
+        let r =
+            solve(&t, &m, &traffic, GallagerConfig { eta: 1e-6, ..Default::default() }).unwrap();
         assert!(
             r.eval.total_delay <= sp_eval.total_delay + 1e-9,
             "OPT {} vs SP {}",
@@ -453,12 +442,7 @@ mod tests {
         let m = models_of(&t);
         let flows = mdr_net::topo::net1_flows(2_000_000.0);
         let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
-        let r = solve(
-            &t,
-            &m,
-            &traffic,
-            GallagerConfig { eta: 1e-6, max_iters: 500, tol: 1e-10 },
-        );
+        let r = solve(&t, &m, &traffic, GallagerConfig { eta: 1e-6, max_iters: 500, tol: 1e-10 });
         assert!(r.is_ok(), "{:?}", r.err());
     }
 }

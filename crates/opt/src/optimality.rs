@@ -101,9 +101,8 @@ pub fn check_optimality(
     vars: &RoutingVars,
 ) -> Result<OptimalityReport, EvalError> {
     let eval = evaluate(topo, models, traffic, vars)?;
-    let link_marginal: Vec<f64> = (0..topo.link_count())
-        .map(|id| models[id].marginal_delay(eval.link_flow[id]))
-        .collect();
+    let link_marginal: Vec<f64> =
+        (0..topo.link_count()).map(|id| models[id].marginal_delay(eval.link_flow[id])).collect();
     let delta = all_marginal_distances(topo, vars, &link_marginal);
 
     let mut worst_used_spread = 0.0f64;
@@ -173,19 +172,11 @@ mod tests {
             t.links().iter().map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0)).collect();
         let flows = topo::net1_flows(2_000_000.0);
         let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
-        let r = solve(
-            &t,
-            &models,
-            &traffic,
-            GallagerConfig { eta: 1e7, max_iters: 3000, tol: 1e-12 },
-        )
-        .unwrap();
+        let r =
+            solve(&t, &models, &traffic, GallagerConfig { eta: 1e7, max_iters: 3000, tol: 1e-12 })
+                .unwrap();
         let rep = check_optimality(&t, &models, &traffic, &r.vars).unwrap();
-        assert!(
-            rep.worst_used_spread < 0.05,
-            "used-successor spread {}",
-            rep.worst_used_spread
-        );
+        assert!(rep.worst_used_spread < 0.05, "used-successor spread {}", rep.worst_used_spread);
         assert!(
             rep.worst_unused_undercut < 0.05,
             "unused undercut {} at {:?}",
@@ -209,8 +200,7 @@ mod tests {
             .unwrap();
         let models: Vec<Mm1> =
             t.links().iter().map(|l| Mm1::unit_packets(l.capacity, l.prop_delay)).collect();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 8.0)]).unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 8.0)]).unwrap();
         let mut v = RoutingVars::new(4);
         v.set(n(0), n(3), vec![(n(1), 0.9), (n(2), 0.1)]);
         v.set(n(1), n(3), vec![(n(3), 1.0)]);
@@ -234,8 +224,7 @@ mod tests {
             .unwrap();
         let models: Vec<Mm1> =
             t.links().iter().map(|l| Mm1::unit_packets(l.capacity, l.prop_delay)).collect();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 8.0)]).unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 8.0)]).unwrap();
         let sp = shortest_path_vars(&t, &models);
         let rep = check_optimality(&t, &models, &traffic, &sp).unwrap();
         assert!(rep.worst_unused_undercut > 0.5, "undercut {}", rep.worst_unused_undercut);
@@ -253,8 +242,7 @@ mod tests {
             .unwrap();
         let models: Vec<Mm1> =
             t.links().iter().map(|l| Mm1::unit_packets(l.capacity, l.prop_delay)).collect();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 8.0)]).unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 8.0)]).unwrap();
         let mut v = RoutingVars::new(4);
         v.set(n(0), n(3), vec![(n(1), 0.5), (n(2), 0.5)]);
         v.set(n(1), n(3), vec![(n(3), 1.0)]);

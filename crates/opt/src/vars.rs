@@ -1,6 +1,6 @@
 //! Routing variables `φ = {φ_ijk}` for the analytic model.
 
-use mdr_net::{LinkCost, Mm1, NodeId, Topology, LinkDelayModel};
+use mdr_net::{LinkCost, LinkDelayModel, Mm1, NodeId, Topology};
 use mdr_routing::{dijkstra, TopoTable};
 
 /// The complete routing-parameter set: for each router `i` and
@@ -49,11 +49,7 @@ impl RoutingVars {
 
     /// `φ_ijk`.
     pub fn fraction(&self, i: NodeId, j: NodeId, k: NodeId) -> f64 {
-        self.get(i, j)
-            .iter()
-            .find(|&&(m, _)| m == k)
-            .map(|&(_, f)| f)
-            .unwrap_or(0.0)
+        self.get(i, j).iter().find(|&&(m, _)| m == k).map(|&(_, f)| f).unwrap_or(0.0)
     }
 
     /// Successors of `i` toward `j` (neighbors with positive fraction).

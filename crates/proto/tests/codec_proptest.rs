@@ -19,9 +19,8 @@ fn arb_entry() -> impl Strategy<Value = LsuEntry> {
 }
 
 fn arb_msg() -> impl Strategy<Value = LsuMessage> {
-    (0u32..1000, any::<bool>(), prop::collection::vec(arb_entry(), 0..64)).prop_map(
-        |(from, ack, entries)| LsuMessage { from: NodeId(from), ack, entries },
-    )
+    (0u32..1000, any::<bool>(), prop::collection::vec(arb_entry(), 0..64))
+        .prop_map(|(from, ack, entries)| LsuMessage { from: NodeId(from), ack, entries })
 }
 
 proptest! {

@@ -90,10 +90,7 @@ impl LsCore {
     /// reported by `k` ([`INFINITE_COST`] when unknown).
     #[inline]
     pub fn neighbor_distance(&self, k: NodeId, j: NodeId) -> LinkCost {
-        self.neighbor_dist
-            .get(&k)
-            .map(|d| d[j.index()])
-            .unwrap_or(INFINITE_COST)
+        self.neighbor_dist.get(&k).map(|d| d[j.index()]).unwrap_or(INFINITE_COST)
     }
 
     /// MTU (Fig. 3): merge neighbor topologies and adjacent links into a
@@ -226,10 +223,7 @@ mod tests {
         let mut c = LsCore::new(n(0), 3);
         c.link_up(n(1), 1.0);
         // Neighbor claims our adjacent link has cost 100.
-        c.process_lsu(
-            n(1),
-            &LsuMessage::update(n(1), vec![LsuEntry::add(n(0), n(1), 100.0)]),
-        );
+        c.process_lsu(n(1), &LsuMessage::update(n(1), vec![LsuEntry::add(n(0), n(1), 100.0)]));
         c.mtu();
         assert_eq!(c.main_topo.cost(n(0), n(1)), Some(1.0));
     }

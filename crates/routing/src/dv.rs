@@ -176,10 +176,7 @@ impl DvRouter {
 
     /// `D^i_jk` — the distance from `k` to `j` as reported by `k`.
     pub fn neighbor_distance(&self, k: NodeId, j: NodeId) -> LinkCost {
-        self.neighbor_dist
-            .get(&k)
-            .map(|v| v[j.index()])
-            .unwrap_or(INFINITE_COST)
+        self.neighbor_dist.get(&k).map(|v| v[j.index()]).unwrap_or(INFINITE_COST)
     }
 
     /// Cost of the adjacent link to `k`.
@@ -207,11 +204,7 @@ impl DvRouter {
             }
             let mut best = INFINITE_COST;
             for (&k, &lk) in &self.link_costs {
-                let dk = self
-                    .neighbor_dist
-                    .get(&k)
-                    .map(|v| v[j])
-                    .unwrap_or(INFINITE_COST);
+                let dk = self.neighbor_dist.get(&k).map(|v| v[j]).unwrap_or(INFINITE_COST);
                 let total = dk + lk;
                 if total < best {
                     best = total;
@@ -249,10 +242,8 @@ impl DvRouter {
                 if !self.link_costs.contains_key(from) {
                     return DvOutput::default();
                 }
-                let v = self
-                    .neighbor_dist
-                    .entry(*from)
-                    .or_insert_with(|| vec![INFINITE_COST; self.n]);
+                let v =
+                    self.neighbor_dist.entry(*from).or_insert_with(|| vec![INFINITE_COST; self.n]);
                 for &(j, d) in &msg.entries {
                     if j.index() < self.n {
                         v[j.index()] = d;
@@ -267,9 +258,7 @@ impl DvRouter {
             }
             DvEvent::LinkUp { to, cost } => {
                 self.link_costs.insert(*to, *cost);
-                self.neighbor_dist
-                    .entry(*to)
-                    .or_insert_with(|| vec![INFINITE_COST; self.n]);
+                self.neighbor_dist.entry(*to).or_insert_with(|| vec![INFINITE_COST; self.n]);
                 self.needs_full.insert(*to);
             }
             DvEvent::LinkDown { to } => {
@@ -296,12 +285,8 @@ impl DvRouter {
         if can_initiate {
             let temp = self.dist.clone();
             self.dist = self.bellman_ford_distances();
-            for j in 0..self.n {
-                self.fd[j] = if was_active {
-                    temp[j].min(self.dist[j])
-                } else {
-                    self.fd[j].min(self.dist[j])
-                };
+            for (j, fd) in self.fd.iter_mut().enumerate().take(self.n) {
+                *fd = if was_active { temp[j].min(self.dist[j]) } else { fd.min(self.dist[j]) };
             }
         }
 
@@ -312,7 +297,7 @@ impl DvRouter {
             let neighbors: Vec<NodeId> = self.link_costs.keys().copied().collect();
             for k in neighbors {
                 let fresh = self.needs_full.remove(&k);
-                let known = self.reported_to.entry(k).or_insert(Vec::new()).clone();
+                let known = self.reported_to.entry(k).or_default().clone();
                 let mut entries: Vec<(NodeId, LinkCost)> = Vec::new();
                 for j in 0..self.n {
                     let adv = self.advertised(j, k);
@@ -328,11 +313,8 @@ impl DvRouter {
                 if entries.is_empty() {
                     continue;
                 }
-                let mut rep = if known.len() == self.n {
-                    known
-                } else {
-                    vec![INFINITE_COST; self.n]
-                };
+                let mut rep =
+                    if known.len() == self.n { known } else { vec![INFINITE_COST; self.n] };
                 for &(j, d) in &entries {
                     rep[j.index()] = d;
                 }
@@ -351,10 +333,7 @@ impl DvRouter {
             }
         }
 
-        DvOutput {
-            sends,
-            routes_changed: old_dist != self.dist || old_succ != self.successors,
-        }
+        DvOutput { sends, routes_changed: old_dist != self.dist || old_succ != self.successors }
     }
 }
 
@@ -411,12 +390,8 @@ mod tests {
         }
 
         fn step(&mut self) -> bool {
-            let keys: Vec<(NodeId, NodeId)> = self
-                .queues
-                .iter()
-                .filter(|(_, q)| !q.is_empty())
-                .map(|(&k, _)| k)
-                .collect();
+            let keys: Vec<(NodeId, NodeId)> =
+                self.queues.iter().filter(|(_, q)| !q.is_empty()).map(|(&k, _)| k).collect();
             if keys.is_empty() {
                 return false;
             }
@@ -494,13 +469,13 @@ mod tests {
         }
         // Same distances, same successor sets: two instantiations of the
         // same framework.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..4usize {
             for j in 0..4u32 {
                 let j = n(j);
                 assert!(
                     (net.routers[i].distance(j) - routers[i].distance(j)).abs() < 1e-9
-                        || (net.routers[i].distance(j) > 1e15
-                            && routers[i].distance(j) > 1e15),
+                        || (net.routers[i].distance(j) > 1e15 && routers[i].distance(j) > 1e15),
                     "distance mismatch at ({i},{j})"
                 );
                 assert_eq!(

@@ -78,9 +78,7 @@ impl Harness<MpdaRouter> {
             panic!("successor graph for destination {j} has a cycle: {cycle:?}");
         }
         if let Err((i, k, j)) = lfi::check_fd_ordering(&self.routers) {
-            panic!(
-                "FD ordering violated: router {i} uses successor {k} for {j} but FD^k >= FD^i"
-            );
+            panic!("FD ordering violated: router {i} uses successor {k} for {j} but FD^k >= FD^i");
         }
     }
 }
@@ -113,10 +111,7 @@ impl<R: RouterSm> Harness<R> {
             }
         }
         for (from, to, msg) in pending {
-            queues
-                .entry((from, to))
-                .or_insert_with(VecDeque::new)
-                .push_back(msg);
+            queues.entry((from, to)).or_insert_with(VecDeque::new).push_back(msg);
         }
         Harness { routers, queues, costs, rng: SmallRng::seed_from_u64(seed), delivered: 0 }
     }
@@ -134,12 +129,8 @@ impl<R: RouterSm> Harness<R> {
     /// Deliver one message from a randomly chosen non-empty queue.
     /// Returns false when nothing is in flight.
     pub fn step(&mut self) -> bool {
-        let nonempty: Vec<(NodeId, NodeId)> = self
-            .queues
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(&k, _)| k)
-            .collect();
+        let nonempty: Vec<(NodeId, NodeId)> =
+            self.queues.iter().filter(|(_, q)| !q.is_empty()).map(|(&k, _)| k).collect();
         if nonempty.is_empty() {
             return false;
         }
@@ -212,9 +203,8 @@ impl<R: RouterSm> Harness<R> {
     pub fn assert_converged(&self) {
         for (i, r) in self.routers.iter().enumerate() {
             let truth = self.true_distances(NodeId(i as u32));
-            for j in 0..self.routers.len() {
+            for (j, &want) in truth.iter().enumerate() {
                 let got = r.dist(NodeId(j as u32));
-                let want = truth[j];
                 assert!(
                     (got - want).abs() < 1e-9 || (got >= 1e17 && want >= 1e17),
                     "router {i} distance to {j}: got {got}, want {want}"

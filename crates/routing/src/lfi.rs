@@ -105,7 +105,7 @@ pub fn check_fd_ordering(routers: &[MpdaRouter]) -> Result<(), (NodeId, NodeId, 
                 }
                 let fdk = routers[k.index()].feasible_distance(j);
                 let fdi = r.feasible_distance(j);
-                if !(fdk < fdi) {
+                if fdk.partial_cmp(&fdi) != Some(std::cmp::Ordering::Less) {
                     return Err((r.id(), k, j));
                 }
             }

@@ -257,8 +257,8 @@ impl MpdaRouter {
             // has acknowledged the reported values.
             let temp = self.core.dist.clone();
             diff = self.core.mtu();
-            for j in 0..self.core.n {
-                self.fd[j] = temp[j].min(self.core.dist[j]);
+            for (j, fd) in self.fd.iter_mut().enumerate().take(self.core.n) {
+                *fd = temp[j].min(self.core.dist[j]);
             }
         }
         // (While ACTIVE mid-phase: NTU only; MTU deferred.)
@@ -293,10 +293,7 @@ impl MpdaRouter {
                 }
                 self.stats.entries_sent += entries.len() as u64;
                 self.stats.lsu_sent += 1;
-                sends.push(SendTo {
-                    to: k,
-                    msg: LsuMessage { from: self.core.id, ack, entries },
-                });
+                sends.push(SendTo { to: k, msg: LsuMessage { from: self.core.id, ack, entries } });
                 self.pending_acks.insert(k);
             }
         }
@@ -345,7 +342,10 @@ mod tests {
     /// Deliver every queued message until quiescence, FIFO per pair,
     /// round-robin over routers. Panics if it fails to drain (protocol
     /// deadlock or livelock).
-    fn run_to_quiescence(routers: &mut [MpdaRouter], queues: &mut Vec<(NodeId, NodeId, LsuMessage)>) {
+    fn run_to_quiescence(
+        routers: &mut [MpdaRouter],
+        queues: &mut Vec<(NodeId, NodeId, LsuMessage)>,
+    ) {
         let mut steps = 0;
         while let Some((from, to, msg)) = queues.first().cloned() {
             queues.remove(0);
@@ -361,7 +361,8 @@ mod tests {
     /// Bring up a full mesh of `LinkUp` events for the given undirected
     /// edges, then run to quiescence.
     fn converge(nn: usize, edges: &[(u32, u32, f64)]) -> Vec<MpdaRouter> {
-        let mut routers: Vec<MpdaRouter> = (0..nn).map(|i| MpdaRouter::new(n(i as u32), nn)).collect();
+        let mut routers: Vec<MpdaRouter> =
+            (0..nn).map(|i| MpdaRouter::new(n(i as u32), nn)).collect();
         let mut queues: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
         for &(a, b, c) in edges {
             let out = routers[a as usize].handle(RouterEvent::LinkUp { to: n(b), cost: c });
@@ -401,10 +402,7 @@ mod tests {
         // Square: 0-1 (1), 0-2 (2), 1-3 (1), 2-3 (1). Node 0's paths to 3:
         // via 1 (cost 2) and via 2 (cost 3) — both must be successors
         // because D_3,1 = 1 < FD = 2? No: D_3,2 = 1 < 2 holds, so both.
-        let r = converge(
-            4,
-            &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.0), (2, 3, 1.0)],
-        );
+        let r = converge(4, &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.0), (2, 3, 1.0)]);
         assert_eq!(r[0].distance(n(3)), 2.0);
         // Both neighbors are strictly closer to 3 than FD(0,3)=2:
         // D(1→3)=1 < 2 and D(2→3)=1 < 2.
@@ -477,10 +475,7 @@ mod tests {
     #[test]
     fn theorem4_successors_at_convergence() {
         // S_j = {k | D^k_j < D^i_j} after convergence (liveness).
-        let r = converge(
-            4,
-            &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.0), (2, 3, 1.0), (1, 2, 1.0)],
-        );
+        let r = converge(4, &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.0), (2, 3, 1.0), (1, 2, 1.0)]);
         for i in 0..4usize {
             for j in 0..4u32 {
                 let j = n(j);

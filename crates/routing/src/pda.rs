@@ -29,7 +29,11 @@ pub struct PdaRouter {
 impl PdaRouter {
     /// A router with address `id` in a network of `n` routers.
     pub fn new(id: NodeId, n: usize) -> Self {
-        PdaRouter { core: LsCore::new(id, n), needs_full: BTreeSet::new(), stats: RouterStats::default() }
+        PdaRouter {
+            core: LsCore::new(id, n),
+            needs_full: BTreeSet::new(),
+            stats: RouterStats::default(),
+        }
     }
 
     /// Router address.
@@ -140,7 +144,8 @@ mod tests {
     }
 
     fn converge(nn: usize, edges: &[(u32, u32, f64)]) -> Vec<PdaRouter> {
-        let mut routers: Vec<PdaRouter> = (0..nn).map(|i| PdaRouter::new(n(i as u32), nn)).collect();
+        let mut routers: Vec<PdaRouter> =
+            (0..nn).map(|i| PdaRouter::new(n(i as u32), nn)).collect();
         let mut queues: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
         for &(a, b, c) in edges {
             for (x, y) in [(a, b), (b, a)] {
@@ -165,10 +170,7 @@ mod tests {
 
     #[test]
     fn pda_converges_to_shortest_paths() {
-        let r = converge(
-            5,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (0, 4, 10.0)],
-        );
+        let r = converge(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (0, 4, 10.0)]);
         assert_eq!(r[0].distance(n(4)), 4.0);
         assert_eq!(r[4].distance(n(0)), 4.0);
         assert_eq!(r[0].distance(n(2)), 2.0);

@@ -247,10 +247,7 @@ mod tests {
     #[test]
     fn path_reconstruction() {
         let r = dijkstra(4, &diamond(), NodeId(0));
-        assert_eq!(
-            r.path_to(NodeId(0), NodeId(3)),
-            Some(vec![NodeId(0), NodeId(1), NodeId(3)])
-        );
+        assert_eq!(r.path_to(NodeId(0), NodeId(3)), Some(vec![NodeId(0), NodeId(1), NodeId(3)]));
         assert_eq!(r.path_to(NodeId(0), NodeId(0)), Some(vec![NodeId(0)]));
     }
 
@@ -283,13 +280,8 @@ mod tests {
             let root = NodeId(rng.gen_range(0..n) as u32);
             let d = dijkstra(n, &t, root);
             let bf = bellman_ford(n, &t, root);
-            for j in 0..n {
-                assert!(
-                    (d.dist[j] - bf[j]).abs() < 1e-9,
-                    "mismatch at {j}: {} vs {}",
-                    d.dist[j],
-                    bf[j]
-                );
+            for (j, (dd, bb)) in d.dist.iter().zip(&bf).enumerate() {
+                assert!((dd - bb).abs() < 1e-9, "mismatch at {j}: {dd} vs {bb}");
             }
         }
     }

@@ -61,19 +61,14 @@ impl TopoTable {
 
     /// Links whose head is `h`, in tail order.
     pub fn links_from(&self, h: NodeId) -> impl Iterator<Item = (NodeId, LinkCost)> + '_ {
-        self.links
-            .range((h, NodeId(0))..=(h, NodeId(u32::MAX)))
-            .map(|(&(_, t), &c)| (t, c))
+        self.links.range((h, NodeId(0))..=(h, NodeId(u32::MAX))).map(|(&(_, t), &c)| (t, c))
     }
 
     /// Drop every link whose head is `h` (used when re-copying a head's
     /// links from its preferred neighbor in MTU).
     pub fn remove_links_from(&mut self, h: NodeId) {
-        let keys: Vec<(NodeId, NodeId)> = self
-            .links
-            .range((h, NodeId(0))..=(h, NodeId(u32::MAX)))
-            .map(|(&k, _)| k)
-            .collect();
+        let keys: Vec<(NodeId, NodeId)> =
+            self.links.range((h, NodeId(0))..=(h, NodeId(u32::MAX))).map(|(&k, _)| k).collect();
         for k in keys {
             self.links.remove(&k);
         }

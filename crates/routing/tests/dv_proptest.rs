@@ -29,10 +29,8 @@ fn converge_dv(
     let mut routers: Vec<DvRouter> = (0..n).map(|i| DvRouter::new(NodeId(i as u32), n)).collect();
     let mut queues: BTreeMap<(NodeId, NodeId), Vec<DvMessage>> = BTreeMap::new();
     for l in t.links() {
-        let out = routers[l.from.index()].handle(DvEvent::LinkUp {
-            to: l.to,
-            cost: cost(l.from, l.to, salt),
-        });
+        let out = routers[l.from.index()]
+            .handle(DvEvent::LinkUp { to: l.to, cost: cost(l.from, l.to, salt) });
         for (to, msg) in out.sends {
             queues.entry((l.from, to)).or_default().push(msg);
         }
@@ -40,11 +38,8 @@ fn converge_dv(
     let mut rng = SmallRng::seed_from_u64(sched_seed);
     for step in 0..2_000_000u64 {
         prop_assert!(dv::dv_loop_free(&routers), "loop at step {step}");
-        let keys: Vec<(NodeId, NodeId)> = queues
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(&k, _)| k)
-            .collect();
+        let keys: Vec<(NodeId, NodeId)> =
+            queues.iter().filter(|(_, q)| !q.is_empty()).map(|(&k, _)| k).collect();
         if keys.is_empty() {
             return Ok(routers);
         }
@@ -67,10 +62,8 @@ fn converge_mpda(t: &mdr_net::Topology, salt: u32) -> Vec<MpdaRouter> {
         (0..n).map(|i| MpdaRouter::new(NodeId(i as u32), n)).collect();
     let mut queue: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
     for l in t.links() {
-        let out = routers[l.from.index()].handle(RouterEvent::LinkUp {
-            to: l.to,
-            cost: cost(l.from, l.to, salt),
-        });
+        let out = routers[l.from.index()]
+            .handle(RouterEvent::LinkUp { to: l.to, cost: cost(l.from, l.to, salt) });
         for s in out.sends {
             queue.push((l.from, s.to, s.msg));
         }

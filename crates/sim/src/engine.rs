@@ -9,7 +9,7 @@
 //! these scales LSU traffic is negligible against 10 Mb/s links.
 
 use crate::estimator::{EstimatorKind, LinkEstimator};
-use crate::events::{Ev, EventQueue, Packet};
+use crate::events::{Ev, EventQueue, MsgSlab, Packet};
 use crate::scenario::{Scenario, ScenarioEvent};
 use crate::stats::{DelaySeries, FlowStats, LinkStats};
 use mdr_flow::{Allocator, Mode, SuccessorCost, Update};
@@ -19,7 +19,7 @@ use mdr_proto::LsuMessage;
 use mdr_routing::{MpdaRouter, RouterEvent};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Packet-length distribution of the traffic sources.
 ///
@@ -34,8 +34,10 @@ pub enum PacketDist {
     /// Fixed-length packets (M/D/1-like; *less* queueing than M/M/1).
     Deterministic,
     /// Internet-style bimodal mix: 60% short (ACK-sized) and 40% long
-    /// packets, scaled to preserve the configured mean (*burstier* than
-    /// M/M/1).
+    /// packets, scaled to preserve the configured mean. Its normalized
+    /// second moment is E[X²] = 0.6·0.04 + 0.4·4.84 = 1.96, so by
+    /// Pollaczek–Khinchine its queueing delay sits just *below* the
+    /// exponential regime's (E[X²] = 2), far above deterministic (1).
     Bimodal,
 }
 
@@ -102,7 +104,7 @@ impl Default for SimConfig {
 }
 
 /// Final measurements of one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Per-flow statistics, in traffic-matrix flow order.
     pub flows: Vec<FlowStats>,
@@ -122,6 +124,9 @@ pub struct SimReport {
     pub dropped: u64,
     /// Measured duration (s).
     pub duration: f64,
+    /// Discrete events processed over the whole run (warm-up included);
+    /// divide by wall-clock time for an events/s throughput figure.
+    pub events_processed: u64,
 }
 
 impl SimReport {
@@ -148,11 +153,37 @@ struct LinkSt {
     queue: VecDeque<(Packet, f64)>,
 }
 
+/// Sentinel in [`NodeSt::slot_of`] for "not a neighbor".
+const NO_SLOT: u16 = u16::MAX;
+
+/// Per-router state. Neighbor-keyed data lives in dense parallel `Vec`s
+/// indexed by *neighbor slot* (position in the sorted adjacency list) —
+/// the hot paths touch these every packet, and the `BTreeMap`s this
+/// replaces dominated the forwarding profile.
 struct NodeSt {
     router: MpdaRouter,
     alloc: Allocator,
-    est: BTreeMap<NodeId, LinkEstimator>,
-    reported: BTreeMap<NodeId, f64>,
+    /// Neighbor ids, ascending address order (the order
+    /// `Topology::out_links` yields, which the old sorted-map iteration
+    /// matched — keeping RNG/event streams identical).
+    nbrs: Vec<NodeId>,
+    /// Outgoing link per neighbor slot.
+    out_link: Vec<LinkId>,
+    /// Marginal-cost estimator per neighbor slot.
+    est: Vec<LinkEstimator>,
+    /// Cost last reported into MPDA per neighbor slot.
+    reported: Vec<f64>,
+    /// Node id → neighbor slot; [`NO_SLOT`] when not adjacent.
+    slot_of: Vec<u16>,
+}
+
+impl NodeSt {
+    /// Neighbor slot of `k`, if adjacent.
+    #[inline]
+    fn slot(&self, k: NodeId) -> Option<usize> {
+        let s = self.slot_of[k.index()];
+        (s != NO_SLOT).then_some(s as usize)
+    }
 }
 
 /// The simulator. Construct with [`Simulator::new`], then [`Simulator::run`].
@@ -162,6 +193,7 @@ pub struct Simulator {
     models: Vec<Mm1>,
     time: f64,
     queue: EventQueue,
+    msgs: MsgSlab,
     rng: SmallRng,
     nodes: Vec<NodeSt>,
     links: Vec<LinkSt>,
@@ -180,7 +212,12 @@ pub struct Simulator {
 impl Simulator {
     /// Build a simulator over `topo` carrying `traffic`, with scripted
     /// `scenario` perturbations.
-    pub fn new(topo: &Topology, traffic: &TrafficMatrix, scenario: &Scenario, cfg: SimConfig) -> Self {
+    pub fn new(
+        topo: &Topology,
+        traffic: &TrafficMatrix,
+        scenario: &Scenario,
+        cfg: SimConfig,
+    ) -> Self {
         assert!(cfg.t_short > 0.0 && cfg.t_long > 0.0, "update periods must be positive");
         assert!(cfg.mean_packet_bits > 0.0);
         let n = topo.node_count();
@@ -190,15 +227,36 @@ impl Simulator {
             .map(|l| Mm1::new(l.capacity, l.prop_delay, cfg.mean_packet_bits))
             .collect();
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let queue = EventQueue::new();
+        let queue = EventQueue::with_capacity(
+            traffic.flows().len() + 2 * n + topo.link_count() + scenario.events().len() + 16,
+        );
 
-        // Routers, allocators, estimators.
+        // Routers, allocators, and dense neighbor-slot tables (sorted by
+        // neighbor address, like the adjacency lists).
         let mut nodes: Vec<NodeSt> = (0..n)
-            .map(|i| NodeSt {
-                router: MpdaRouter::new(NodeId(i as u32), n),
-                alloc: Allocator::new(n, cfg.mode).with_ah_gain(cfg.ah_gain),
-                est: BTreeMap::new(),
-                reported: BTreeMap::new(),
+            .map(|i| {
+                let node = NodeId(i as u32);
+                let mut nbrs = Vec::new();
+                let mut out_link = Vec::new();
+                let mut est = Vec::new();
+                let mut reported = Vec::new();
+                let mut slot_of = vec![NO_SLOT; n];
+                for (lid, l) in topo.out_links(node) {
+                    slot_of[l.to.index()] = nbrs.len() as u16;
+                    nbrs.push(l.to);
+                    out_link.push(lid);
+                    est.push(LinkEstimator::new(cfg.estimator, models[lid.index()], 0.0));
+                    reported.push(models[lid.index()].marginal_delay(0.0));
+                }
+                NodeSt {
+                    router: MpdaRouter::new(node, n),
+                    alloc: Allocator::new(n, cfg.mode).with_ah_gain(cfg.ah_gain),
+                    nbrs,
+                    out_link,
+                    est,
+                    reported,
+                    slot_of,
+                }
             })
             .collect();
         let links: Vec<LinkSt> = topo
@@ -208,17 +266,12 @@ impl Simulator {
             .collect();
 
         // Bring every adjacent link up at its idle marginal cost and
-        // schedule the resulting LSUs.
+        // schedule the resulting LSUs (in LinkId order, as before).
         let mut boot_sends: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
         for (lid, l) in topo.links().iter().enumerate() {
             let idle = models[lid].marginal_delay(0.0);
-            nodes[l.from.index()]
-                .est
-                .insert(l.to, LinkEstimator::new(cfg.estimator, models[lid], 0.0));
-            nodes[l.from.index()].reported.insert(l.to, idle);
-            let out = nodes[l.from.index()]
-                .router
-                .handle(RouterEvent::LinkUp { to: l.to, cost: idle });
+            let out =
+                nodes[l.from.index()].router.handle(RouterEvent::LinkUp { to: l.to, cost: idle });
             for s in out.sends {
                 boot_sends.push((l.from, s.to, s.msg));
             }
@@ -236,6 +289,7 @@ impl Simulator {
             models,
             time: 0.0,
             queue,
+            msgs: MsgSlab::new(),
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15),
             nodes,
             links,
@@ -309,8 +363,8 @@ impl Simulator {
 
     /// Schedule delivery of an LSU over the wire.
     fn send_control(&mut self, from: NodeId, to: NodeId, msg: LsuMessage) {
-        let lid = match self.topo.link_between(from, to) {
-            Some(l) => l,
+        let lid = match self.nodes[from.index()].slot(to) {
+            Some(s) => self.nodes[from.index()].out_link[s],
             None => return,
         };
         if !self.links[lid.index()].up {
@@ -321,6 +375,7 @@ impl Simulator {
         let at = self.time + l.prop_delay + bits / l.capacity;
         self.ctl_msgs += 1;
         self.ctl_bytes += (bits / 8.0) as u64;
+        let msg = self.msgs.insert(msg);
         self.queue.push(at, Ev::Control { node: to, from, msg });
     }
 
@@ -333,7 +388,7 @@ impl Simulator {
             .successors(j)
             .iter()
             .filter_map(|&k| {
-                let lk = node.est.get(&k).map(|e| e.cost()).or(node.router.link_cost(k))?;
+                let lk = node.slot(k).map(|s| node.est[s].cost()).or(node.router.link_cost(k))?;
                 Some(SuccessorCost::new(k, node.router.neighbor_distance(k, j) + lk))
             })
             .collect()
@@ -404,9 +459,13 @@ impl Simulator {
                 return;
             }
         };
-        let lid = match self.topo.link_between(node, chosen) {
-            Some(l) if self.links[l.index()].up => l,
-            _ => {
+        let lid = self.nodes[node.index()]
+            .slot(chosen)
+            .map(|s| self.nodes[node.index()].out_link[s])
+            .filter(|l| self.links[l.index()].up);
+        let lid = match lid {
+            Some(l) => l,
+            None => {
                 self.flow_stats[pkt.flow as usize].dropped_no_route += 1;
                 return;
             }
@@ -451,8 +510,9 @@ impl Simulator {
             st.packets += 1;
             st.delay_sum += qdelay;
         }
-        if let Some(e) = self.nodes[link.from.index()].est.get_mut(&link.to) {
-            e.on_packet(pkt.bits, qdelay);
+        let from = &mut self.nodes[link.from.index()];
+        if let Some(s) = from.slot(link.to) {
+            from.est[s].on_packet(pkt.bits, qdelay);
         }
         // Next serialization.
         match next_bits {
@@ -468,11 +528,8 @@ impl Simulator {
 
     fn on_short_tick(&mut self, i: NodeId) {
         let now = self.time;
-        let nbrs: Vec<NodeId> = self.nodes[i.index()].est.keys().copied().collect();
-        for k in nbrs {
-            if let Some(e) = self.nodes[i.index()].est.get_mut(&k) {
-                e.close_window(now);
-            }
+        for e in self.nodes[i.index()].est.iter_mut() {
+            e.close_window(now);
         }
         for j in 0..self.topo.node_count() as u32 {
             let j = NodeId(j);
@@ -486,22 +543,20 @@ impl Simulator {
     }
 
     fn on_long_tick(&mut self, i: NodeId) {
-        let nbrs: Vec<NodeId> = self.nodes[i.index()].est.keys().copied().collect();
-        for k in nbrs {
-            let (up, cost) = {
-                let lid = self.topo.link_between(i, k);
-                let up = lid.map(|l| self.links[l.index()].up).unwrap_or(false);
-                let cost = self.nodes[i.index()].est.get(&k).map(|e| e.cost()).unwrap_or(0.0);
-                (up, cost)
-            };
-            if !up {
+        for s in 0..self.nodes[i.index()].nbrs.len() {
+            let node = &self.nodes[i.index()];
+            let k = node.nbrs[s];
+            let lid = node.out_link[s];
+            if !self.links[lid.index()].up {
                 continue;
             }
-            let reported = *self.nodes[i.index()].reported.get(&k).unwrap_or(&cost);
+            let cost = node.est[s].cost();
+            let reported = node.reported[s];
             let rel = (cost - reported).abs() / reported.max(1e-30);
             if rel > self.cfg.cost_change_threshold {
-                self.nodes[i.index()].reported.insert(k, cost);
-                let out = self.nodes[i.index()].router.handle(RouterEvent::LinkCost { to: k, cost });
+                self.nodes[i.index()].reported[s] = cost;
+                let out =
+                    self.nodes[i.index()].router.handle(RouterEvent::LinkCost { to: k, cost });
                 self.apply_router_output(i, out);
             }
         }
@@ -529,7 +584,8 @@ impl Simulator {
                         for (p, _) in ls.queue.drain(..) {
                             self.flow_stats[p.flow as usize].dropped_no_route += 1;
                         }
-                        let out = self.nodes[x.index()].router.handle(RouterEvent::LinkDown { to: y });
+                        let out =
+                            self.nodes[x.index()].router.handle(RouterEvent::LinkDown { to: y });
                         self.apply_router_output(x, out);
                     }
                 }
@@ -539,10 +595,14 @@ impl Simulator {
                     if let Some(lid) = self.topo.link_between(x, y) {
                         self.links[lid.index()].up = true;
                         let idle = self.models[lid.index()].marginal_delay(0.0);
-                        self.nodes[x.index()]
-                            .est
-                            .insert(y, LinkEstimator::new(self.cfg.estimator, self.models[lid.index()], self.time));
-                        self.nodes[x.index()].reported.insert(y, idle);
+                        if let Some(s) = self.nodes[x.index()].slot(y) {
+                            self.nodes[x.index()].est[s] = LinkEstimator::new(
+                                self.cfg.estimator,
+                                self.models[lid.index()],
+                                self.time,
+                            );
+                            self.nodes[x.index()].reported[s] = idle;
+                        }
                         let out = self.nodes[x.index()]
                             .router
                             .handle(RouterEvent::LinkUp { to: y, cost: idle });
@@ -554,14 +614,19 @@ impl Simulator {
     }
 
     /// Run to completion and report.
+    ///
+    /// The accumulated statistics are *moved* into the report (no
+    /// clones); a second call would return empty measurements.
     pub fn run(&mut self) -> SimReport {
         // Keep a small tail margin so packets in flight at end_time can
         // drain into the stats? No: measurement closes at end_time.
+        let mut events_processed = 0u64;
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.end_time {
                 break;
             }
             self.time = t;
+            events_processed += 1;
             match ev {
                 Ev::Generate { flow } => {
                     if self.flows[flow].rate > 0.0 {
@@ -584,7 +649,9 @@ impl Simulator {
                 Ev::LinkDeparture { link } => self.on_link_departure(link),
                 Ev::NodeArrival { node, packet } => self.forward(node, packet),
                 Ev::Control { node, from, msg } => {
-                    let out = self.nodes[node.index()].router.handle(RouterEvent::Lsu { from, msg });
+                    let msg = self.msgs.take(msg);
+                    let out =
+                        self.nodes[node.index()].router.handle(RouterEvent::Lsu { from, msg });
                     self.apply_router_output(node, out);
                 }
                 Ev::ShortTermTick { node } => self.on_short_tick(node),
@@ -596,21 +663,18 @@ impl Simulator {
         let mean_delays_ms: Vec<f64> =
             self.flow_stats.iter().map(|f| f.mean_delay() * 1000.0).collect();
         let delivered = self.flow_stats.iter().map(|f| f.delivered).sum();
-        let dropped = self
-            .flow_stats
-            .iter()
-            .map(|f| f.dropped_no_route + f.dropped_ttl)
-            .sum();
+        let dropped = self.flow_stats.iter().map(|f| f.dropped_no_route + f.dropped_ttl).sum();
         SimReport {
-            flows: self.flow_stats.clone(),
-            links: self.link_stats.clone(),
-            series: self.series.clone(),
+            flows: std::mem::take(&mut self.flow_stats),
+            links: std::mem::take(&mut self.link_stats),
+            series: std::mem::take(&mut self.series),
             mean_delays_ms,
             control_messages: self.ctl_msgs,
             control_bytes: self.ctl_bytes,
             delivered,
             dropped,
             duration: self.cfg.duration,
+            events_processed,
         }
     }
 
@@ -655,11 +719,7 @@ mod tests {
     }
 
     fn two_node() -> Topology {
-        TopologyBuilder::new()
-            .nodes(2)
-            .bidi(n(0), n(1), 1_000_000.0, 0.001)
-            .build()
-            .unwrap()
+        TopologyBuilder::new().nodes(2).bidi(n(0), n(1), 1_000_000.0, 0.001).build().unwrap()
     }
 
     fn quick_cfg() -> SimConfig {
@@ -672,8 +732,7 @@ mod tests {
         // 500 kb/s (rho = 0.5): M/M/1 sojourn = 1/(mu - lambda) = 2 ms,
         // plus 1 ms propagation = 3 ms.
         let t = two_node();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 500_000.0)]).unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 500_000.0)]).unwrap();
         let cfg = SimConfig { warmup: 10.0, duration: 60.0, ..Default::default() };
         let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
         let r = sim.run();
@@ -690,8 +749,7 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let t = two_node();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 300_000.0)]).unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 300_000.0)]).unwrap();
         let r1 = Simulator::new(&t, &traffic, &Scenario::new(), quick_cfg()).run();
         let r2 = Simulator::new(&t, &traffic, &Scenario::new(), quick_cfg()).run();
         assert_eq!(r1.delivered, r2.delivered);
@@ -702,16 +760,11 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let t = two_node();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 300_000.0)]).unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 300_000.0)]).unwrap();
         let r1 = Simulator::new(&t, &traffic, &Scenario::new(), quick_cfg()).run();
-        let r2 = Simulator::new(
-            &t,
-            &traffic,
-            &Scenario::new(),
-            SimConfig { seed: 2, ..quick_cfg() },
-        )
-        .run();
+        let r2 =
+            Simulator::new(&t, &traffic, &Scenario::new(), SimConfig { seed: 2, ..quick_cfg() })
+                .run();
         assert_ne!(r1.mean_delays_ms, r2.mean_delays_ms);
     }
 
@@ -726,8 +779,7 @@ mod tests {
             .bidi(n(2), n(3), 1_000_000.0, 0.001)
             .build()
             .unwrap();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 1_200_000.0)]).unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 1_200_000.0)]).unwrap();
         let cfg = SimConfig { warmup: 20.0, duration: 40.0, ..Default::default() };
         let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
         let r = sim.run();
@@ -751,8 +803,7 @@ mod tests {
             .bidi(n(2), n(3), 1_000_000.0, 0.001)
             .build()
             .unwrap();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 200_000.0)]).unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(3), 200_000.0)]).unwrap();
         let cfg = SimConfig { mode: Mode::SinglePath, ..quick_cfg() };
         let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
         let r = sim.run();
@@ -786,8 +837,7 @@ mod tests {
             .bidi(n(2), n(1), 1_000_000.0, 0.001)
             .build()
             .unwrap();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 200_000.0)]).unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 200_000.0)]).unwrap();
         let scen = Scenario::new().at(10.0, ScenarioEvent::FailLink { a: n(0), b: n(1) });
         let cfg = SimConfig { warmup: 15.0, duration: 20.0, ..Default::default() };
         let mut sim = Simulator::new(&t, &traffic, &scen, cfg);
@@ -803,19 +853,13 @@ mod tests {
     #[test]
     fn traffic_change_takes_effect() {
         let t = two_node();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 100_000.0)]).unwrap();
-        let scen =
-            Scenario::new().at(5.0, ScenarioEvent::SetFlowRate { flow: 0, rate: 800_000.0 });
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 100_000.0)]).unwrap();
+        let scen = Scenario::new().at(5.0, ScenarioEvent::SetFlowRate { flow: 0, rate: 800_000.0 });
         let cfg = SimConfig { warmup: 10.0, duration: 20.0, ..Default::default() };
         let mut sim = Simulator::new(&t, &traffic, &scen, cfg);
         let r = sim.run();
         // Post-warmup rate is 800 kb/s => ~800 pkts/s * 20 s.
-        assert!(
-            (10_000..25_000).contains(&(r.delivered as i64)),
-            "delivered {}",
-            r.delivered
-        );
+        assert!((10_000..25_000).contains(&(r.delivered as i64)), "delivered {}", r.delivered);
     }
 
     #[test]
@@ -837,7 +881,9 @@ mod tests {
         assert!(r.control_messages > 10, "boot convergence needs LSUs");
         assert!(r.control_bytes > 0);
         // Converged distances visible through the router accessor.
-        assert!((sim.router(n(0)).distance(n(2)) - 2.0 * sim.router(n(0)).distance(n(1))).abs() < 1e-9);
+        assert!(
+            (sim.router(n(0)).distance(n(2)) - 2.0 * sim.router(n(0)).distance(n(1))).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -849,11 +895,8 @@ mod tests {
         let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
         let _ = sim.run();
         let vars = sim.routing_vars();
-        let models: Vec<Mm1> = t
-            .links()
-            .iter()
-            .map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0))
-            .collect();
+        let models: Vec<Mm1> =
+            t.links().iter().map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0)).collect();
         // The extracted variables must evaluate cleanly (acyclic, routed).
         let eval = mdr_opt::evaluate(&t, &models, &traffic, &vars).unwrap();
         assert!(eval.total_delay > 0.0);
@@ -862,27 +905,30 @@ mod tests {
 
     #[test]
     fn packet_distributions_order_delays_as_theory_predicts() {
-        // M/D/1 waits half of M/M/1; the bimodal mix is burstier than
-        // exponential. At rho = 0.7 the ordering must be
-        // deterministic < exponential < bimodal.
+        // Pollaczek–Khinchine: the mean wait is proportional to the
+        // service-time second moment, so M/D/1 (E[X²] = 1) waits half
+        // of M/M/1 (E[X²] = 2), and the bimodal mix (E[X²] = 1.96)
+        // lands essentially on the exponential curve. At rho = 0.7 the
+        // robust prediction is deterministic << {exponential, bimodal},
+        // with the latter two within sampling noise of each other.
         let t = two_node();
-        let traffic =
-            TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 700_000.0)]).unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 700_000.0)]).unwrap();
         let mut delays = Vec::new();
         for dist in [PacketDist::Deterministic, PacketDist::Exponential, PacketDist::Bimodal] {
-            let cfg = SimConfig {
-                packet_dist: dist,
-                warmup: 10.0,
-                duration: 40.0,
-                ..Default::default()
-            };
+            let cfg =
+                SimConfig { packet_dist: dist, warmup: 10.0, duration: 40.0, ..Default::default() };
             let mut sim = Simulator::new(&t, &traffic, &Scenario::new(), cfg);
             let r = sim.run();
             delays.push(r.mean_delays_ms[0]);
         }
         assert!(
-            delays[0] < delays[1] && delays[1] < delays[2],
-            "expected det < exp < bimodal, got {delays:?}"
+            delays[0] < delays[1] && delays[0] < delays[2],
+            "expected det below both exp and bimodal, got {delays:?}"
+        );
+        let rel = (delays[1] - delays[2]).abs() / delays[1];
+        assert!(
+            rel < 0.25,
+            "exp and bimodal delays should be close (E[X²] 2 vs 1.96), got {delays:?}"
         );
     }
 

@@ -175,10 +175,7 @@ mod tests {
         for &flow in &[1_000_000.0, 4_000_000.0, 7_000_000.0] {
             let got = settle(EstimatorKind::Pa, flow, 80);
             let want = m.marginal_delay(flow);
-            assert!(
-                (got - want).abs() / want < 0.1,
-                "flow {flow}: got {got}, want {want}"
-            );
+            assert!((got - want).abs() / want < 0.1, "flow {flow}: got {got}, want {want}");
         }
     }
 

@@ -4,14 +4,22 @@
 //! sequence number — ties in simulated time resolve in scheduling order,
 //! making every run a pure function of the configuration (the smoltcp
 //! "no surprises" rule applied to simulation).
+//!
+//! Performance: [`Ev`] is a small `Copy` type so heap sift operations
+//! are plain memcpys of fixed-size entries. Control messages — the one
+//! variable-size payload — are parked in a [`MsgSlab`] and referenced by
+//! [`MsgId`]; the slab recycles slots through a free list, so
+//! steady-state control traffic allocates nothing.
 
 use mdr_net::{LinkId, NodeId};
 use mdr_proto::LsuMessage;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A simulation event.
-#[derive(Debug, Clone, PartialEq)]
+/// A simulation event. Kept small and `Copy` — the event heap moves
+/// entries on every push/pop, so this is the hottest struct in the
+/// simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Ev {
     /// A source generates the next packet of flow `flow`.
     Generate {
@@ -31,14 +39,14 @@ pub enum Ev {
         packet: Packet,
     },
     /// A control (LSU) message reaches router `node` from neighbor
-    /// `from`.
+    /// `from`. The message body lives in the simulator's [`MsgSlab`].
     Control {
         /// Receiving router.
         node: NodeId,
         /// Transmitting neighbor.
         from: NodeId,
-        /// The message.
-        msg: LsuMessage,
+        /// Slab handle of the message.
+        msg: MsgId,
     },
     /// Router `node` closes a `T_s` measurement window: refresh local
     /// link costs and run AH.
@@ -60,8 +68,8 @@ pub enum Ev {
     Sample,
 }
 
-/// A data packet in flight.
-#[derive(Debug, Clone, PartialEq)]
+/// A data packet in flight. Plain old data: copied, never cloned.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// Flow index (for per-flow statistics).
     pub flow: u32,
@@ -76,7 +84,63 @@ pub struct Packet {
     pub ttl: u16,
 }
 
-#[derive(Debug, Clone)]
+/// Handle of a control message parked in a [`MsgSlab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgId(u32);
+
+/// Side storage for in-flight control messages, so [`Ev`] stays `Copy`.
+///
+/// Slots freed by [`MsgSlab::take`] are recycled LIFO; the slab grows
+/// only when more messages are simultaneously in flight than ever
+/// before in the run.
+#[derive(Debug, Default)]
+pub struct MsgSlab {
+    slots: Vec<Option<LsuMessage>>,
+    free: Vec<u32>,
+}
+
+impl MsgSlab {
+    /// Empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park `msg`, returning its handle.
+    pub fn insert(&mut self, msg: LsuMessage) -> MsgId {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(msg);
+                MsgId(i)
+            }
+            None => {
+                self.slots.push(Some(msg));
+                MsgId((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Remove and return the message behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was already taken — handles are single-use.
+    pub fn take(&mut self, id: MsgId) -> LsuMessage {
+        let msg = self.slots[id.0 as usize].take().expect("MsgId taken twice");
+        self.free.push(id.0);
+        msg
+    }
+
+    /// Messages currently parked.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// True when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     time: f64,
     seq: u64,
@@ -92,11 +156,8 @@ impl Eq for Entry {}
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // `total_cmp` is exact here: push() rejects non-finite times.
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for Entry {
@@ -118,9 +179,19 @@ impl EventQueue {
         Self::default()
     }
 
+    /// Empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), seq: 0 }
+    }
+
     /// Schedule `ev` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics when `time` is NaN, infinite, or negative — a non-finite
+    /// time would silently corrupt the heap order, so the guard is
+    /// unconditional, not debug-only.
     pub fn push(&mut self, time: f64, ev: Ev) {
-        debug_assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
+        assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
         self.heap.push(Entry { time, seq: self.seq, ev });
         self.seq += 1;
     }
@@ -179,5 +250,51 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(128);
+        q.push(1.0, Ev::Sample);
+        q.push(0.5, Ev::Sample);
+        assert_eq!(q.pop().unwrap().0, 0.5);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad event time")]
+    fn rejects_nan_time() {
+        EventQueue::new().push(f64::NAN, Ev::Sample);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad event time")]
+    fn rejects_infinite_time() {
+        EventQueue::new().push(f64::INFINITY, Ev::Sample);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad event time")]
+    fn rejects_negative_time() {
+        EventQueue::new().push(-1.0, Ev::Sample);
+    }
+
+    #[test]
+    fn msg_slab_recycles_slots() {
+        let mut slab = MsgSlab::new();
+        let m = LsuMessage::ack_only(NodeId(1));
+        let a = slab.insert(m.clone());
+        let b = slab.insert(m.clone());
+        assert_eq!(slab.len(), 2);
+        let got = slab.take(a);
+        assert_eq!(got, m);
+        assert_eq!(slab.len(), 1);
+        // The freed slot is reused: no growth.
+        let c = slab.insert(m);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(c, a);
+        let _ = slab.take(b);
+        let _ = slab.take(c);
+        assert!(slab.is_empty());
     }
 }

@@ -22,12 +22,15 @@
 //! sorted iteration everywhere. The same [`SimConfig`] always produces
 //! byte-identical results.
 
+pub mod batch;
 pub mod engine;
 pub mod estimator;
 pub mod events;
+pub mod par;
 pub mod scenario;
 pub mod stats;
 
+pub use batch::{run_many, run_many_with, RunSet, SimJob};
 pub use engine::{PacketDist, SimConfig, SimReport, Simulator};
 pub use estimator::{EstimatorKind, LinkEstimator};
 pub use scenario::{Scenario, ScenarioEvent};

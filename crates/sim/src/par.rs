@@ -1,0 +1,120 @@
+//! A tiny deterministic thread-pool helper: order-preserving parallel
+//! map over fully independent jobs.
+//!
+//! Simulation runs are pure functions of their configuration, so a
+//! batch of runs is embarrassingly parallel and the results must not
+//! depend on scheduling. [`parallel_map`] guarantees that: each item is
+//! claimed exactly once off a shared atomic counter, computed on
+//! whatever worker got it, and written back to the item's own slot —
+//! the output order is the input order, bit for bit identical to a
+//! serial loop.
+//!
+//! The worker count honours the conventional `RAYON_NUM_THREADS`
+//! environment variable (this crate deliberately has no external
+//! dependencies, but scripts written against rayon-based harnesses keep
+//! working), falling back to the machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads a batch run will use: `RAYON_NUM_THREADS` when set to
+/// a positive integer, otherwise the machine's available parallelism
+/// (1 if that cannot be determined).
+pub fn num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Map `f` over `items` on up to [`num_threads`] workers, returning the
+/// results in input order. Equivalent to
+/// `items.into_iter().map(f).collect()` in every observable way except
+/// wall-clock time.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(num_threads(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (tests use this to
+/// exercise the parallel path regardless of the environment).
+pub fn parallel_map_with<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // One slot per item for both work and result: a worker claims index
+    // `i` from the atomic counter, takes the item out of its slot, and
+    // deposits the result in the matching result slot. The per-slot
+    // mutexes are uncontended (each is locked exactly once per side).
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..work.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("item claimed twice");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker panicked before storing result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let xs: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = xs.iter().map(|&x| x * x + 1).collect();
+        let par = parallel_map_with(4, xs, |x| x * x + 1);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = parallel_map_with(8, Vec::<u32>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map_with(8, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let r = parallel_map_with(64, vec![1, 2, 3], |x| x * 10);
+        assert_eq!(r, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn serial_fallback_matches() {
+        let xs: Vec<u64> = (0..17).collect();
+        let a = parallel_map_with(1, xs.clone(), |x| x.wrapping_mul(0x9e37));
+        let b = parallel_map_with(3, xs, |x| x.wrapping_mul(0x9e37));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 /// Geometric-bucket delay histogram: 10 µs to ~1000 s in 10%-wide
 /// buckets, enough resolution for meaningful tail percentiles without
 /// storing samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DelayHistogram {
     buckets: Vec<u64>,
 }
@@ -59,7 +59,7 @@ impl DelayHistogram {
 
 /// End-to-end delay statistics of one flow (packets created after
 /// warm-up only).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FlowStats {
     /// Delivered packets.
     pub delivered: u64,
@@ -115,7 +115,7 @@ impl FlowStats {
 }
 
 /// Utilization bookkeeping of one directed link.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LinkStats {
     /// Bits serialized (after warm-up).
     pub bits: f64,
@@ -141,12 +141,20 @@ impl LinkStats {
 
 /// A per-flow time series of windowed mean delays, for the dynamic
 /// experiments (delay vs. time plots).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DelaySeries {
     /// Bucket width in seconds.
     pub bucket: f64,
     /// Per-flow, per-bucket `(sum, count)` accumulators.
     acc: Vec<Vec<(f64, u64)>>,
+}
+
+/// An empty zero-flow series (what `mem::take` leaves behind when the
+/// simulator hands its series to the report).
+impl Default for DelaySeries {
+    fn default() -> Self {
+        DelaySeries { bucket: 1.0, acc: Vec::new() }
+    }
 }
 
 impl DelaySeries {
@@ -169,10 +177,7 @@ impl DelaySeries {
     /// Mean delay of `flow` per bucket (`None` buckets had no
     /// deliveries).
     pub fn series(&self, flow: usize) -> Vec<Option<f64>> {
-        self.acc[flow]
-            .iter()
-            .map(|&(s, c)| if c > 0 { Some(s / c as f64) } else { None })
-            .collect()
+        self.acc[flow].iter().map(|&(s, c)| if c > 0 { Some(s / c as f64) } else { None }).collect()
     }
 }
 

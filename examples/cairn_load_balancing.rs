@@ -51,10 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for j in topo.nodes() {
             let pairs = vars.get(i, j);
             if pairs.len() > 1 {
-                let parts: Vec<String> = pairs
-                    .iter()
-                    .map(|(k, f)| format!("{}:{:.2}", topo.name(*k), f))
-                    .collect();
+                let parts: Vec<String> =
+                    pairs.iter().map(|(k, f)| format!("{}:{:.2}", topo.name(*k), f)).collect();
                 println!(
                     "  at {:>8} toward {:<8} {}",
                     topo.name(i),

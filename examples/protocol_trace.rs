@@ -28,11 +28,9 @@ impl Net {
         for s in sends {
             let kind = match (s.msg.entries.is_empty(), s.msg.ack) {
                 (true, true) => "ACK".to_string(),
-                (false, ack) => format!(
-                    "{} entries{}",
-                    s.msg.entries.len(),
-                    if ack { " +ACK" } else { "" }
-                ),
+                (false, ack) => {
+                    format!("{} entries{}", s.msg.entries.len(), if ack { " +ACK" } else { "" })
+                }
                 (true, false) => "empty".to_string(),
             };
             println!("    {from} -> {}: LSU [{kind}]", s.to);
@@ -46,10 +44,7 @@ impl Net {
             let out = self.routers[to.index()].handle(RouterEvent::Lsu { from, msg });
             self.enqueue(to, out.sends);
             // Safety property, checked after *every* delivery.
-            assert!(
-                lfi::check_loop_freedom(&self.routers).is_ok(),
-                "Theorem 3 violated"
-            );
+            assert!(lfi::check_loop_freedom(&self.routers).is_ok(), "Theorem 3 violated");
         }
         let states: Vec<String> = self
             .routers

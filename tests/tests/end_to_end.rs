@@ -28,9 +28,11 @@ fn quick() -> RunConfig {
 }
 
 /// The saturating diamond needs a longer warm-up: AH takes several
-/// `T_s` periods to balance, and the backlog built before that persists.
+/// `T_s` periods to balance, and the backlog built before that
+/// persists. 40 s absorbs even unlucky tick phasings where the split
+/// oscillates for a while before settling (seed 3 is one such).
 fn diamond_cfg() -> RunConfig {
-    RunConfig { warmup: 25.0, duration: 30.0, seed: 3, mean_packet_bits: 1000.0 }
+    RunConfig { warmup: 40.0, duration: 30.0, seed: 3, mean_packet_bits: 1000.0 }
 }
 
 #[test]
@@ -86,10 +88,7 @@ fn deterministic_end_to_end() {
     let a = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), quick()).unwrap();
     let b = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), quick()).unwrap();
     assert_eq!(a.per_flow_delay_ms, b.per_flow_delay_ms);
-    assert_eq!(
-        a.report.unwrap().control_messages,
-        b.report.unwrap().control_messages
-    );
+    assert_eq!(a.report.unwrap().control_messages, b.report.unwrap().control_messages);
 }
 
 #[test]
@@ -137,9 +136,6 @@ fn analytic_and_measured_delays_agree_for_fixed_routing() {
     let analytic = r.analytic.unwrap();
     for (m, a) in r.per_flow_delay_ms.iter().zip(&analytic.flow_delays) {
         let a_ms = a * 1000.0;
-        assert!(
-            (m - a_ms).abs() / a_ms < 0.2,
-            "measured {m} ms vs analytic {a_ms} ms"
-        );
+        assert!((m - a_ms).abs() / a_ms < 0.2, "measured {m} ms vs analytic {a_ms} ms");
     }
 }

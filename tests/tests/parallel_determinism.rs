@@ -1,0 +1,94 @@
+//! The parallel batch harness must be a pure speed-up: running a batch
+//! through `run_many` / `run_jobs` on worker threads has to produce
+//! reports bit-identical to running each job serially, and repeating
+//! the same seed has to reproduce the same report field for field.
+
+use mdr::prelude::*;
+
+/// CAIRN at a moderate load with a mid-run perturbation — exercises
+/// data, control, estimator, and scenario paths.
+fn jobs() -> Vec<RunJob> {
+    let t = topo::cairn();
+    let flows = topo::cairn_flows(&t, 1_500_000.0);
+    let scen = Scenario::new()
+        .at(6.0, ScenarioEvent::SetFlowRate { flow: 2, rate: 3_000_000.0 })
+        .at(9.0, ScenarioEvent::SetFlowRate { flow: 2, rate: 1_500_000.0 });
+    let mut out = Vec::new();
+    for seed in [1u64, 7, 42] {
+        let cfg = RunConfig { warmup: 5.0, duration: 10.0, seed, mean_packet_bits: 1000.0 };
+        out.push(RunJob::new(&t, &flows, Scheme::mp(10.0, 2.0), cfg));
+        out.push(RunJob::new(&t, &flows, Scheme::sp(10.0), cfg).with_scenario(&scen));
+    }
+    out
+}
+
+/// Field-by-field comparison of two reports, with named assertions so a
+/// divergence points at the subsystem that broke determinism.
+fn assert_reports_identical(a: &SimReport, b: &SimReport) {
+    assert_eq!(a.delivered, b.delivered, "delivered counts differ");
+    assert_eq!(a.dropped, b.dropped, "drop counts differ");
+    assert_eq!(a.events_processed, b.events_processed, "event counts differ");
+    assert_eq!(a.control_messages, b.control_messages, "control message counts differ");
+    assert_eq!(a.control_bytes, b.control_bytes, "control byte counts differ");
+    assert_eq!(a.mean_delays_ms, b.mean_delays_ms, "per-flow mean delays differ (bitwise)");
+    assert_eq!(a.flows, b.flows, "per-flow statistics differ");
+    assert_eq!(a.links, b.links, "per-link statistics differ");
+    assert_eq!(a.series, b.series, "delay time series differ");
+    // Belt and braces: the derived equality must agree too.
+    assert_eq!(a, b);
+}
+
+#[test]
+fn run_jobs_matches_serial_execution_bit_for_bit() {
+    let batch = jobs();
+    let serial: Vec<RunResult> = batch.iter().map(|j| j.run().expect("serial run")).collect();
+    // Explicit worker count — more workers than jobs stresses the
+    // scheduling edge cases and ignores RAYON_NUM_THREADS races.
+    let parallel: Vec<RunResult> =
+        run_jobs_with(8, batch).into_iter().map(|r| r.expect("parallel run")).collect();
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.label, p.label, "job order not preserved");
+        assert_eq!(s.per_flow_delay_ms, p.per_flow_delay_ms);
+        assert!(s.mean_delay_ms == p.mean_delay_ms, "mean delay differs (bitwise)");
+        match (&s.report, &p.report) {
+            (Some(a), Some(b)) => assert_reports_identical(a, b),
+            (None, None) => {}
+            _ => panic!("report presence differs"),
+        }
+    }
+}
+
+#[test]
+fn run_many_matches_serial_execution_bit_for_bit() {
+    let t = topo::net1();
+    let flows = topo::net1_flows(1_200_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).expect("traffic");
+    let batch: Vec<SimJob> = [3u64, 11, 29]
+        .iter()
+        .map(|&seed| {
+            let cfg = SimConfig { warmup: 5.0, duration: 8.0, seed, ..Default::default() };
+            SimJob::new(&t, &traffic, cfg)
+        })
+        .collect();
+    let serial: Vec<SimReport> = batch.iter().map(|j| j.run()).collect();
+    let parallel = run_many_with(4, batch);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_reports_identical(s, p);
+    }
+}
+
+#[test]
+fn same_seed_reproduces_the_same_report() {
+    let t = topo::cairn();
+    let flows = topo::cairn_flows(&t, 2_000_000.0);
+    let cfg = RunConfig { warmup: 5.0, duration: 10.0, seed: 13, mean_packet_bits: 1000.0 };
+    let a = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), cfg).expect("first run");
+    let b = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), cfg).expect("second run");
+    assert_eq!(a.per_flow_delay_ms, b.per_flow_delay_ms);
+    assert_reports_identical(
+        a.report.as_ref().expect("report"),
+        b.report.as_ref().expect("report"),
+    );
+}

@@ -33,9 +33,7 @@ fn successor_sets_match_theorem4_on_net1() {
             let expect: Vec<NodeId> = h.routers[i.index()]
                 .neighbors()
                 .into_iter()
-                .filter(|&k| {
-                    h.routers[k.index()].distance(j) < h.routers[i.index()].distance(j)
-                })
+                .filter(|&k| h.routers[k.index()].distance(j) < h.routers[i.index()].distance(j))
                 .collect();
             assert_eq!(
                 h.routers[i.index()].successors(j),
@@ -53,14 +51,13 @@ fn lsu_messages_roundtrip_through_codec() {
     // protocol.
     let t = topo::net1();
     let n = t.node_count();
-    let mut routers: Vec<MpdaRouter> = (0..n).map(|i| MpdaRouter::new(NodeId(i as u32), n)).collect();
+    let mut routers: Vec<MpdaRouter> =
+        (0..n).map(|i| MpdaRouter::new(NodeId(i as u32), n)).collect();
     let mut wire: Vec<(NodeId, NodeId, Vec<u8>)> = Vec::new();
     let mut total = 0usize;
     for l in t.links() {
-        let out = routers[l.from.index()].handle(RouterEvent::LinkUp {
-            to: l.to,
-            cost: cost(l.from, l.to),
-        });
+        let out = routers[l.from.index()]
+            .handle(RouterEvent::LinkUp { to: l.to, cost: cost(l.from, l.to) });
         for s in out.sends {
             wire.push((l.from, s.to, mdr::proto::encode(&s.msg).to_vec()));
         }
@@ -75,11 +72,7 @@ fn lsu_messages_roundtrip_through_codec() {
         }
     }
     // Ground truth from a central Dijkstra over the same costs.
-    let table: TopoTable = t
-        .links()
-        .iter()
-        .map(|l| (l.from, l.to, cost(l.from, l.to)))
-        .collect();
+    let table: TopoTable = t.links().iter().map(|l| (l.from, l.to, cost(l.from, l.to))).collect();
     for i in t.nodes() {
         let truth = dijkstra(n, &table, i);
         for j in t.nodes() {
@@ -112,10 +105,7 @@ fn flow_allocation_follows_successor_sets() {
                 .successors(j)
                 .iter()
                 .map(|&k| {
-                    SuccessorCost::new(
-                        k,
-                        r.neighbor_distance(k, j) + r.link_cost(k).unwrap(),
-                    )
+                    SuccessorCost::new(k, r.neighbor_distance(k, j) + r.link_cost(k).unwrap())
                 })
                 .collect();
             alloc.update(j, &sc, Update::LongTerm);

@@ -74,11 +74,8 @@ fn opt_is_lower_bound_analytically() {
     let t = topo::net1();
     let flows = topo::net1_flows(2_000_000.0);
     let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
-    let models: Vec<Mm1> = t
-        .links()
-        .iter()
-        .map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0))
-        .collect();
+    let models: Vec<Mm1> =
+        t.links().iter().map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0)).collect();
     let opt = mdr::opt::solve(&t, &models, &traffic, GallagerConfig::default()).unwrap();
     // Run MP, extract its converged routing variables, evaluate them on
     // the same analytic model: must not undercut OPT.
@@ -99,11 +96,8 @@ fn opt_is_lower_bound_analytically() {
 #[test]
 fn opt_monotone_in_load() {
     let t = topo::net1();
-    let models: Vec<Mm1> = t
-        .links()
-        .iter()
-        .map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0))
-        .collect();
+    let models: Vec<Mm1> =
+        t.links().iter().map(|l| Mm1::new(l.capacity, l.prop_delay, 1000.0)).collect();
     let mut prev = 0.0;
     for &rate in &[1_000_000.0, 1_500_000.0, 2_000_000.0, 2_500_000.0, 3_000_000.0] {
         let flows = topo::net1_flows(rate);

@@ -1,0 +1,299 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset this
+//! workspace's benches use: `Criterion::benchmark_group`, group-level
+//! `sample_size`/`throughput`, `bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `Throughput` and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Compared to the real crate there is no statistical analysis, no
+//! outlier rejection and no HTML report: each benchmark is timed over
+//! an adaptively chosen iteration count and the mean per-iteration
+//! time (plus throughput, when configured) is printed to stdout. That
+//! is enough to compare before/after on the same machine, which is
+//! what the workspace's perf gates do.
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    /// Skip execution (`--list` mode prints names only).
+    list_only: bool,
+    /// Optional substring filter from the command line.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut list_only = false;
+        let mut filter = None;
+        // Harness flags arrive from `cargo bench`/`cargo test`; accept
+        // and ignore the ones we don't implement instead of crashing.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--list" => list_only = true,
+                "--bench" | "--test" | "--nocapture" | "--quiet" => {}
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { measurement: Duration::from_millis(200), list_only, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Override the target measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+}
+
+/// Units for reporting how much work one iteration performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many abstract elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Bare parameter id (used when the group name says it all).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the adaptive iteration count is driven
+    /// by measurement time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the target measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.list_only {
+            println!("{full}: benchmark");
+            return;
+        }
+        let mut bencher =
+            Bencher { budget: self.criterion.measurement, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        report(&full, &bencher, self.throughput);
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    budget: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, choosing an iteration count that fills the
+    /// measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call, then a timed probe to size the run.
+        black_box(routine());
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let n = (self.budget.as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = n;
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 {
+        println!("{name:<40} (no measurement)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+    let time = human_time(per_iter);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / per_iter;
+            println!(
+                "{name:<40} {time:>12}/iter   {:>14}/s   ({} iters)",
+                human_count(rate),
+                bencher.iters
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / per_iter;
+            println!(
+                "{name:<40} {time:>12}/iter   {:>13}B/s   ({} iters)",
+                human_count(rate),
+                bencher.iters
+            );
+        }
+        None => {
+            println!("{name:<40} {time:>12}/iter   ({} iters)", bencher.iters);
+        }
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn human_count(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { budget: Duration::from_millis(5), elapsed: Duration::ZERO, iters: 0 };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(b.iters >= 1);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("encode", 64).to_string(), "encode/64");
+        assert_eq!(BenchmarkId::from_parameter("net1").to_string(), "net1");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_time(2.0), "2.000 s");
+        assert_eq!(human_time(2.5e-3), "2.500 ms");
+        assert_eq!(human_time(3.0e-6), "3.000 µs");
+        assert_eq!(human_time(5.0e-9), "5.0 ns");
+        assert_eq!(human_count(2.5e6), "2.50 M");
+    }
+}

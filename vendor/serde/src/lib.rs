@@ -1,0 +1,407 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's zero-copy visitor architecture, this crate uses a
+//! simple owned [`Value`] tree as the data model: `Serialize` renders a
+//! type into a `Value`, `Deserialize` rebuilds a type from one, and
+//! `serde_json` (the vendored one) converts `Value` to and from JSON
+//! text. That is all the workspace needs — figure files and network
+//! specs are small and read rarely, so the allocation cost of an owned
+//! tree is irrelevant.
+//!
+//! The companion `serde_derive` crate implements `#[derive(Serialize,
+//! Deserialize)]` for the shapes used here: named-field structs (with
+//! `#[serde(default)]` / `#[serde(default = "path")]`), tuple structs,
+//! and unit-variant enums.
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every type serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (positive ones normalize to [`Value::U64`]).
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key/value map (insertion order preserved, like
+    /// `serde_json`'s `preserve_order` feature).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a field in a map value.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    }
+
+    /// One-word description used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" while deserializing `ty`.
+    pub fn expected(what: &str, found: &Value, ty: &str) -> Self {
+        Error { msg: format!("expected {what} for {ty}, found {}", found.kind()) }
+    }
+
+    /// Required field absent from the input map.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Error { msg: format!("missing field `{field}` while deserializing {ty}") }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Produce the `Value` tree representing `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse a `Value` tree into `Self`.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other, "bool")),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let wide = match v {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    other => return Err(Error::expected("unsigned integer", other, stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::I64(i) => *i,
+                    Value::U64(u) => i64::try_from(*u)
+                        .map_err(|_| Error::custom(format!("{u} out of range for i64")))?,
+                    other => return Err(Error::expected("integer", other, stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            other => Err(Error::expected("number", other, "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other, "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-character string", other, "char")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::expected("sequence", other, "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?))).collect()
+            }
+            other => Err(Error::expected("map", other, "BTreeMap")),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($t::deserialize_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::expected(
+                        concat!("sequence of length ", $len), other, "tuple")),
+                }
+            }
+        }
+    };
+}
+impl_serde_tuple!(1 => A.0);
+impl_serde_tuple!(2 => A.0, B.1);
+impl_serde_tuple!(3 => A.0, B.1, C.2);
+impl_serde_tuple!(4 => A.0, B.1, C.2, D.3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize_value(&42u32.serialize_value()).unwrap(), 42);
+        assert_eq!(i32::deserialize_value(&(-7i32).serialize_value()).unwrap(), -7);
+        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()).unwrap(), 1.5);
+        assert_eq!(bool::deserialize_value(&true.serialize_value()).unwrap(), true);
+        assert_eq!(String::deserialize_value(&"hi".to_string().serialize_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn integers_accept_cross_signed_values() {
+        // A JSON parser yields U64 for non-negative literals; signed
+        // targets must still accept them (and vice versa within range).
+        assert_eq!(i64::deserialize_value(&Value::U64(5)).unwrap(), 5);
+        assert_eq!(u64::deserialize_value(&Value::I64(5)).unwrap(), 5);
+        assert!(u64::deserialize_value(&Value::I64(-5)).is_err());
+        assert!(u8::deserialize_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn nested_containers_roundtrip() {
+        let x: Vec<Vec<(f64, u64)>> = vec![vec![(1.5, 2), (0.0, 0)], vec![]];
+        let v = x.serialize_value();
+        let back: Vec<Vec<(f64, u64)>> = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn option_null_mapping() {
+        let some: Option<u32> = Some(3);
+        let none: Option<u32> = None;
+        assert_eq!(none.serialize_value(), Value::Null);
+        assert_eq!(Option::<u32>::deserialize_value(&some.serialize_value()).unwrap(), Some(3));
+        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn map_field_lookup() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1)), ("b".into(), Value::Bool(false))]);
+        assert_eq!(v.get_field("b"), Some(&Value::Bool(false)));
+        assert_eq!(v.get_field("zzz"), None);
+    }
+}

@@ -1,0 +1,402 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's `Value` data model, using only the
+//! compiler-provided `proc_macro` API (no `syn`/`quote`, which are not
+//! available offline). The supported input shapes are exactly the ones
+//! this workspace uses:
+//!
+//! * structs with named fields, honouring `#[serde(default)]` and
+//!   `#[serde(default = "path")]` on fields;
+//! * tuple structs (newtypes serialize transparently as their inner
+//!   value, wider tuples as sequences);
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant-name string).
+//!
+//! Anything else (generics, data-carrying enums, struct-level serde
+//! attributes) panics with a descriptive message at expansion time
+//! rather than generating wrong code silently.
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a field does when absent from the input map.
+enum FieldDefault {
+    /// Hard error (`missing field`).
+    Required,
+    /// `Default::default()` — from `#[serde(default)]`.
+    DefaultTrait,
+    /// Call the named function — from `#[serde(default = "path")]`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::serialize_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\"")).collect();
+            format!(
+                "::serde::Value::Str(::std::string::String::from(match self {{ {} }}))",
+                arms.join(", ")
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("derive(Serialize): generated code must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let absent = match &f.default {
+                        FieldDefault::Required => format!(
+                            "return ::std::result::Result::Err(\
+                             ::serde::Error::missing_field(\"{}\", \"{name}\"))",
+                            f.name
+                        ),
+                        FieldDefault::DefaultTrait => {
+                            "::std::default::Default::default()".to_string()
+                        }
+                        FieldDefault::Path(path) => format!("{path}()"),
+                    };
+                    format!(
+                        "{0}: match ::serde::Value::get_field(v, \"{0}\") {{\n\
+                             ::std::option::Option::Some(x) => \
+                               ::serde::Deserialize::deserialize_value(x)?,\n\
+                             ::std::option::Option::None => {absent},\n\
+                         }}",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "if ::serde::Value::as_map(v).is_none() {{\n\
+                     return ::std::result::Result::Err(\
+                       ::serde::Error::expected(\"map\", v, \"{name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Seq(items) if items.len() == {n} => \
+                       ::std::result::Result::Ok({name}({})),\n\
+                     other => ::std::result::Result::Err(\
+                       ::serde::Error::expected(\"sequence of length {n}\", other, \"{name}\")),\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|vn| {
+                    format!(
+                        "::std::option::Option::Some(\"{vn}\") => \
+                         ::std::result::Result::Ok({name}::{vn})"
+                    )
+                })
+                .collect();
+            format!(
+                "match ::serde::Value::as_str(v) {{\n\
+                     {},\n\
+                     _ => ::std::result::Result::Err(\
+                       ::serde::Error::expected(\"variant of {name}\", v, \"{name}\")),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) \
+               -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("derive(Deserialize): generated code must parse")
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            // Outer attribute (doc comment, cfg, serde, ...): `#` then
+            // a bracketed group — skip both.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // `pub(crate)` etc: skip the qualifier group too.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut iter, "struct name");
+                return Input { name: name.clone(), shape: parse_struct_shape(&mut iter, &name) };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut iter, "enum name");
+                return Input { name: name.clone(), shape: parse_enum_shape(&mut iter, &name) };
+            }
+            other => panic!("serde derive: unsupported item start: {other:?}"),
+        }
+    }
+}
+
+fn expect_ident(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_struct_shape(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    name: &str,
+) -> Shape {
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream(), name))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde derive: generic struct `{name}` is not supported by the vendored derive")
+        }
+        other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+    }
+}
+
+/// Parse `field: Type, ...` bodies, tracking `#[serde(...)]` attributes.
+fn parse_named_fields(stream: TokenStream, type_name: &str) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    let mut pending_default = FieldDefault::Required;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(attr)) = iter.next() {
+                    if let Some(d) = parse_serde_default(attr.stream(), type_name) {
+                        pending_default = d;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!(
+                        "serde derive: expected `:` after field `{id}` in `{type_name}`, \
+                         found {other:?}"
+                    ),
+                }
+                // Skip the type: consume until a comma at angle-depth 0.
+                // `<`/`>` arrive as individual Puncts, so nested generic
+                // arguments like Vec<(f64, u64)> are handled by depth
+                // counting (parens/brackets are already single Groups).
+                let mut angle_depth = 0i32;
+                for t in iter.by_ref() {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                fields.push(Field {
+                    name: id.to_string(),
+                    default: std::mem::replace(&mut pending_default, FieldDefault::Required),
+                });
+            }
+            other => panic!("serde derive: unexpected token in `{type_name}` body: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Extract a default policy from one attribute's token stream, which is
+/// the content inside `#[...]`, e.g. `serde(default = "path")` or
+/// `doc = "..."`. Non-serde attributes return `None`.
+fn parse_serde_default(stream: TokenStream, type_name: &str) -> Option<FieldDefault> {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde derive: malformed #[serde] attribute in `{type_name}`: {other:?}"),
+    };
+    let mut inner = inner.into_iter().peekable();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => match inner.next() {
+            None => Some(FieldDefault::DefaultTrait),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => match inner.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    let path = s.trim_matches('"').to_string();
+                    Some(FieldDefault::Path(path))
+                }
+                other => panic!(
+                    "serde derive: expected string literal after `default =` \
+                     in `{type_name}`, found {other:?}"
+                ),
+            },
+            other => panic!(
+                "serde derive: unsupported #[serde(default ...)] form in `{type_name}`: {other:?}"
+            ),
+        },
+        other => panic!(
+            "serde derive: unsupported #[serde(...)] attribute in `{type_name}` \
+             (only `default` is implemented): {other:?}"
+        ),
+    }
+}
+
+/// Count top-level fields of a tuple struct body `(A, B, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut saw_any = false;
+    let mut trailing_comma = false;
+    for t in stream {
+        saw_any = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if !saw_any {
+        panic!("serde derive: empty tuple structs are not supported");
+    }
+    if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_enum_shape(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    name: &str,
+) -> Shape {
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde derive: unsupported enum body for `{name}`: {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                match iter.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        iter.next();
+                    }
+                    other => panic!(
+                        "serde derive: enum `{name}` has a non-unit variant `{id}` \
+                         ({other:?}); only unit-variant enums are supported"
+                    ),
+                }
+                variants.push(id.to_string());
+            }
+            other => panic!("serde derive: unexpected token in enum `{name}`: {other:?}"),
+        }
+    }
+    Shape::UnitEnum(variants)
+}
