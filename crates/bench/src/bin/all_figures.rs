@@ -5,12 +5,14 @@
 //! `BENCH_sim.json` is written beside `results/` with, per experiment:
 //! wall-clock seconds, discrete events simulated, and events/second.
 //! Pass experiment names (substrings) as arguments to run a subset,
-//! e.g. `all_figures fig9 fig10`.
+//! e.g. `all_figures fig9 fig10` — a filtered run merges its rows into
+//! an existing `BENCH_sim.json` (replacing rows by name, recomputing
+//! the totals as row sums) instead of clobbering the full report.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct BenchRow {
     name: String,
     wall_s: f64,
@@ -18,7 +20,7 @@ struct BenchRow {
     events_per_s: f64,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct BenchReport {
     /// Worker threads the batch APIs used (`RAYON_NUM_THREADS` or the
     /// machine's available parallelism).
@@ -27,6 +29,18 @@ struct BenchReport {
     total_sim_events: u64,
     events_per_s: f64,
     experiments: Vec<BenchRow>,
+}
+
+/// Replace same-named rows of `old` with `new` ones (in place, keeping
+/// the registry order) and append rows `old` never had.
+fn merge_rows(mut old: Vec<BenchRow>, new: Vec<BenchRow>) -> Vec<BenchRow> {
+    for row in new {
+        match old.iter_mut().find(|r| r.name == row.name) {
+            Some(slot) => *slot = row,
+            None => old.push(row),
+        }
+    }
+    old
 }
 
 fn main() {
@@ -62,8 +76,25 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let total_wall_s = t0.elapsed().as_secs_f64();
-    let total_sim_events = mdr_bench::sim_events();
+    let ran = rows.len();
+    let path = mdr_bench::results_dir().join("../BENCH_sim.json");
+    // A filtered run updates only its own rows in the standing report;
+    // the totals are then recomputed as sums over the merged rows so
+    // they stay consistent without re-running everything.
+    if !filters.is_empty() {
+        if let Some(prev) = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<BenchReport>(&s).ok())
+        {
+            rows = merge_rows(prev.experiments, rows);
+        }
+    }
+    let total_wall_s = if filters.is_empty() {
+        t0.elapsed().as_secs_f64()
+    } else {
+        rows.iter().map(|r| r.wall_s).sum()
+    };
+    let total_sim_events = rows.iter().map(|r| r.sim_events).sum::<u64>();
     let report = BenchReport {
         threads,
         total_wall_s,
@@ -71,7 +102,6 @@ fn main() {
         events_per_s: total_sim_events as f64 / total_wall_s.max(1e-9),
         experiments: rows,
     };
-    let path = mdr_bench::results_dir().join("../BENCH_sim.json");
     match serde_json::to_string_pretty(&report) {
         Ok(s) => {
             if let Err(e) = std::fs::write(&path, s) {
@@ -83,10 +113,9 @@ fn main() {
         Err(e) => eprintln!("warning: could not serialize benchmark summary: {e}"),
     }
     println!(
-        "all experiments completed in {:.1} s on {} thread(s) ({} events, {:.3} M events/s); see results/*.json",
-        total_wall_s,
+        "{} experiment(s) completed in {:.1} s on {} thread(s); see results/*.json",
+        ran,
+        t0.elapsed().as_secs_f64(),
         threads,
-        total_sim_events,
-        total_sim_events as f64 / total_wall_s.max(1e-9) / 1e6
     );
 }

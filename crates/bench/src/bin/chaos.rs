@@ -1,0 +1,8 @@
+//! Chaos harness — seeded link/router/control-plane fault injection
+//! with always-on invariant auditing (see figures::chaos). Pass `smoke`
+//! for the short CI subset.
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "smoke");
+    mdr_bench::figures::chaos_run(smoke);
+}

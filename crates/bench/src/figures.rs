@@ -44,6 +44,7 @@ pub fn all() -> Vec<Experiment> {
         Experiment { name: "ablation_estimator", run: ablation_estimator },
         Experiment { name: "ablation_traffic", run: ablation_traffic },
         Experiment { name: "extension_dv", run: extension_dv },
+        Experiment { name: "chaos", run: chaos },
     ]
 }
 
@@ -863,4 +864,212 @@ pub fn extension_dv() {
     }
     fig.note("identical distances and successor sets verified at every convergence".into());
     fig.finish();
+}
+
+/// One cell of the chaos grid: a (topology, intensity, seed) run with
+/// its measured damage and recovery.
+#[derive(serde::Serialize)]
+struct ChaosCell {
+    topology: String,
+    intensity: String,
+    seed: u64,
+    rate_mbps: f64,
+    delivered: u64,
+    dropped: u64,
+    control_messages: u64,
+    robustness: RobustnessReport,
+}
+
+/// The whole `results/chaos.json` document.
+#[derive(serde::Serialize)]
+struct ChaosResults {
+    id: String,
+    title: String,
+    cells: Vec<ChaosCell>,
+    notes: Vec<String>,
+}
+
+/// The three chaos intensities: a label plus a [`FaultPlan`] template
+/// whose `seed` is re-derived per cell.
+fn chaos_intensities() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "light",
+            FaultPlan {
+                seed: 0xC4A0_0001,
+                start: 5.0,
+                link_faults: Some(FaultProcess { mtbf: 20.0, mttr: 2.0 }),
+                router_faults: None,
+                control: None,
+            },
+        ),
+        (
+            "medium",
+            FaultPlan {
+                seed: 0xC4A0_0002,
+                start: 5.0,
+                link_faults: Some(FaultProcess { mtbf: 15.0, mttr: 2.0 }),
+                router_faults: None,
+                control: Some(ControlChaos::default()),
+            },
+        ),
+        (
+            "heavy",
+            FaultPlan {
+                seed: 0xC4A0_0003,
+                start: 5.0,
+                link_faults: Some(FaultProcess { mtbf: 10.0, mttr: 2.0 }),
+                router_faults: Some(FaultProcess { mtbf: 40.0, mttr: 3.0 }),
+                control: Some(ControlChaos {
+                    drop_prob: 0.15,
+                    dup_prob: 0.05,
+                    corrupt_prob: 0.05,
+                    jitter_max: 0.01,
+                    rto: 0.02,
+                }),
+            },
+        ),
+    ]
+}
+
+/// Tentpole robustness experiment — CAIRN and NET1 under three seeded
+/// fault intensities (link failures, router crash/restarts, lossy and
+/// corrupting control channel) with invariant auditing on for every
+/// routing-table change. Writes `results/chaos.json` and asserts the
+/// paper's core safety claim: zero LFI violations under any schedule.
+pub fn chaos() {
+    chaos_run(false);
+}
+
+/// Shared driver; `smoke` runs the CI subset (NET1, medium intensity,
+/// one seed, short horizon) with the same assertions.
+pub fn chaos_run(smoke: bool) {
+    // Half the figure loads: chaos removes capacity, and the question
+    // here is recovery and safety, not queueing at the feasibility edge.
+    let grid: Vec<(&'static str, Topology, Vec<Flow>, f64)> = if smoke {
+        let (t, flows, _) = net1_setup(NET1_RATE * 0.5);
+        vec![("NET1", t, flows, NET1_RATE * 0.5)]
+    } else {
+        let (tc, fc, _) = cairn_setup(CAIRN_RATE * 0.5);
+        let (tn, fn_, _) = net1_setup(NET1_RATE * 0.5);
+        vec![("CAIRN", tc, fc, CAIRN_RATE * 0.5), ("NET1", tn, fn_, NET1_RATE * 0.5)]
+    };
+    let (warmup, duration) = if smoke { (5.0, 15.0) } else { (10.0, 40.0) };
+    let seeds: &[u64] = if smoke { &[7] } else { &[7, 19] };
+    let intensities = chaos_intensities();
+    let intensities: Vec<_> = if smoke {
+        intensities.into_iter().filter(|(l, _)| *l == "medium").collect()
+    } else {
+        intensities
+    };
+
+    // One flat batch over the whole grid; results come back in order.
+    let mut meta: Vec<(&'static str, &'static str, u64, f64)> = Vec::new();
+    let mut jobs: Vec<SimJob> = Vec::new();
+    for (name, t, flows, rate) in &grid {
+        let traffic = TrafficMatrix::from_flows(t, flows).expect("chaos traffic");
+        for (label, template) in &intensities {
+            for &seed in seeds {
+                let plan = FaultPlan { seed: template.seed ^ seed, ..*template };
+                let cfg = SimConfig {
+                    warmup,
+                    duration,
+                    seed,
+                    fault_plan: Some(plan),
+                    audit_invariants: true,
+                    ..Default::default()
+                };
+                meta.push((name, label, seed, *rate));
+                jobs.push(SimJob::new(t, &traffic, cfg));
+            }
+        }
+    }
+    let reports = run_many_recorded(jobs);
+
+    let mut doc = ChaosResults {
+        // The smoke subset writes beside the full results, not over
+        // them.
+        id: if smoke { "chaos_smoke".into() } else { "chaos".into() },
+        title: "Seeded chaos: recovery and safety under link, router, and control-plane faults"
+            .into(),
+        cells: Vec::new(),
+        notes: Vec::new(),
+    };
+    println!("== chaos — {} ==", doc.title);
+    println!(
+        "{:<7}{:<9}{:>5}{:>8}{:>10}{:>10}{:>10}{:>11}{:>9}{:>10}{:>11}",
+        "topo",
+        "level",
+        "seed",
+        "faults",
+        "recov",
+        "mean_s",
+        "max_s",
+        "blackhole",
+        "looped",
+        "lsu_drop",
+        "violations"
+    );
+    let mut total_recovered = 0u64;
+    for ((name, label, seed, rate), rep) in meta.into_iter().zip(reports) {
+        let rob = rep.robustness.clone().expect("chaos run must carry a robustness report");
+        assert!(!rob.faults.is_empty(), "{name}/{label}/{seed}: fault plan injected nothing");
+        assert_eq!(
+            rob.invariant_violations, 0,
+            "{name}/{label}/{seed}: LFI violated — {:?}",
+            rob.first_violation
+        );
+        total_recovered += rob.recovered;
+        println!(
+            "{:<7}{:<9}{:>5}{:>8}{:>10}{:>10.3}{:>10.3}{:>11}{:>9}{:>10}{:>11}",
+            name,
+            label,
+            seed,
+            rob.faults.len(),
+            rob.recovered,
+            rob.mean_recovery_s,
+            rob.max_recovery_s,
+            rob.counters.packets_blackholed,
+            rob.counters.packets_looped,
+            rob.counters.lsus_dropped,
+            rob.invariant_violations,
+        );
+        doc.cells.push(ChaosCell {
+            topology: name.to_string(),
+            intensity: label.to_string(),
+            seed,
+            rate_mbps: rate / 1e6,
+            delivered: rep.delivered,
+            dropped: rep.dropped,
+            control_messages: rep.control_messages,
+            robustness: rob,
+        });
+    }
+    assert!(total_recovered > 0, "no fault ever recovered — harness broken");
+    doc.notes.push(format!(
+        "per-flow load at half the figure rates; warmup {warmup} s, measured {duration} s; \
+every cell audited after every routing-table change — {} LFI checks total, zero violations",
+        doc.cells.iter().map(|c| c.robustness.invariant_checks).sum::<u64>()
+    ));
+    doc.notes.push(
+        "recovery = first instant after a fault with no LSU in flight and every router PASSIVE"
+            .into(),
+    );
+    for n in &doc.notes {
+        println!("note: {n}");
+    }
+
+    let dir = crate::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{}.json", doc.id));
+    match serde_json::to_string_pretty(&doc) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("results written to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize chaos results: {e}"),
+    }
 }

@@ -11,6 +11,7 @@ pub use mdr_opt::{evaluate, GallagerConfig, RoutingVars};
 pub use mdr_proto::{LsuEntry, LsuMessage, LsuOp};
 pub use mdr_routing::{DvEvent, DvMessage, DvRouter, Harness, MpdaRouter, PdaRouter, RouterEvent};
 pub use mdr_sim::{
-    run_many, run_many_with, EstimatorKind, PacketDist, RunSet, Scenario, ScenarioEvent, SimConfig,
-    SimJob, SimReport, Simulator,
+    run_many, run_many_with, ControlChaos, EstimatorKind, FaultEvent, FaultPlan, FaultProcess,
+    FaultRecord, InvariantMonitor, PacketDist, RobustnessCounters, RobustnessReport, RunSet,
+    Scenario, ScenarioEvent, SimConfig, SimJob, SimReport, Simulator,
 };

@@ -5,16 +5,27 @@
 //! ```text
 //! magic    u8   = 0x4C ('L')
 //! version  u8   = 1
-//! flags    u8   bit0 = ACK
+//! flags    u8   bit0 = ACK, other bits must be 0
 //! from     u32  originating router
 //! count    u16  number of entries
 //! entry*   { op u8, head u32, tail u32, cost f64 }  count times
 //! ```
 //!
-//! The codec is strict: trailing bytes, bad magic/version/opcode, and
-//! non-finite or negative costs are decode errors (a router must never
-//! install garbage link state — robustness first, per the smoltcp
-//! design ethos this workspace follows).
+//! The codec is strict: trailing bytes, bad magic/version/opcode,
+//! unknown flag bits, and non-finite or negative costs are decode
+//! errors (a router must never install garbage link state — robustness
+//! first, per the smoltcp design ethos this workspace follows).
+//! Strictness also buys a canonical encoding: any buffer that decodes
+//! successfully re-encodes to exactly the same bytes, a property the
+//! corruption proptests rely on.
+//!
+//! [`frame`]/[`unframe`] add a link-layer integrity trailer — the CRC32
+//! of the encoded message appended as a `u32` — for channels that can
+//! corrupt bits (the chaos harness in `mdr-sim`). A bare [`decode`]
+//! rejects structurally invalid input but cannot notice a flipped cost
+//! bit; the checksum catches essentially all random corruption (escape
+//! probability ~2⁻³²), so corrupted LSUs are retransmitted instead of
+//! poisoning neighbor topology tables.
 
 use crate::lsu::{LsuEntry, LsuMessage, LsuOp};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -25,6 +36,8 @@ const MAGIC: u8 = 0x4C;
 const VERSION: u8 = 1;
 const HEADER_LEN: usize = 1 + 1 + 1 + 4 + 2;
 const ENTRY_LEN: usize = 1 + 4 + 4 + 8;
+/// Bytes the CRC32 trailer of [`frame`] adds on top of [`encoded_len`].
+pub const FRAME_TRAILER_LEN: usize = 4;
 
 /// Codec failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,12 +48,16 @@ pub enum DecodeError {
     BadMagic(u8),
     /// Unsupported version.
     BadVersion(u8),
+    /// Flag bits outside the defined set.
+    BadFlags(u8),
     /// Unknown entry opcode.
     BadOp(u8),
     /// Cost was negative, NaN, or infinite.
     BadCost,
     /// Bytes remained after the declared entries.
     TrailingBytes(usize),
+    /// Frame checksum mismatch (corrupted on the wire).
+    BadChecksum,
 }
 
 impl fmt::Display for DecodeError {
@@ -49,9 +66,11 @@ impl fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "truncated LSU"),
             DecodeError::BadMagic(b) => write!(f, "bad magic byte {b:#x}"),
             DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadFlags(b) => write!(f, "unknown flag bits {b:#x}"),
             DecodeError::BadOp(o) => write!(f, "unknown opcode {o}"),
             DecodeError::BadCost => write!(f, "non-finite or negative cost"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+            DecodeError::BadChecksum => write!(f, "frame checksum mismatch"),
         }
     }
 }
@@ -113,6 +132,9 @@ pub fn decode(mut buf: &[u8]) -> Result<LsuMessage, DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     let flags = buf.get_u8();
+    if flags & !1 != 0 {
+        return Err(DecodeError::BadFlags(flags));
+    }
     let from = NodeId(buf.get_u32());
     let count = buf.get_u16() as usize;
     if buf.remaining() < count * ENTRY_LEN {
@@ -133,6 +155,51 @@ pub fn decode(mut buf: &[u8]) -> Result<LsuMessage, DecodeError> {
         return Err(DecodeError::TrailingBytes(buf.remaining()));
     }
     Ok(LsuMessage { from, ack: flags & 1 != 0, entries })
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), bitwise —
+/// this runs only on the chaos corruption path, so table-free clarity
+/// beats speed.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Size of a framed message: [`encoded_len`] plus the CRC32 trailer.
+pub fn framed_len(msg: &LsuMessage) -> usize {
+    encoded_len(msg) + FRAME_TRAILER_LEN
+}
+
+/// Encode `msg` and append the CRC32 of the encoding (the link-layer
+/// frame used on channels that can corrupt bits).
+pub fn frame(msg: &LsuMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(framed_len(msg));
+    buf.put_slice(&encode(msg));
+    let crc = crc32(&buf);
+    buf.put_u32(crc);
+    buf.freeze()
+}
+
+/// Verify the CRC32 trailer and decode the payload. Corruption anywhere
+/// in the frame — payload or trailer — yields [`DecodeError::BadChecksum`]
+/// (or [`DecodeError::Truncated`] when even the trailer is cut short).
+pub fn unframe(buf: &[u8]) -> Result<LsuMessage, DecodeError> {
+    if buf.len() < HEADER_LEN + FRAME_TRAILER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let (payload, trailer) = buf.split_at(buf.len() - FRAME_TRAILER_LEN);
+    let want = u32::from_be_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    if crc32(payload) != want {
+        return Err(DecodeError::BadChecksum);
+    }
+    decode(payload)
 }
 
 #[cfg(test)]
@@ -220,8 +287,53 @@ mod tests {
     }
 
     #[test]
+    fn rejects_unknown_flag_bits() {
+        let mut b = encode(&sample()).to_vec();
+        b[2] |= 0x82;
+        assert_eq!(decode(&b), Err(DecodeError::BadFlags(0x83)));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_len() {
+        let m = sample();
+        let f = frame(&m);
+        assert_eq!(f.len(), framed_len(&m));
+        assert_eq!(f.len(), encoded_len(&m) + FRAME_TRAILER_LEN);
+        assert_eq!(unframe(&f).unwrap(), m);
+    }
+
+    #[test]
+    fn unframe_rejects_any_single_bit_flip() {
+        let f = frame(&sample()).to_vec();
+        for byte in 0..f.len() {
+            for bit in 0..8 {
+                let mut b = f.clone();
+                b[byte] ^= 1 << bit;
+                assert!(unframe(&b).is_err(), "bit flip at byte {byte} bit {bit} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn unframe_rejects_truncation_everywhere() {
+        let f = frame(&sample()).to_vec();
+        for cut in 0..f.len() {
+            assert!(unframe(&f[..cut]).is_err(), "unframe succeeded on {cut}-byte prefix");
+        }
+    }
+
+    #[test]
     fn display_of_errors() {
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
         assert!(DecodeError::BadOp(3).to_string().contains('3'));
+        assert!(DecodeError::BadChecksum.to_string().contains("checksum"));
+        assert!(DecodeError::BadFlags(2).to_string().contains("flag"));
     }
 }

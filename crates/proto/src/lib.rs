@@ -19,5 +19,5 @@
 pub mod codec;
 pub mod lsu;
 
-pub use codec::{decode, encode, encoded_len, DecodeError};
+pub use codec::{decode, encode, encoded_len, frame, framed_len, unframe, DecodeError};
 pub use lsu::{LsuEntry, LsuMessage, LsuOp};

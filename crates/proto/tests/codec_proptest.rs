@@ -1,8 +1,14 @@
 //! Property-based tests: the LSU codec roundtrips arbitrary valid
-//! messages and never panics on arbitrary byte soup.
+//! messages, never panics on arbitrary byte soup, and — the chaos
+//! harness's contract — any byte-level mutation of a valid encoding
+//! either errors out or yields a message whose canonical re-encoding is
+//! exactly the mutated buffer (no "almost parsed" garbage ever reaches
+//! a routing table).
 
 use mdr_net::NodeId;
-use mdr_proto::{decode, encode, encoded_len, LsuEntry, LsuMessage, LsuOp};
+use mdr_proto::{
+    decode, encode, encoded_len, frame, framed_len, unframe, LsuEntry, LsuMessage, LsuOp,
+};
 use proptest::prelude::*;
 
 fn arb_op() -> impl Strategy<Value = LsuOp> {
@@ -45,5 +51,67 @@ proptest! {
             b[i] = val;
             let _ = decode(&b); // must not panic; may error or yield another valid message
         }
+    }
+
+    /// Arbitrary multi-byte mutations plus truncation: decode must not
+    /// panic, and when it *does* accept the buffer the encoding must be
+    /// canonical — re-encoding the decoded message reproduces the
+    /// mutated bytes exactly.
+    #[test]
+    fn mutations_error_or_roundtrip(
+        msg in arb_msg(),
+        muts in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+        cut in any::<prop::sample::Index>(),
+        truncate in any::<bool>(),
+    ) {
+        let mut b = encode(&msg).to_vec();
+        for (idx, val) in &muts {
+            let i = idx.index(b.len());
+            b[i] = *val;
+        }
+        if truncate {
+            b.truncate(cut.index(b.len() + 1));
+        }
+        if let Ok(m) = decode(&b) {
+            prop_assert_eq!(encode(&m).to_vec(), b, "decode accepted a non-canonical buffer");
+        }
+    }
+
+    /// The framed (CRC32) codec roundtrips and sizes correctly.
+    #[test]
+    fn frame_roundtrip_any_message(msg in arb_msg()) {
+        let f = frame(&msg);
+        prop_assert_eq!(f.len(), framed_len(&msg));
+        prop_assert_eq!(unframe(&f).unwrap(), msg);
+    }
+
+    /// Same mutation property for the framed path; additionally, the
+    /// checksum makes surviving an actual mutation astronomically
+    /// unlikely, so accepted-but-different frames are effectively
+    /// impossible (we still only assert the contract, not the odds).
+    #[test]
+    fn framed_mutations_error_or_roundtrip(
+        msg in arb_msg(),
+        muts in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+        cut in any::<prop::sample::Index>(),
+        truncate in any::<bool>(),
+    ) {
+        let mut b = frame(&msg).to_vec();
+        for (idx, val) in &muts {
+            let i = idx.index(b.len());
+            b[i] = *val;
+        }
+        if truncate {
+            b.truncate(cut.index(b.len() + 1));
+        }
+        if let Ok(m) = unframe(&b) {
+            prop_assert_eq!(frame(&m).to_vec(), b, "unframe accepted a non-canonical frame");
+        }
+    }
+
+    /// Garbage bytes through the framed path never panic either.
+    #[test]
+    fn unframe_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = unframe(&bytes);
     }
 }

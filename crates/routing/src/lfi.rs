@@ -80,30 +80,45 @@ where
 /// Verify, for every destination, that the global successor graph formed
 /// by the routers' current successor sets is acyclic. Returns
 /// `Err((dest, cycle))` on violation.
-pub fn check_loop_freedom(routers: &[MpdaRouter]) -> Result<(), (NodeId, Vec<NodeId>)> {
-    let n = routers.len();
+///
+/// `router(i)` yields router `i` — the closure indirection lets callers
+/// that do not hold a plain `&[MpdaRouter]` (the simulator keeps each
+/// router inside a larger per-node struct) run the same audit.
+pub fn check_loop_freedom_with<'a, F>(n: usize, router: F) -> Result<(), (NodeId, Vec<NodeId>)>
+where
+    F: Fn(NodeId) -> &'a MpdaRouter,
+{
     for j in 0..n as u32 {
         let j = NodeId(j);
-        if let Some(cycle) = find_cycle(n, |i| routers[i.index()].successors(j)) {
+        if let Some(cycle) = find_cycle(n, |i| router(i).successors(j)) {
             return Err((j, cycle));
         }
     }
     Ok(())
 }
 
+/// [`check_loop_freedom_with`] over a plain router slice.
+pub fn check_loop_freedom(routers: &[MpdaRouter]) -> Result<(), (NodeId, Vec<NodeId>)> {
+    check_loop_freedom_with(routers.len(), |i| &routers[i.index()])
+}
+
 /// Verify the potential argument of Theorem 1: for every successor edge
 /// `i → k` (k ≠ j), `FD^k_j < FD^i_j`. Returns the offending triple
-/// `(i, k, j)` on violation.
-pub fn check_fd_ordering(routers: &[MpdaRouter]) -> Result<(), (NodeId, NodeId, NodeId)> {
-    let n = routers.len();
+/// `(i, k, j)` on violation. Closure-based like
+/// [`check_loop_freedom_with`].
+pub fn check_fd_ordering_with<'a, F>(n: usize, router: F) -> Result<(), (NodeId, NodeId, NodeId)>
+where
+    F: Fn(NodeId) -> &'a MpdaRouter,
+{
     for j in 0..n as u32 {
         let j = NodeId(j);
-        for r in routers {
+        for i in 0..n as u32 {
+            let r = router(NodeId(i));
             for &k in r.successors(j) {
                 if k == j {
                     continue;
                 }
-                let fdk = routers[k.index()].feasible_distance(j);
+                let fdk = router(k).feasible_distance(j);
                 let fdi = r.feasible_distance(j);
                 if fdk.partial_cmp(&fdi) != Some(std::cmp::Ordering::Less) {
                     return Err((r.id(), k, j));
@@ -112,6 +127,11 @@ pub fn check_fd_ordering(routers: &[MpdaRouter]) -> Result<(), (NodeId, NodeId, 
         }
     }
     Ok(())
+}
+
+/// [`check_fd_ordering_with`] over a plain router slice.
+pub fn check_fd_ordering(routers: &[MpdaRouter]) -> Result<(), (NodeId, NodeId, NodeId)> {
+    check_fd_ordering_with(routers.len(), |i| &routers[i.index()])
 }
 
 #[cfg(test)]

@@ -1,0 +1,83 @@
+//! Chaos property test: random *legal* fault schedules on the paper's
+//! two benchmark topologies (CAIRN and NET1) keep every MPDA successor
+//! graph loop-free at every instant.
+//!
+//! "Legal" means the schedule respects link state — only operational
+//! links fail, only failed links are repaired — which the generator
+//! guarantees by tracking up/down per physical link. Safety is audited
+//! after **every** message delivery (acyclicity via `find_cycle` plus
+//! the FD-ordering potential of Theorem 1, both inside
+//! `Harness::assert_loop_free`), not just at quiescence.
+
+use mdr_net::{topo, NodeId};
+use mdr_routing::Harness;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Random-ish but deterministic cost in [1, 10] from the link endpoints
+/// and a salt.
+fn cost(a: NodeId, b: NodeId, salt: u32) -> f64 {
+    1.0 + ((a.0.wrapping_mul(2654435761) ^ b.0.wrapping_mul(40503) ^ salt) % 90) as f64 / 10.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Interleave link failures, repairs, and cost churn with partial
+    /// message delivery; the successor graphs must stay loop-free after
+    /// every single delivery, and the network must quiesce afterwards.
+    #[test]
+    fn random_fault_schedules_stay_loop_free(
+        use_cairn in any::<bool>(),
+        sched_seed in 0u64..1000,
+        salt in 0u32..100,
+        // (entity selector, action: fail/restore/cost-change, deliveries
+        // to interleave, new cost in decisecond units)
+        ops in prop::collection::vec((0u32..10_000, 0u32..3, 1u32..12, 10u32..80), 2..10),
+    ) {
+        let t = if use_cairn { topo::cairn() } else { topo::net1() };
+        let mut h = Harness::mpda(&t, |a, b| cost(a, b, salt), sched_seed);
+        prop_assert!(h.run_to_quiescence(5_000_000));
+        h.assert_loop_free();
+
+        // Physical links (each once, from < to), with up/down tracking.
+        let phys: Vec<_> = t.links().iter().filter(|l| l.from < l.to).cloned().collect();
+        let mut down: BTreeSet<usize> = BTreeSet::new();
+        for (sel, action, steps, c) in &ops {
+            match action {
+                0 => {
+                    let up: Vec<usize> = (0..phys.len()).filter(|i| !down.contains(i)).collect();
+                    if let Some(&i) = up.get((*sel as usize) % up.len().max(1)) {
+                        down.insert(i);
+                        h.fail_link(phys[i].from, phys[i].to);
+                    }
+                }
+                1 => {
+                    let dn: Vec<usize> = down.iter().copied().collect();
+                    if !dn.is_empty() {
+                        let i = dn[(*sel as usize) % dn.len()];
+                        down.remove(&i);
+                        h.restore_link(phys[i].from, phys[i].to, *c as f64 / 10.0);
+                    }
+                }
+                _ => {
+                    let up: Vec<usize> = (0..phys.len()).filter(|i| !down.contains(i)).collect();
+                    if !up.is_empty() {
+                        let i = up[(*sel as usize) % up.len()];
+                        h.change_cost(phys[i].from, phys[i].to, *c as f64 / 10.0);
+                    }
+                }
+            }
+            // Loop-free at every instant: deliver a few messages with
+            // the full safety audit after each one.
+            for _ in 0..*steps {
+                if !h.step() {
+                    break;
+                }
+                h.assert_loop_free();
+            }
+        }
+        prop_assert!(h.run_to_quiescence(5_000_000));
+        h.assert_loop_free();
+    }
+}

@@ -8,8 +8,10 @@
 //! queues — the paper's evaluation makes the same simplification, and at
 //! these scales LSU traffic is negligible against 10 Mb/s links.
 
+use crate::chaos::{ControlChaos, FaultEvent, FaultRecord, RobustnessCounters, RobustnessReport};
 use crate::estimator::{EstimatorKind, LinkEstimator};
 use crate::events::{Ev, EventQueue, MsgSlab, Packet};
+use crate::monitor::InvariantMonitor;
 use crate::scenario::{Scenario, ScenarioEvent};
 use crate::stats::{DelaySeries, FlowStats, LinkStats};
 use mdr_flow::{Allocator, Mode, SuccessorCost, Update};
@@ -80,6 +82,15 @@ pub struct SimConfig {
     /// Gallager's OPT — under identical packet-level conditions, the way
     /// the paper's simulations measured OPT quasi-statically.
     pub fixed_routing: Option<RoutingVars>,
+    /// Optional seeded chaos plan: stochastic link failures, router
+    /// crash/restarts, and control-channel impairments (see
+    /// [`crate::FaultPlan`]). `None` — the default — leaves every
+    /// existing run bit-for-bit identical.
+    pub fault_plan: Option<crate::FaultPlan>,
+    /// Audit the LFI safety invariants (successor-graph acyclicity and
+    /// FD ordering) after every routing-table change, tallying results
+    /// in [`SimReport::robustness`].
+    pub audit_invariants: bool,
 }
 
 impl Default for SimConfig {
@@ -99,6 +110,8 @@ impl Default for SimConfig {
             series_bucket: 1.0,
             ah_gain: 0.4,
             fixed_routing: None,
+            fault_plan: None,
+            audit_invariants: false,
         }
     }
 }
@@ -127,6 +140,10 @@ pub struct SimReport {
     /// Discrete events processed over the whole run (warm-up included);
     /// divide by wall-clock time for an events/s throughput figure.
     pub events_processed: u64,
+    /// Chaos and invariant-audit measurements; `Some` exactly when
+    /// [`SimConfig::fault_plan`] or [`SimConfig::audit_invariants`] was
+    /// set.
+    pub robustness: Option<RobustnessReport>,
 }
 
 impl SimReport {
@@ -147,10 +164,45 @@ struct FlowSt {
 }
 
 struct LinkSt {
+    /// Effective state: the wire is intact *and* neither endpoint is
+    /// crashed. Everything outside the fault machinery reads only this.
     up: bool,
+    /// Physical wire state; differs from `up` only around router
+    /// crashes, so a restart knows which adjacencies to revive.
+    wire_up: bool,
     busy: bool,
     epoch: u32,
     queue: VecDeque<(Packet, f64)>,
+}
+
+/// Live chaos state. Boxed and optional: ordinary runs pay one pointer
+/// check on the hot paths and nothing else.
+struct RobustRt {
+    /// Pre-generated fault timeline (see [`crate::FaultPlan::schedule`]).
+    schedule: Vec<(f64, FaultEvent)>,
+    /// Control-channel impairments; `None` leaves the wire reliable.
+    control: Option<ControlChaos>,
+    /// Impairment RNG — separate from the traffic RNG so chaos does not
+    /// perturb the traffic sample path.
+    rng: SmallRng,
+    /// Per directed link: latest scheduled control arrival; arrivals are
+    /// clamped past it so per-link FIFO order survives jitter (§4.1).
+    last_ctl: Vec<f64>,
+    /// Per router: incarnation number, bumped at each crash. Control
+    /// messages carry the incarnations of both ends; a mismatch at
+    /// delivery means a crash happened in between and the message is
+    /// from a previous life.
+    inc: Vec<u32>,
+    /// Per router: currently crashed?
+    crashed: Vec<bool>,
+    /// One record per injected fault.
+    records: Vec<FaultRecord>,
+    /// Indices into `records` whose recovery has not completed yet.
+    pending: Vec<usize>,
+    /// Damage counters.
+    counters: RobustnessCounters,
+    /// LFI auditor; `None` unless [`SimConfig::audit_invariants`].
+    monitor: Option<InvariantMonitor>,
 }
 
 /// Sentinel in [`NodeSt::slot_of`] for "not a neighbor".
@@ -199,6 +251,7 @@ pub struct Simulator {
     links: Vec<LinkSt>,
     flows: Vec<FlowSt>,
     scenario: Vec<(f64, ScenarioEvent)>,
+    robust: Option<Box<RobustRt>>,
     // measurement
     warmup_end: f64,
     end_time: f64,
@@ -262,8 +315,43 @@ impl Simulator {
         let links: Vec<LinkSt> = topo
             .links()
             .iter()
-            .map(|_| LinkSt { up: true, busy: false, epoch: 0, queue: VecDeque::new() })
+            .map(|_| LinkSt {
+                up: true,
+                wire_up: true,
+                busy: false,
+                epoch: 0,
+                queue: VecDeque::new(),
+            })
             .collect();
+
+        // Chaos runtime: fault timeline, impairment RNG, invariant
+        // monitor. Built before the boot LSUs go out so even boot-time
+        // control traffic rides the impaired channel.
+        let robust = if cfg.fault_plan.is_some() || cfg.audit_invariants {
+            let plan = cfg.fault_plan.unwrap_or_default();
+            plan.validate();
+            let schedule = if cfg.fault_plan.is_some() {
+                plan.schedule(topo, cfg.warmup + cfg.duration)
+            } else {
+                Vec::new()
+            };
+            Some(Box::new(RobustRt {
+                schedule,
+                control: plan.control,
+                rng: SmallRng::seed_from_u64(
+                    plan.seed ^ cfg.seed.rotate_left(17) ^ 0x2545_f491_4f6c_dd1d,
+                ),
+                last_ctl: vec![0.0; topo.link_count()],
+                inc: vec![0; n],
+                crashed: vec![false; n],
+                records: Vec::new(),
+                pending: Vec::new(),
+                counters: RobustnessCounters::default(),
+                monitor: cfg.audit_invariants.then(InvariantMonitor::new),
+            }))
+        } else {
+            None
+        };
 
         // Bring every adjacent link up at its idle marginal cost and
         // schedule the resulting LSUs (in LinkId order, as before).
@@ -295,6 +383,7 @@ impl Simulator {
             links,
             flows,
             scenario: scenario.events(),
+            robust,
             warmup_end: cfg.warmup,
             end_time: cfg.warmup + cfg.duration,
             flow_stats: vec![FlowStats::default(); nflows],
@@ -326,6 +415,12 @@ impl Simulator {
         // Scripted events.
         for (idx, (t, _)) in sim.scenario.iter().enumerate() {
             sim.queue.push(*t, Ev::Scenario { index: idx });
+        }
+        // The pre-generated fault timeline.
+        if let Some(rb) = sim.robust.as_deref() {
+            for (idx, (t, _)) in rb.schedule.iter().enumerate() {
+                sim.queue.push(*t, Ev::Fault { index: idx });
+            }
         }
         let _ = rng;
         sim
@@ -362,6 +457,15 @@ impl Simulator {
     }
 
     /// Schedule delivery of an LSU over the wire.
+    ///
+    /// Without chaos: one serialization plus propagation delay, exactly
+    /// as before. With [`ControlChaos`] enabled the LSU rides a
+    /// link layer doing ARQ over a lossy channel — each dropped or
+    /// corruption-rejected attempt charges one RTO plus a
+    /// re-serialization (raw LSU loss would deadlock MPDA's ACTIVE
+    /// state; §4.1 assumes a reliable link protocol, and this models
+    /// it), duplicates are counted and suppressed, jitter is added, and
+    /// per-link FIFO order is preserved by an arrival clamp.
     fn send_control(&mut self, from: NodeId, to: NodeId, msg: LsuMessage) {
         let lid = match self.nodes[from.index()].slot(to) {
             Some(s) => self.nodes[from.index()].out_link[s],
@@ -371,12 +475,298 @@ impl Simulator {
             return; // lost on a dead wire
         }
         let l = self.topo.link(lid);
+        if let Some(rb) = self.robust.as_deref_mut() {
+            let tag = ((rb.inc[from.index()] as u64) << 32) | rb.inc[to.index()] as u64;
+            if let Some(cc) = rb.control {
+                // CRC32-framed on the chaos channel (frames must be
+                // corruptible, so the real codec gets real bytes).
+                let bits = (mdr_proto::framed_len(&msg) * 8) as f64;
+                let ser = bits / l.capacity;
+                let mut delay = l.prop_delay + ser;
+                let mut deliver = msg;
+                let mut attempts = 1u64;
+                // ARQ: sample attempts until one survives the channel.
+                // The cap bounds worst-case delay; the capped attempt
+                // goes through clean.
+                while attempts < 64 {
+                    if rb.rng.gen::<f64>() < cc.drop_prob {
+                        rb.counters.lsus_dropped += 1;
+                        delay += cc.rto + ser;
+                        attempts += 1;
+                        continue;
+                    }
+                    if cc.corrupt_prob > 0.0 && rb.rng.gen::<f64>() < cc.corrupt_prob {
+                        let mut frame = mdr_proto::frame(&deliver).to_vec();
+                        for _ in 0..rb.rng.gen_range(1..4) {
+                            let i = rb.rng.gen_range(0..frame.len());
+                            frame[i] ^= 1u8 << rb.rng.gen_range(0..8u32);
+                        }
+                        if rb.rng.gen::<f64>() < 0.2 {
+                            let cut = rb.rng.gen_range(0..frame.len());
+                            frame.truncate(cut);
+                        }
+                        match mdr_proto::unframe(&frame) {
+                            Err(_) => {
+                                rb.counters.lsus_corrupted_rejected += 1;
+                                delay += cc.rto + ser;
+                                attempts += 1;
+                                continue;
+                            }
+                            Ok(m) => {
+                                // The CRC32 passed a damaged frame — it
+                                // decodes, so deliver what the wire says
+                                // (the invariant monitor will judge the
+                                // consequences).
+                                rb.counters.lsus_corrupted_delivered += 1;
+                                deliver = m;
+                            }
+                        }
+                    }
+                    if rb.rng.gen::<f64>() < cc.dup_prob {
+                        rb.counters.lsus_duplicated += 1; // link-layer dedup
+                    }
+                    break;
+                }
+                let mut at = self.time + delay;
+                if cc.jitter_max > 0.0 {
+                    at += rb.rng.gen::<f64>() * cc.jitter_max;
+                }
+                let last = &mut rb.last_ctl[lid.index()];
+                if at <= *last {
+                    at = *last + 1e-9; // FIFO clamp per directed link
+                }
+                *last = at;
+                self.ctl_msgs += 1;
+                self.ctl_bytes += attempts * (bits / 8.0) as u64;
+                let id = self.msgs.insert_tagged(deliver, tag);
+                self.queue.push(at, Ev::Control { node: to, from, msg: id });
+            } else {
+                // Fault plan without control chaos: reliable wire, but
+                // still incarnation-tagged so crash semantics hold.
+                let bits = (mdr_proto::encoded_len(&msg) * 8) as f64;
+                let at = self.time + l.prop_delay + bits / l.capacity;
+                self.ctl_msgs += 1;
+                self.ctl_bytes += (bits / 8.0) as u64;
+                let id = self.msgs.insert_tagged(msg, tag);
+                self.queue.push(at, Ev::Control { node: to, from, msg: id });
+            }
+            return;
+        }
         let bits = (mdr_proto::encoded_len(&msg) * 8) as f64;
         let at = self.time + l.prop_delay + bits / l.capacity;
         self.ctl_msgs += 1;
         self.ctl_bytes += (bits / 8.0) as u64;
         let msg = self.msgs.insert(msg);
         self.queue.push(at, Ev::Control { node: to, from, msg });
+    }
+
+    /// True unless `x` is currently crashed.
+    #[inline]
+    fn alive(&self, x: NodeId) -> bool {
+        self.robust.as_deref().is_none_or(|rb| !rb.crashed[x.index()])
+    }
+
+    /// Bump a robustness counter (no-op without chaos).
+    #[inline]
+    fn rcount(&mut self, f: impl FnOnce(&mut RobustnessCounters)) {
+        if let Some(rb) = self.robust.as_deref_mut() {
+            f(&mut rb.counters);
+        }
+    }
+
+    /// Run the invariant monitor (when enabled) over the live routers.
+    fn audit(&mut self) {
+        let now = self.time;
+        let nodes = &self.nodes;
+        if let Some(rb) = self.robust.as_deref_mut() {
+            if let Some(mon) = rb.monitor.as_mut() {
+                mon.audit(nodes.len(), now, |i| &nodes[i.index()].router);
+            }
+        }
+    }
+
+    /// Take directed link `lid` out of service: stop serialization,
+    /// drain its queue (counting the drops), and bump the epoch so
+    /// stale departure events are recognized. No-op when already down.
+    fn deactivate_link(&mut self, lid: LinkId) {
+        let ls = &mut self.links[lid.index()];
+        if !ls.up {
+            return;
+        }
+        ls.up = false;
+        ls.busy = false;
+        ls.epoch += 1;
+        let mut drained = 0u64;
+        for (p, _) in ls.queue.drain(..) {
+            self.flow_stats[p.flow as usize].dropped_no_route += 1;
+            drained += 1;
+        }
+        if drained > 0 {
+            if let Some(rb) = self.robust.as_deref_mut() {
+                rb.counters.packets_dropped_on_fault += drained;
+            }
+        }
+    }
+
+    /// Router `x` reacts to losing its link to `y` (skipped while `x`
+    /// is crashed — a dead router reacts to nothing).
+    fn notify_link_down(&mut self, x: NodeId, y: NodeId) {
+        if !self.alive(x) {
+            return;
+        }
+        let out = self.nodes[x.index()].router.handle(RouterEvent::LinkDown { to: y });
+        self.apply_router_output(x, out);
+    }
+
+    /// Put directed link `x → y` back in service at the idle marginal
+    /// cost, with a fresh estimator, and tell `x`.
+    fn activate_link(&mut self, lid: LinkId, x: NodeId, y: NodeId) {
+        self.links[lid.index()].up = true;
+        let idle = self.models[lid.index()].marginal_delay(0.0);
+        if let Some(s) = self.nodes[x.index()].slot(y) {
+            self.nodes[x.index()].est[s] =
+                LinkEstimator::new(self.cfg.estimator, self.models[lid.index()], self.time);
+            self.nodes[x.index()].reported[s] = idle;
+        }
+        let out = self.nodes[x.index()].router.handle(RouterEvent::LinkUp { to: y, cost: idle });
+        self.apply_router_output(x, out);
+    }
+
+    /// Fail the physical link `a — b`: both directed links leave
+    /// service and each endpoint that was using its direction reacts.
+    fn fail_physical(&mut self, a: NodeId, b: NodeId) {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(lid) = self.topo.link_between(x, y) {
+                self.links[lid.index()].wire_up = false;
+                let was_up = self.links[lid.index()].up;
+                self.deactivate_link(lid);
+                if was_up {
+                    self.notify_link_down(x, y);
+                }
+            }
+        }
+    }
+
+    /// Repair the physical link `a — b`; directions come back only when
+    /// both endpoints are alive (a crashed endpoint revives its
+    /// adjacencies at restart instead).
+    fn restore_physical(&mut self, a: NodeId, b: NodeId) {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(lid) = self.topo.link_between(x, y) {
+                self.links[lid.index()].wire_up = true;
+                if !self.links[lid.index()].up && self.alive(x) && self.alive(y) {
+                    self.activate_link(lid, x, y);
+                }
+            }
+        }
+    }
+
+    /// Crash router `x`: take every adjacent directed link out of
+    /// service, let alive neighbors react, and wipe the router's
+    /// protocol state — MPDA tables, allocator, pending ACKs, all of it.
+    fn crash_router(&mut self, x: NodeId) {
+        {
+            let rb = self.robust.as_deref_mut().expect("crash requires a fault plan");
+            rb.crashed[x.index()] = true;
+            // New incarnation: anything still in flight to or from the
+            // old life is stale at delivery.
+            rb.inc[x.index()] = rb.inc[x.index()].wrapping_add(1);
+        }
+        let nbrs = self.nodes[x.index()].nbrs.clone();
+        for &y in &nbrs {
+            if let Some(lid) = self.topo.link_between(x, y) {
+                self.deactivate_link(lid);
+            }
+            if let Some(lid) = self.topo.link_between(y, x) {
+                let was_up = self.links[lid.index()].up;
+                self.deactivate_link(lid);
+                if was_up {
+                    self.notify_link_down(y, x);
+                }
+            }
+        }
+        let n = self.topo.node_count();
+        self.nodes[x.index()].router = MpdaRouter::new(x, n);
+        self.nodes[x.index()].alloc =
+            Allocator::new(n, self.cfg.mode).with_ah_gain(self.cfg.ah_gain);
+        self.audit();
+    }
+
+    /// Restart router `x` with empty state: adjacencies whose wire is
+    /// intact and whose far end is alive come back up, and the LinkUp
+    /// exchange re-synchronizes the tables from the neighbors.
+    fn restart_router(&mut self, x: NodeId) {
+        self.robust.as_deref_mut().expect("restart requires a fault plan").crashed[x.index()] =
+            false;
+        let nbrs = self.nodes[x.index()].nbrs.clone();
+        for &y in &nbrs {
+            if !self.alive(y) {
+                continue;
+            }
+            if let Some(lid) = self.topo.link_between(x, y) {
+                if self.links[lid.index()].wire_up && !self.links[lid.index()].up {
+                    self.activate_link(lid, x, y);
+                }
+            }
+            if let Some(lid) = self.topo.link_between(y, x) {
+                if self.links[lid.index()].wire_up && !self.links[lid.index()].up {
+                    self.activate_link(lid, y, x);
+                }
+            }
+        }
+        self.audit();
+    }
+
+    /// Inject scheduled fault `index` and open its recovery clock.
+    fn on_fault(&mut self, index: usize) {
+        let ev = {
+            let rb = self.robust.as_deref_mut().expect("Ev::Fault without a fault plan");
+            let (t, ev) = rb.schedule[index];
+            rb.records.push(FaultRecord { time: t, event: ev, recovery_s: None });
+            rb.pending.push(rb.records.len() - 1);
+            ev
+        };
+        match ev {
+            FaultEvent::FailLink { a, b } => self.fail_physical(a, b),
+            FaultEvent::RestoreLink { a, b } => self.restore_physical(a, b),
+            FaultEvent::CrashRouter { node } => self.crash_router(node),
+            FaultEvent::RestartRouter { node } => self.restart_router(node),
+        }
+    }
+
+    /// Should a control message tagged `tag` be delivered from `from`
+    /// to `node`? No when the receiver is down or either incarnation
+    /// changed since transmission (a crash happened in between).
+    fn control_deliverable(&mut self, node: NodeId, from: NodeId, tag: u64) -> bool {
+        let rb = match self.robust.as_deref_mut() {
+            Some(rb) => rb,
+            None => return true,
+        };
+        let want = ((rb.inc[from.index()] as u64) << 32) | rb.inc[node.index()] as u64;
+        if rb.crashed[node.index()] || tag != want {
+            rb.counters.lsus_dropped_stale += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Close the recovery clock of every pending fault once the control
+    /// plane is quiescent again: no LSU in flight, every router PASSIVE.
+    fn check_recovery(&mut self) {
+        let now = self.time;
+        let msgs_empty = self.msgs.is_empty();
+        let nodes = &self.nodes;
+        if let Some(rb) = self.robust.as_deref_mut() {
+            if rb.pending.is_empty() || !msgs_empty {
+                return;
+            }
+            if nodes.iter().all(|nd| !nd.router.is_active()) {
+                for &i in &rb.pending {
+                    rb.records[i].recovery_s = Some(now - rb.records[i].time);
+                }
+                rb.pending.clear();
+            }
+        }
     }
 
     /// Marginal distances `D^i_jk + l^i_k` through the current successor
@@ -409,12 +799,23 @@ impl Simulator {
                 let sc = self.successor_costs(i, j);
                 self.nodes[i.index()].alloc.refresh(j, &sc);
             }
+            // Loop-free at every instant: audit right where the tables
+            // just changed.
+            self.audit();
         }
     }
 
     /// Forward a packet sitting at `node` (its source or an intermediate
     /// hop).
     fn forward(&mut self, node: NodeId, mut pkt: Packet) {
+        if let Some(rb) = self.robust.as_deref_mut() {
+            if rb.crashed[node.index()] {
+                // A crashed router can neither deliver nor forward.
+                rb.counters.packets_blackholed += 1;
+                self.flow_stats[pkt.flow as usize].dropped_no_route += 1;
+                return;
+            }
+        }
         if pkt.dst == node {
             let delay = self.time - pkt.created;
             let f = pkt.flow as usize;
@@ -426,6 +827,7 @@ impl Simulator {
         }
         if pkt.ttl == 0 {
             self.flow_stats[pkt.flow as usize].dropped_ttl += 1;
+            self.rcount(|c| c.packets_looped += 1);
             return;
         }
         pkt.ttl -= 1;
@@ -455,7 +857,9 @@ impl Simulator {
         let chosen = match chosen {
             Some(k) => k,
             None => {
+                // Empty successor set: a blackhole opened here.
                 self.flow_stats[pkt.flow as usize].dropped_no_route += 1;
+                self.rcount(|c| c.packets_blackholed += 1);
                 return;
             }
         };
@@ -466,7 +870,9 @@ impl Simulator {
         let lid = match lid {
             Some(l) => l,
             None => {
+                // Chosen next hop sits behind a dead link.
                 self.flow_stats[pkt.flow as usize].dropped_no_route += 1;
+                self.rcount(|c| c.packets_blackholed += 1);
                 return;
             }
         };
@@ -528,6 +934,11 @@ impl Simulator {
 
     fn on_short_tick(&mut self, i: NodeId) {
         let now = self.time;
+        if !self.alive(i) {
+            // Crashed routers keep their timer slot but do nothing.
+            self.queue.push(now + self.cfg.t_short, Ev::ShortTermTick { node: i });
+            return;
+        }
         for e in self.nodes[i.index()].est.iter_mut() {
             e.close_window(now);
         }
@@ -543,6 +954,10 @@ impl Simulator {
     }
 
     fn on_long_tick(&mut self, i: NodeId) {
+        if !self.alive(i) {
+            self.queue.push(self.time + self.cfg.t_long, Ev::LongTermTick { node: i });
+            return;
+        }
         for s in 0..self.nodes[i.index()].nbrs.len() {
             let node = &self.nodes[i.index()];
             let k = node.nbrs[s];
@@ -574,42 +989,8 @@ impl Simulator {
                     self.queue.push(t, Ev::Generate { flow });
                 }
             }
-            ScenarioEvent::FailLink { a, b } => {
-                for (x, y) in [(a, b), (b, a)] {
-                    if let Some(lid) = self.topo.link_between(x, y) {
-                        let ls = &mut self.links[lid.index()];
-                        ls.up = false;
-                        ls.busy = false;
-                        ls.epoch += 1;
-                        for (p, _) in ls.queue.drain(..) {
-                            self.flow_stats[p.flow as usize].dropped_no_route += 1;
-                        }
-                        let out =
-                            self.nodes[x.index()].router.handle(RouterEvent::LinkDown { to: y });
-                        self.apply_router_output(x, out);
-                    }
-                }
-            }
-            ScenarioEvent::RestoreLink { a, b } => {
-                for (x, y) in [(a, b), (b, a)] {
-                    if let Some(lid) = self.topo.link_between(x, y) {
-                        self.links[lid.index()].up = true;
-                        let idle = self.models[lid.index()].marginal_delay(0.0);
-                        if let Some(s) = self.nodes[x.index()].slot(y) {
-                            self.nodes[x.index()].est[s] = LinkEstimator::new(
-                                self.cfg.estimator,
-                                self.models[lid.index()],
-                                self.time,
-                            );
-                            self.nodes[x.index()].reported[s] = idle;
-                        }
-                        let out = self.nodes[x.index()]
-                            .router
-                            .handle(RouterEvent::LinkUp { to: y, cost: idle });
-                        self.apply_router_output(x, out);
-                    }
-                }
-            }
+            ScenarioEvent::FailLink { a, b } => self.fail_physical(a, b),
+            ScenarioEvent::RestoreLink { a, b } => self.restore_physical(a, b),
         }
     }
 
@@ -649,21 +1030,39 @@ impl Simulator {
                 Ev::LinkDeparture { link } => self.on_link_departure(link),
                 Ev::NodeArrival { node, packet } => self.forward(node, packet),
                 Ev::Control { node, from, msg } => {
-                    let msg = self.msgs.take(msg);
-                    let out =
-                        self.nodes[node.index()].router.handle(RouterEvent::Lsu { from, msg });
-                    self.apply_router_output(node, out);
+                    let (msg, tag) = self.msgs.take_tagged(msg);
+                    if self.control_deliverable(node, from, tag) {
+                        let out =
+                            self.nodes[node.index()].router.handle(RouterEvent::Lsu { from, msg });
+                        self.apply_router_output(node, out);
+                    }
                 }
                 Ev::ShortTermTick { node } => self.on_short_tick(node),
                 Ev::LongTermTick { node } => self.on_long_tick(node),
                 Ev::Scenario { index } => self.on_scenario(index),
+                Ev::Fault { index } => self.on_fault(index),
                 Ev::Sample => {}
+            }
+            if self.robust.is_some() {
+                self.check_recovery();
             }
         }
         let mean_delays_ms: Vec<f64> =
             self.flow_stats.iter().map(|f| f.mean_delay() * 1000.0).collect();
         let delivered = self.flow_stats.iter().map(|f| f.delivered).sum();
         let dropped = self.flow_stats.iter().map(|f| f.dropped_no_route + f.dropped_ttl).sum();
+        let robustness = self.robust.take().map(|rb| {
+            let mut rep = RobustnessReport {
+                faults: rb.records,
+                counters: rb.counters,
+                invariant_checks: rb.monitor.as_ref().map_or(0, |m| m.checks),
+                invariant_violations: rb.monitor.as_ref().map_or(0, |m| m.violations),
+                first_violation: rb.monitor.and_then(|m| m.first_violation),
+                ..Default::default()
+            };
+            rep.finalize();
+            rep
+        });
         SimReport {
             flows: std::mem::take(&mut self.flow_stats),
             links: std::mem::take(&mut self.link_stats),
@@ -675,6 +1074,7 @@ impl Simulator {
             dropped,
             duration: self.cfg.duration,
             events_processed,
+            robustness,
         }
     }
 
@@ -930,6 +1330,120 @@ mod tests {
             rel < 0.25,
             "exp and bimodal delays should be close (E[X²] 2 vs 1.96), got {delays:?}"
         );
+    }
+
+    fn chaos_plan() -> crate::FaultPlan {
+        crate::FaultPlan {
+            seed: 9,
+            start: 3.0,
+            link_faults: Some(crate::chaos::FaultProcess { mtbf: 8.0, mttr: 1.0 }),
+            router_faults: Some(crate::chaos::FaultProcess { mtbf: 20.0, mttr: 1.5 }),
+            control: Some(crate::ControlChaos::default()),
+        }
+    }
+
+    #[test]
+    fn chaos_run_is_deterministic() {
+        let t = mdr_net::topo::net1();
+        let flows = mdr_net::topo::net1_flows(400_000.0);
+        let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+        let cfg = SimConfig {
+            warmup: 5.0,
+            duration: 15.0,
+            fault_plan: Some(chaos_plan()),
+            audit_invariants: true,
+            ..Default::default()
+        };
+        let r1 = Simulator::new(&t, &traffic, &Scenario::new(), cfg.clone()).run();
+        let r2 = Simulator::new(&t, &traffic, &Scenario::new(), cfg).run();
+        assert_eq!(r1, r2);
+        let rob = r1.robustness.expect("chaos run must carry a robustness report");
+        assert!(!rob.faults.is_empty(), "20 s over NET1 at MTBF 8 s must inject faults");
+        assert_eq!(rob.invariant_violations, 0, "{:?}", rob.first_violation);
+        assert!(rob.invariant_checks > 0);
+    }
+
+    #[test]
+    fn chaos_recovers_and_counts_damage() {
+        let t = mdr_net::topo::net1();
+        let flows = mdr_net::topo::net1_flows(400_000.0);
+        let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+        let cfg = SimConfig {
+            warmup: 5.0,
+            duration: 20.0,
+            fault_plan: Some(chaos_plan()),
+            audit_invariants: true,
+            ..Default::default()
+        };
+        let r = Simulator::new(&t, &traffic, &Scenario::new(), cfg).run();
+        let rob = r.robustness.unwrap();
+        assert!(rob.recovered > 0, "at least one fault must fully recover: {:?}", rob.faults);
+        assert!(rob.max_recovery_s >= rob.mean_recovery_s);
+        assert!(rob.mean_recovery_s > 0.0);
+        // The lossy channel must actually have bitten.
+        assert!(rob.counters.lsus_dropped > 0);
+        assert!(rob.counters.lsus_corrupted_rejected > 0);
+        assert!(r.delivered > 1000, "traffic keeps flowing through the chaos");
+    }
+
+    #[test]
+    fn audit_only_run_matches_baseline_measurements() {
+        // audit_invariants alone must not perturb the sample path: same
+        // deliveries, delays, and control traffic as a plain run.
+        let t = mdr_net::topo::net1();
+        let flows = mdr_net::topo::net1_flows(400_000.0);
+        let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+        let base_cfg = SimConfig { warmup: 5.0, duration: 10.0, ..Default::default() };
+        let audit_cfg = SimConfig { audit_invariants: true, ..base_cfg.clone() };
+        let base = Simulator::new(&t, &traffic, &Scenario::new(), base_cfg).run();
+        let audited = Simulator::new(&t, &traffic, &Scenario::new(), audit_cfg).run();
+        assert_eq!(base.mean_delays_ms, audited.mean_delays_ms);
+        assert_eq!(base.delivered, audited.delivered);
+        assert_eq!(base.control_messages, audited.control_messages);
+        assert_eq!(base.events_processed, audited.events_processed);
+        let rob = audited.robustness.unwrap();
+        assert!(rob.faults.is_empty());
+        assert!(rob.invariant_checks > 0);
+        assert_eq!(rob.invariant_violations, 0, "{:?}", rob.first_violation);
+    }
+
+    #[test]
+    fn router_crash_wipes_state_and_resyncs() {
+        // Force a crash of the transit node in a triangle: traffic must
+        // blackhole during the outage and flow again after restart.
+        let t = TopologyBuilder::new()
+            .nodes(3)
+            .bidi(n(0), n(2), 1_000_000.0, 0.001)
+            .bidi(n(2), n(1), 1_000_000.0, 0.001)
+            .build()
+            .unwrap();
+        let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(n(0), n(1), 200_000.0)]).unwrap();
+        // MTBF small enough that somebody crashes at least once in 25 s,
+        // MTTR short enough that the network is mostly alive.
+        let plan = crate::FaultPlan {
+            seed: 5,
+            start: 6.0,
+            link_faults: None,
+            router_faults: Some(crate::chaos::FaultProcess { mtbf: 12.0, mttr: 0.5 }),
+            control: None,
+        };
+        let cfg = SimConfig {
+            warmup: 5.0,
+            duration: 20.0,
+            fault_plan: Some(plan),
+            audit_invariants: true,
+            ..Default::default()
+        };
+        let r = Simulator::new(&t, &traffic, &Scenario::new(), cfg).run();
+        let rob = r.robustness.unwrap();
+        let crashes = rob
+            .faults
+            .iter()
+            .filter(|f| matches!(f.event, crate::FaultEvent::CrashRouter { .. }))
+            .count();
+        assert!(crashes > 0, "schedule: {:?}", rob.faults);
+        assert_eq!(rob.invariant_violations, 0, "{:?}", rob.first_violation);
+        assert!(r.delivered > 500, "traffic must flow between outages");
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub enum Ev {
         /// Index into the scenario's event list.
         index: usize,
     },
+    /// A scheduled chaos perturbation fires (see [`crate::FaultPlan`]).
+    Fault {
+        /// Index into the fault plan's pre-generated schedule.
+        index: usize,
+    },
     /// Statistics sampling tick (time-series buckets).
     Sample,
 }
@@ -93,9 +98,14 @@ pub struct MsgId(u32);
 /// Slots freed by [`MsgSlab::take`] are recycled LIFO; the slab grows
 /// only when more messages are simultaneously in flight than ever
 /// before in the run.
+///
+/// Each message carries an opaque `u64` tag (0 unless set through
+/// [`MsgSlab::insert_tagged`]); the chaos harness stamps sender/receiver
+/// incarnation numbers there so a message from a router's previous life
+/// is recognizably stale at delivery.
 #[derive(Debug, Default)]
 pub struct MsgSlab {
-    slots: Vec<Option<LsuMessage>>,
+    slots: Vec<Option<(LsuMessage, u64)>>,
     free: Vec<u32>,
 }
 
@@ -105,15 +115,20 @@ impl MsgSlab {
         Self::default()
     }
 
-    /// Park `msg`, returning its handle.
+    /// Park `msg` with tag 0, returning its handle.
     pub fn insert(&mut self, msg: LsuMessage) -> MsgId {
+        self.insert_tagged(msg, 0)
+    }
+
+    /// Park `msg` with an arbitrary tag.
+    pub fn insert_tagged(&mut self, msg: LsuMessage, tag: u64) -> MsgId {
         match self.free.pop() {
             Some(i) => {
-                self.slots[i as usize] = Some(msg);
+                self.slots[i as usize] = Some((msg, tag));
                 MsgId(i)
             }
             None => {
-                self.slots.push(Some(msg));
+                self.slots.push(Some((msg, tag)));
                 MsgId((self.slots.len() - 1) as u32)
             }
         }
@@ -124,9 +139,17 @@ impl MsgSlab {
     /// # Panics
     /// Panics if `id` was already taken — handles are single-use.
     pub fn take(&mut self, id: MsgId) -> LsuMessage {
-        let msg = self.slots[id.0 as usize].take().expect("MsgId taken twice");
+        self.take_tagged(id).0
+    }
+
+    /// Remove and return the message behind `id` together with its tag.
+    ///
+    /// # Panics
+    /// Panics if `id` was already taken — handles are single-use.
+    pub fn take_tagged(&mut self, id: MsgId) -> (LsuMessage, u64) {
+        let entry = self.slots[id.0 as usize].take().expect("MsgId taken twice");
         self.free.push(id.0);
-        msg
+        entry
     }
 
     /// Messages currently parked.

@@ -23,15 +23,22 @@
 //! byte-identical results.
 
 pub mod batch;
+pub mod chaos;
 pub mod engine;
 pub mod estimator;
 pub mod events;
+pub mod monitor;
 pub mod par;
 pub mod scenario;
 pub mod stats;
 
 pub use batch::{run_many, run_many_with, RunSet, SimJob};
+pub use chaos::{
+    ControlChaos, FaultEvent, FaultPlan, FaultProcess, FaultRecord, RobustnessCounters,
+    RobustnessReport,
+};
 pub use engine::{PacketDist, SimConfig, SimReport, Simulator};
 pub use estimator::{EstimatorKind, LinkEstimator};
+pub use monitor::InvariantMonitor;
 pub use scenario::{Scenario, ScenarioEvent};
 pub use stats::{FlowStats, LinkStats};

@@ -1,0 +1,81 @@
+//! Always-on LFI auditing inside a live simulation.
+//!
+//! The unit and property tests exercise the LFI checkers against the
+//! in-memory harness; the [`InvariantMonitor`] runs the *same* checkers
+//! (`mdr_routing::lfi`) inside the packet-level simulator, after every
+//! routing-table change — so "loop-free at every instant" is verified
+//! under real wire delays, estimator noise, fault injection, and
+//! control-channel chaos, not just abstract delivery schedules.
+//!
+//! The monitor counts instead of panicking: a violation inside a batch
+//! run must surface in the [`crate::chaos::RobustnessReport`] (where
+//! the bench harness and CI assert it is zero), not tear down the
+//! whole experiment with a worker panic.
+
+use mdr_routing::{lfi, MpdaRouter};
+
+/// Audit counters plus the first offending state found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InvariantMonitor {
+    /// Audits performed.
+    pub checks: u64,
+    /// Audits that failed (cycle or FD-ordering breach).
+    pub violations: u64,
+    /// Human-readable description of the first failure.
+    pub first_violation: Option<String>,
+}
+
+impl InvariantMonitor {
+    /// Fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run both LFI checks over the `n` routers yielded by `router`,
+    /// recording (never panicking on) violations. `now` timestamps the
+    /// diagnostic.
+    pub fn audit<'a, F>(&mut self, n: usize, now: f64, router: F)
+    where
+        F: Fn(mdr_net::NodeId) -> &'a MpdaRouter,
+    {
+        self.checks += 1;
+        if let Err((j, cycle)) = lfi::check_loop_freedom_with(n, &router) {
+            self.violations += 1;
+            self.first_violation.get_or_insert_with(|| {
+                format!("t={now:.6}: successor graph for destination {j} has a cycle: {cycle:?}")
+            });
+            return;
+        }
+        if let Err((i, k, j)) = lfi::check_fd_ordering_with(n, &router) {
+            self.violations += 1;
+            self.first_violation.get_or_insert_with(|| {
+                format!(
+                    "t={now:.6}: FD ordering violated: router {i} uses successor {k} \
+                     for {j} but FD^k >= FD^i"
+                )
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdr_net::NodeId;
+    use mdr_routing::RouterEvent;
+
+    #[test]
+    fn clean_routers_pass() {
+        // Two routers with an up link between them: converged, no loops.
+        let mut a = MpdaRouter::new(NodeId(0), 2);
+        let mut b = MpdaRouter::new(NodeId(1), 2);
+        let _ = a.handle(RouterEvent::LinkUp { to: NodeId(1), cost: 1.0 });
+        let _ = b.handle(RouterEvent::LinkUp { to: NodeId(0), cost: 1.0 });
+        let routers = [a, b];
+        let mut m = InvariantMonitor::new();
+        m.audit(2, 0.0, |i| &routers[i.index()]);
+        assert_eq!(m.checks, 1);
+        assert_eq!(m.violations, 0);
+        assert!(m.first_violation.is_none());
+    }
+}

@@ -44,15 +44,28 @@ impl Scenario {
     }
 
     /// Add an event at absolute simulated time `t`.
+    ///
+    /// # Panics
+    /// Panics when `t` is NaN, infinite, or negative. Validating here —
+    /// at the call site that supplied the bad time — beats the old
+    /// behavior of a bare `partial_cmp().unwrap()` blowing up later
+    /// inside [`Scenario::events`], far from the bug.
     pub fn at(mut self, t: f64, ev: ScenarioEvent) -> Self {
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "scenario event time must be finite and non-negative, got {t} for {ev:?}"
+        );
         self.events.push((t, ev));
         self
     }
 
-    /// The scripted events, sorted by time.
+    /// The scripted events, sorted by time (stable, so same-time events
+    /// keep insertion order).
     pub fn events(&self) -> Vec<(f64, ScenarioEvent)> {
         let mut v = self.events.clone();
-        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // `at()` guarantees finite times, so total_cmp agrees with the
+        // numeric order; it just can't panic.
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
         v
     }
 
@@ -65,6 +78,35 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan_time() {
+        let _ = Scenario::new().at(f64::NAN, ScenarioEvent::SetFlowRate { flow: 0, rate: 1e6 });
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_time() {
+        let _ = Scenario::new().at(-1.0, ScenarioEvent::FailLink { a: NodeId(0), b: NodeId(1) });
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_infinite_time() {
+        let _ = Scenario::new()
+            .at(f64::INFINITY, ScenarioEvent::RestoreLink { a: NodeId(0), b: NodeId(1) });
+    }
+
+    #[test]
+    fn same_time_events_keep_insertion_order() {
+        let s = Scenario::new()
+            .at(2.0, ScenarioEvent::SetFlowRate { flow: 0, rate: 1.0 })
+            .at(2.0, ScenarioEvent::SetFlowRate { flow: 1, rate: 2.0 });
+        let e = s.events();
+        assert_eq!(e[0].1, ScenarioEvent::SetFlowRate { flow: 0, rate: 1.0 });
+        assert_eq!(e[1].1, ScenarioEvent::SetFlowRate { flow: 1, rate: 2.0 });
+    }
 
     #[test]
     fn events_sorted_by_time() {

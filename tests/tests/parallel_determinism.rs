@@ -34,6 +34,7 @@ fn assert_reports_identical(a: &SimReport, b: &SimReport) {
     assert_eq!(a.flows, b.flows, "per-flow statistics differ");
     assert_eq!(a.links, b.links, "per-link statistics differ");
     assert_eq!(a.series, b.series, "delay time series differ");
+    assert_eq!(a.robustness, b.robustness, "robustness reports differ");
     // Belt and braces: the derived equality must agree too.
     assert_eq!(a, b);
 }
@@ -77,6 +78,60 @@ fn run_many_matches_serial_execution_bit_for_bit() {
     for (s, p) in serial.iter().zip(&parallel) {
         assert_reports_identical(s, p);
     }
+}
+
+/// NET1 under the full chaos stack: link failures, router crashes, and
+/// a lossy control channel, with invariant auditing on.
+fn chaos_jobs() -> Vec<SimJob> {
+    let t = topo::net1();
+    let flows = topo::net1_flows(800_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).expect("traffic");
+    [3u64, 11, 29]
+        .iter()
+        .map(|&seed| {
+            let plan = FaultPlan {
+                seed: seed ^ 0xC0FFEE,
+                start: 2.0,
+                link_faults: Some(FaultProcess { mtbf: 10.0, mttr: 1.0 }),
+                router_faults: Some(FaultProcess { mtbf: 25.0, mttr: 1.5 }),
+                control: Some(ControlChaos::default()),
+            };
+            let cfg = SimConfig {
+                warmup: 4.0,
+                duration: 8.0,
+                seed,
+                fault_plan: Some(plan),
+                audit_invariants: true,
+                ..Default::default()
+            };
+            SimJob::new(&t, &traffic, cfg)
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_runs_match_serial_execution_bit_for_bit() {
+    let batch = chaos_jobs();
+    let serial: Vec<SimReport> = batch.iter().map(|j| j.run()).collect();
+    let parallel = run_many_with(4, batch);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_reports_identical(s, p);
+        let rob = s.robustness.as_ref().expect("chaos job must produce a robustness report");
+        assert_eq!(rob.invariant_violations, 0, "{:?}", rob.first_violation);
+        assert!(!rob.faults.is_empty(), "the fault plan must have injected something");
+    }
+}
+
+#[test]
+fn chaos_same_seed_reproduces_the_same_robustness_report() {
+    let job = chaos_jobs().remove(0);
+    let a = job.run();
+    let b = job.run();
+    assert_reports_identical(&a, &b);
+    // The RobustnessReport specifically must be field-for-field equal —
+    // fault times, recovery times, and every damage counter.
+    assert_eq!(a.robustness, b.robustness);
 }
 
 #[test]
