@@ -1,0 +1,8 @@
+//! Telemetry timelines — deterministic JSONL event traces of the §5
+//! dynamic scenarios plus per-fault-class MPDA convergence times (see
+//! figures::trace). Pass `smoke` for the short CI subset.
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "smoke");
+    mdr_bench::figures::trace_run(smoke);
+}

@@ -45,6 +45,7 @@ pub fn all() -> Vec<Experiment> {
         Experiment { name: "ablation_traffic", run: ablation_traffic },
         Experiment { name: "extension_dv", run: extension_dv },
         Experiment { name: "chaos", run: chaos },
+        Experiment { name: "trace", run: trace },
     ]
 }
 
@@ -1071,5 +1072,231 @@ every cell audited after every routing-table change — {} LFI checks total, zer
             }
         }
         Err(e) => eprintln!("warning: could not serialize chaos results: {e}"),
+    }
+}
+
+/// One scenario's trace file summary in `results/trace.json`.
+#[derive(serde::Serialize)]
+struct TraceScenario {
+    scenario: String,
+    path: String,
+    events: u64,
+    route_changes: u64,
+    faults: u64,
+    quiescent: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+/// Per-fault-class convergence statistics in `results/trace.json`.
+#[derive(serde::Serialize)]
+struct TraceConvergence {
+    class: String,
+    samples: u64,
+    mean_recovery_s: f64,
+    max_recovery_s: f64,
+}
+
+/// The whole `results/trace.json` document.
+#[derive(serde::Serialize)]
+struct TraceResults {
+    id: String,
+    title: String,
+    scenarios: Vec<TraceScenario>,
+    convergence: Vec<TraceConvergence>,
+    notes: Vec<String>,
+}
+
+/// Telemetry tentpole — replays the §5 dynamic scenarios (the traffic
+/// burst behind the Fig. 9/12 discussion and the trunk failure) with the
+/// JSONL observer attached, writing deterministic control-plane
+/// timelines to `results/trace_burst.jsonl` / `results/trace_failure.jsonl`,
+/// then measures MPDA convergence per fault class off a seeded chaos run
+/// through the metrics observer (`results/trace.json`).
+pub fn trace() {
+    trace_run(false);
+}
+
+/// Shared driver; `smoke` runs the CI subset (short horizons, one chaos
+/// cell) with the same determinism and observer-neutrality assertions.
+pub fn trace_run(smoke: bool) {
+    let dir = crate::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let id = if smoke { "trace_smoke" } else { "trace" };
+    let mut doc = TraceResults {
+        id: id.into(),
+        title: "Structured event timelines and per-fault-class MPDA convergence".into(),
+        scenarios: Vec::new(),
+        convergence: Vec::new(),
+        notes: Vec::new(),
+    };
+    println!("== {id} — {} ==", doc.title);
+
+    // --- deterministic JSONL timelines of the §5 scenarios -----------
+    let base = 2_500_000.0;
+    let (t, flows, _) = cairn_setup(base);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).expect("trace traffic");
+    let (warmup, duration, t0, t1) =
+        if smoke { (5.0, 15.0, 8.0, 12.0) } else { (30.0, 90.0, 60.0, 90.0) };
+    let sri = t.node_by_name("sri").unwrap();
+    let mci = t.node_by_name("mci-r").unwrap();
+    let burst = Scenario::new()
+        .at(t0, ScenarioEvent::SetFlowRate { flow: 4, rate: base * 2.0 })
+        .at(t1, ScenarioEvent::SetFlowRate { flow: 4, rate: base });
+    let failure = Scenario::new()
+        .at(t0, ScenarioEvent::FailLink { a: sri, b: mci })
+        .at(t1, ScenarioEvent::RestoreLink { a: sri, b: mci });
+    let scenarios = [("burst", burst), ("failure", failure)];
+
+    let path = |name: &str| dir.join(format!("{id}_{name}.jsonl")).to_string_lossy().into_owned();
+    let cfg = |observer: ObserverMode| SimConfig {
+        warmup,
+        duration,
+        seed: 7,
+        observer,
+        ..Default::default()
+    };
+    let job = |scen: &Scenario, observer: ObserverMode| {
+        SimJob::new(&t, &traffic, cfg(observer)).with_scenario(scen)
+    };
+
+    // The canonical traces come out of one parallel batch; the reruns
+    // below are serial, so byte-equality covers both repeat-run
+    // determinism and serial-vs-parallel identity at once.
+    let jobs = scenarios
+        .iter()
+        .map(|(name, scen)| job(scen, ObserverMode::Jsonl { path: path(name), data_plane: false }))
+        .collect();
+    let reports = run_many_recorded(jobs);
+
+    for ((name, scen), rep) in scenarios.iter().zip(&reports) {
+        let sink = rep
+            .telemetry
+            .as_ref()
+            .and_then(|tel| tel.sink.clone())
+            .expect("jsonl observer must report its sink");
+        let bytes = std::fs::read(&sink.path).expect("read trace");
+        assert!(sink.lines > 0 && !bytes.is_empty(), "{name}: trace is empty");
+
+        // Serial rerun to a scratch path: the bytes must match exactly.
+        let check = path(&format!("{name}_check"));
+        let rep2 = job(scen, ObserverMode::Jsonl { path: check.clone(), data_plane: false }).run();
+        let bytes2 = std::fs::read(&check).expect("read check trace");
+        assert_eq!(bytes, bytes2, "{name}: serial rerun produced a different trace");
+        let _ = std::fs::remove_file(&check);
+
+        // Observer neutrality: with the observer off, the report is
+        // bit-identical apart from the telemetry field itself.
+        let off = job(scen, ObserverMode::Off).run();
+        assert!(off.telemetry.is_none(), "observer off must report no telemetry");
+        let mut stripped = rep.clone();
+        stripped.telemetry = None;
+        let mut stripped2 = rep2;
+        stripped2.telemetry = None;
+        assert_eq!(stripped, stripped2, "{name}: serial vs parallel reports differ");
+        assert_eq!(stripped, off, "{name}: observer perturbed the simulation");
+
+        let text = String::from_utf8(bytes).expect("utf8 trace");
+        let count = |k: &str| {
+            text.lines().filter(|l| l.starts_with(&format!("{{\"kind\":\"{k}\""))).count() as u64
+        };
+        let row = TraceScenario {
+            scenario: name.to_string(),
+            path: format!("results/{id}_{name}.jsonl"),
+            events: sink.lines,
+            route_changes: count("route_change"),
+            faults: count("fault"),
+            quiescent: count("control_quiescent"),
+            delivered: rep.delivered,
+            dropped: rep.dropped,
+        };
+        println!(
+            "{:<8} {:>8} events  {:>6} route changes  {:>3} faults  {:>3} quiescent  -> {}",
+            row.scenario, row.events, row.route_changes, row.faults, row.quiescent, row.path
+        );
+        doc.scenarios.push(row);
+    }
+    doc.notes.push(format!(
+        "timelines are control-plane only (data-plane events filtered at the sink); \
+warmup {warmup} s, horizon {duration} s, scenario events at {t0} s and {t1} s; \
+byte-identity asserted between parallel and serial runs, and observer-off reports \
+asserted bit-identical to observer-on"
+    ));
+
+    // --- per-fault-class convergence off the metrics observer --------
+    let (tn, fln, _) = net1_setup(NET1_RATE * 0.5);
+    let ntraffic = TrafficMatrix::from_flows(&tn, &fln).expect("trace net1 traffic");
+    let (cw, cd) = if smoke { (4.0, 10.0) } else { (10.0, 40.0) };
+    let seeds: &[u64] = if smoke { &[7] } else { &[7, 19, 31] };
+    let intensities = chaos_intensities();
+    let wanted: &[&str] = if smoke { &["medium"] } else { &["medium", "heavy"] };
+    let mut jobs: Vec<SimJob> = Vec::new();
+    for (label, template) in intensities.iter().filter(|(l, _)| wanted.contains(l)) {
+        for &seed in seeds {
+            let plan = FaultPlan { seed: template.seed ^ seed, ..*template };
+            let cfg = SimConfig {
+                warmup: cw,
+                duration: cd,
+                seed,
+                fault_plan: Some(plan),
+                observer: ObserverMode::Metrics { bucket: 1.0 },
+                ..Default::default()
+            };
+            let _ = label;
+            jobs.push(SimJob::new(&tn, &ntraffic, cfg));
+        }
+    }
+    let mut samples = Vec::new();
+    for rep in run_many_recorded(jobs) {
+        let metrics = rep
+            .telemetry
+            .and_then(|tel| tel.metrics)
+            .expect("metrics observer must report metrics");
+        samples.extend(metrics.convergence);
+    }
+    assert!(!samples.is_empty(), "chaos cells produced no convergence samples");
+    println!("{:<16}{:>9}{:>12}{:>12}", "fault class", "samples", "mean_s", "max_s");
+    for class in [
+        FaultClass::LinkFail,
+        FaultClass::LinkRestore,
+        FaultClass::RouterCrash,
+        FaultClass::RouterRestart,
+    ] {
+        let of_class: Vec<f64> =
+            samples.iter().filter(|s| s.class == class).map(|s| s.recovery_s).collect();
+        let n = of_class.len() as u64;
+        let (mean_s, max_s) = if n > 0 {
+            (mean(&of_class), of_class.iter().cloned().fold(0.0f64, f64::max))
+        } else {
+            (0.0, 0.0)
+        };
+        println!("{:<16}{:>9}{:>12.3}{:>12.3}", class.as_str(), n, mean_s, max_s);
+        doc.convergence.push(TraceConvergence {
+            class: class.as_str().into(),
+            samples: n,
+            mean_recovery_s: mean_s,
+            max_recovery_s: max_s,
+        });
+    }
+    doc.notes.push(format!(
+        "convergence = fault injection to the next control-plane quiescence (no LSU in \
+flight, every router PASSIVE), measured off the event stream by the metrics observer; \
+NET1 at half the figure load, {} chaos cells over seeds {seeds:?}",
+        wanted.len() * seeds.len()
+    ));
+    for n in &doc.notes {
+        println!("note: {n}");
+    }
+
+    let out = dir.join(format!("{id}.json"));
+    match serde_json::to_string_pretty(&doc) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&out, s) {
+                eprintln!("warning: could not write {}: {e}", out.display());
+            } else {
+                println!("results written to {}", out.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize trace results: {e}"),
     }
 }

@@ -3,15 +3,19 @@
 pub use crate::scheme::{
     run, run_jobs, run_jobs_with, run_with_scenario, MdrError, RunConfig, RunJob, RunResult, Scheme,
 };
-pub use mdr_flow::{Allocator, Mode, SuccessorCost, Update};
+pub use mdr_flow::{AllocHeuristic, AllocOutcome, Allocator, Mode, SuccessorCost, Update};
 pub use mdr_net::{
     topo, Flow, Link, LinkDelayModel, LinkId, Mm1, NodeId, Topology, TopologyBuilder, TrafficMatrix,
 };
 pub use mdr_opt::{evaluate, GallagerConfig, RoutingVars};
 pub use mdr_proto::{LsuEntry, LsuMessage, LsuOp};
-pub use mdr_routing::{DvEvent, DvMessage, DvRouter, Harness, MpdaRouter, PdaRouter, RouterEvent};
+pub use mdr_routing::{
+    DvEvent, DvMessage, DvRouter, Harness, MpdaRouter, PdaRouter, RouteChange, RouterEvent,
+};
 pub use mdr_sim::{
-    run_many, run_many_with, ControlChaos, EstimatorKind, FaultEvent, FaultPlan, FaultProcess,
-    FaultRecord, InvariantMonitor, PacketDist, RobustnessCounters, RobustnessReport, RunSet,
-    Scenario, ScenarioEvent, SimConfig, SimJob, SimReport, Simulator,
+    run_many, run_many_with, ControlChaos, EstimatorKind, FaultClass, FaultEvent, FaultPlan,
+    FaultProcess, FaultRecord, InvariantMonitor, MetricsHub, MetricsReport, NullObserver,
+    ObserverMode, PacketDist, RecordingObserver, RobustnessCounters, RobustnessReport, RunSet,
+    Scenario, ScenarioEvent, SimConfig, SimEvent, SimJob, SimObserver, SimReport, Simulator,
+    TelemetryReport,
 };

@@ -29,6 +29,56 @@ pub enum Update {
     ShortTerm,
 }
 
+/// Which heuristic an [`Allocator::update`] actually ran — published by
+/// the telemetry layer as `AllocShift` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocHeuristic {
+    /// SP mode: all traffic to the best successor.
+    BestPath,
+    /// IH — fresh initial assignment (Fig. 6).
+    Initial,
+    /// AH — incremental adjustment (Fig. 7).
+    Incremental,
+}
+
+impl AllocHeuristic {
+    /// Stable snake-case label used by serialized encodings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AllocHeuristic::BestPath => "best_path",
+            AllocHeuristic::Initial => "initial",
+            AllocHeuristic::Incremental => "incremental",
+        }
+    }
+}
+
+/// What an [`Allocator::update`] (or [`Allocator::refresh`]) did: which
+/// heuristic ran (`None` when nothing ran at all) and how much traffic
+/// mass it moved — half the L1 distance between the old and new
+/// parameters, so `shift ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AllocOutcome {
+    /// The heuristic that ran, if any.
+    pub heuristic: Option<AllocHeuristic>,
+    /// Traffic fraction moved.
+    pub shift: f64,
+}
+
+/// Half the L1 distance between two parameter vectors: the total traffic
+/// fraction that changed hands.
+fn mass_shift(old: &DestParams, new: &DestParams) -> f64 {
+    let mut l1 = 0.0;
+    for &(k, f) in new.pairs() {
+        l1 += (f - old.fraction(k)).abs();
+    }
+    for &(k, f) in old.pairs() {
+        if new.pairs().iter().all(|&(m, _)| m != k) {
+            l1 += f;
+        }
+    }
+    l1 / 2.0
+}
+
 /// Per-router allocator state across all destinations.
 #[derive(Debug, Clone)]
 pub struct Allocator {
@@ -72,9 +122,15 @@ impl Allocator {
 
     /// Update the parameters for destination `j` given the current
     /// successor set and marginal distances through each successor.
-    pub fn update(&mut self, j: NodeId, successors: &[SuccessorCost], kind: Update) {
+    /// Returns which heuristic ran and how much traffic mass it moved.
+    pub fn update(
+        &mut self,
+        j: NodeId,
+        successors: &[SuccessorCost],
+        kind: Update,
+    ) -> AllocOutcome {
         let set: Vec<NodeId> = successors.iter().map(|s| s.neighbor).collect();
-        match self.mode {
+        let outcome = match self.mode {
             Mode::SinglePath => {
                 // Best successor only; ties to the lower address (the
                 // successor list from MPDA is address-sorted, and strict
@@ -83,42 +139,49 @@ impl Allocator {
                     Some(b) if b.cost <= s.cost => Some(b),
                     _ => Some(*s),
                 });
-                self.params[j.index()] = match best {
+                let fresh = match best {
                     Some(b) => DestParams::from_pairs(vec![(b.neighbor, 1.0)]),
                     None => DestParams::new(),
                 };
+                let shift = mass_shift(&self.params[j.index()], &fresh);
+                self.params[j.index()] = fresh;
+                AllocOutcome { heuristic: Some(AllocHeuristic::BestPath), shift }
             }
             Mode::Multipath => {
                 let changed = self.basis[j.index()] != set;
-                match kind {
-                    Update::LongTerm => {
-                        self.params[j.index()] = initial_assignment(successors);
-                    }
-                    Update::ShortTerm if changed => {
-                        self.params[j.index()] = initial_assignment(successors);
-                    }
-                    Update::ShortTerm => {
-                        incremental_adjustment_gained(
-                            &mut self.params[j.index()],
-                            successors,
-                            self.ah_gain,
-                        );
-                    }
+                if kind == Update::LongTerm || changed {
+                    // IH: long-term change, or the successor set moved
+                    // under a short-term refresh.
+                    let fresh = initial_assignment(successors);
+                    let shift = mass_shift(&self.params[j.index()], &fresh);
+                    self.params[j.index()] = fresh;
+                    AllocOutcome { heuristic: Some(AllocHeuristic::Initial), shift }
+                } else {
+                    let shift = incremental_adjustment_gained(
+                        &mut self.params[j.index()],
+                        successors,
+                        self.ah_gain,
+                    );
+                    AllocOutcome { heuristic: Some(AllocHeuristic::Incremental), shift }
                 }
             }
-        }
+        };
         self.basis[j.index()] = set;
         debug_assert!(self.params[j.index()].validate().is_ok());
+        outcome
     }
 
     /// Refresh after a routing-table change: redistribute with IH *only
     /// if* the successor set actually changed, otherwise leave the
     /// current parameters alone (the paper's heuristics "assume a
     /// constant successor set and successor graph" between changes).
-    pub fn refresh(&mut self, j: NodeId, successors: &[SuccessorCost]) {
+    /// Returns what ran (nothing, when the set was unchanged).
+    pub fn refresh(&mut self, j: NodeId, successors: &[SuccessorCost]) -> AllocOutcome {
         let set: Vec<NodeId> = successors.iter().map(|s| s.neighbor).collect();
         if self.basis[j.index()] != set {
-            self.update(j, successors, Update::LongTerm);
+            self.update(j, successors, Update::LongTerm)
+        } else {
+            AllocOutcome::default()
         }
     }
 
@@ -194,6 +257,42 @@ mod tests {
         let mut a = Allocator::new(4, Mode::SinglePath);
         a.update(n(3), &[], Update::ShortTerm);
         assert!(a.params(n(3)).is_empty());
+    }
+
+    #[test]
+    fn update_reports_heuristic_and_shift() {
+        let mut a = Allocator::new(4, Mode::Multipath);
+        let o = a.update(n(3), &[sc(1, 1.0), sc(2, 3.0)], Update::LongTerm);
+        assert_eq!(o.heuristic, Some(AllocHeuristic::Initial));
+        // From empty {} to {1: .75, 2: .25}: half the L1 distance is 0.5
+        // (the empty side contributes nothing).
+        assert!((o.shift - 0.5).abs() < 1e-12, "{o:?}");
+        let o = a.update(n(3), &[sc(1, 1.0), sc(2, 3.0)], Update::ShortTerm);
+        assert_eq!(o.heuristic, Some(AllocHeuristic::Incremental));
+        // AH drains successor 2 (φ = 0.25 moved).
+        assert!((o.shift - 0.25).abs() < 1e-12, "{o:?}");
+    }
+
+    #[test]
+    fn refresh_reports_nothing_when_set_unchanged() {
+        let mut a = Allocator::new(4, Mode::Multipath);
+        a.update(n(3), &[sc(1, 1.0), sc(2, 3.0)], Update::LongTerm);
+        let o = a.refresh(n(3), &[sc(1, 2.0), sc(2, 1.0)]);
+        assert_eq!(o, AllocOutcome::default());
+        let o = a.refresh(n(3), &[sc(1, 2.0)]);
+        assert_eq!(o.heuristic, Some(AllocHeuristic::Initial));
+        assert!(o.shift > 0.0);
+    }
+
+    #[test]
+    fn single_path_shift_counts_rerouted_mass() {
+        let mut a = Allocator::new(4, Mode::SinglePath);
+        let o = a.update(n(3), &[sc(1, 2.0), sc(2, 1.0)], Update::LongTerm);
+        assert_eq!(o.heuristic, Some(AllocHeuristic::BestPath));
+        assert!((o.shift - 0.5).abs() < 1e-12);
+        // Same best successor: no mass moves.
+        let o = a.update(n(3), &[sc(1, 3.0), sc(2, 1.0)], Update::ShortTerm);
+        assert!(o.shift.abs() < 1e-12);
     }
 
     #[test]

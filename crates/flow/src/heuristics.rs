@@ -75,7 +75,7 @@ pub fn initial_assignment(successors: &[SuccessorCost]) -> DestParams {
 /// [`crate::Allocator`] guarantees this by re-running IH when the set
 /// changes).
 pub fn incremental_adjustment(params: &mut DestParams, successors: &[SuccessorCost]) {
-    incremental_adjustment_gained(params, successors, 1.0)
+    incremental_adjustment_gained(params, successors, 1.0);
 }
 
 /// [`incremental_adjustment`] with an explicit gain `γ ∈ (0, 1]`
@@ -91,13 +91,17 @@ pub fn incremental_adjustment(params: &mut DestParams, successors: &[SuccessorCo
 /// movement away from each link stays proportional to its excess
 /// marginal distance `a_jk`. The simulator defaults to γ = 0.5; the
 /// `ablation_ah` bench quantifies the choice.
+///
+/// Returns the total traffic fraction moved toward the best successor
+/// (`η·Σ_q a_jq`, zero when the set is already balanced or too small) —
+/// the telemetry layer publishes it as an `AllocShift` event.
 pub fn incremental_adjustment_gained(
     params: &mut DestParams,
     successors: &[SuccessorCost],
     gain: f64,
-) {
+) -> f64 {
     if successors.len() < 2 {
-        return; // nothing to balance
+        return 0.0; // nothing to balance
     }
     // Step 1: best successor.
     let mut best = successors[0];
@@ -124,7 +128,7 @@ pub fn incremental_adjustment_gained(
     }
     let eta = match eta {
         Some(e) => e * gain.clamp(0.0, 1.0),
-        None => return, // all marginal distances equal: balanced already
+        None => return 0.0, // all marginal distances equal: balanced already
     };
     // Steps 4-5: move traffic toward the best successor.
     let mut moved = 0.0;
@@ -145,6 +149,7 @@ pub fn incremental_adjustment_gained(
     }
     params.renormalize();
     debug_assert!(params.validate().is_ok());
+    moved
 }
 
 #[cfg(test)]

@@ -33,6 +33,8 @@ pub mod allocator;
 pub mod heuristics;
 pub mod params;
 
-pub use allocator::{Allocator, Mode, Update};
-pub use heuristics::{incremental_adjustment, initial_assignment, SuccessorCost};
+pub use allocator::{AllocHeuristic, AllocOutcome, Allocator, Mode, Update};
+pub use heuristics::{
+    incremental_adjustment, incremental_adjustment_gained, initial_assignment, SuccessorCost,
+};
 pub use params::{DestParams, PropertyViolation};

@@ -39,7 +39,7 @@ pub mod table;
 
 pub use dv::{DvEvent, DvMessage, DvOutput, DvRouter};
 pub use harness::Harness;
-pub use mpda::{MpdaRouter, RouterEvent, RouterOutput, SendTo};
+pub use mpda::{MpdaRouter, RouteChange, RouterEvent, RouterOutput, SendTo};
 pub use pda::PdaRouter;
 pub use spf::{bellman_ford, dijkstra, SpfResult};
 pub use table::TopoTable;

@@ -73,6 +73,22 @@ pub struct RouterOutput {
     /// `S^i_j` is computed for the first time or recomputed again due to
     /// long-term route changes, traffic should be freshly distributed").
     pub routes_changed: bool,
+    /// The per-destination successor-set diffs behind `routes_changed`
+    /// (empty for routers that don't track successor sets, e.g. PDA).
+    /// The telemetry layer publishes these as `RouteChange` events.
+    pub changed: Vec<RouteChange>,
+}
+
+/// One successor-set change: destination, old set, new set (both in
+/// ascending address order, as MPDA maintains them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteChange {
+    /// Destination the successor set points at.
+    pub dest: NodeId,
+    /// Successor set before the event.
+    pub old: Vec<NodeId>,
+    /// Successor set after the event.
+    pub new: Vec<NodeId>,
 }
 
 /// Protocol counters (message/work accounting used by the complexity
@@ -308,7 +324,19 @@ impl MpdaRouter {
         }
 
         let routes_changed = old_dist != self.core.dist || old_succ != self.successors;
-        RouterOutput { sends, routes_changed }
+        let mut changed = Vec::new();
+        if routes_changed {
+            for (j, old) in old_succ.into_iter().enumerate() {
+                if old != self.successors[j] {
+                    changed.push(RouteChange {
+                        dest: NodeId(j as u32),
+                        old,
+                        new: self.successors[j].clone(),
+                    });
+                }
+            }
+        }
+        RouterOutput { sends, routes_changed, changed }
     }
 
     /// Eq. 17: `S^i_j = { k | D^i_jk < FD^i_j ∧ k ∈ N^i }`.

@@ -131,7 +131,7 @@ impl PdaRouter {
             self.stats.lsu_sent += 1;
             sends.push(SendTo { to: k, msg: LsuMessage::update(self.core.id, entries) });
         }
-        RouterOutput { sends, routes_changed: old_dist != self.core.dist }
+        RouterOutput { sends, routes_changed: old_dist != self.core.dist, changed: Vec::new() }
     }
 }
 

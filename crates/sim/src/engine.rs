@@ -14,6 +14,7 @@ use crate::events::{Ev, EventQueue, MsgSlab, Packet};
 use crate::monitor::InvariantMonitor;
 use crate::scenario::{Scenario, ScenarioEvent};
 use crate::stats::{DelaySeries, FlowStats, LinkStats};
+use crate::telemetry::{DropReason, ObserverMode, SimEvent, SimObserver, TelemetryReport};
 use mdr_flow::{Allocator, Mode, SuccessorCost, Update};
 use mdr_net::{LinkDelayModel, LinkId, Mm1, NodeId, Topology, TrafficMatrix};
 use mdr_opt::RoutingVars;
@@ -91,6 +92,11 @@ pub struct SimConfig {
     /// FD ordering) after every routing-table change, tallying results
     /// in [`SimReport::robustness`].
     pub audit_invariants: bool,
+    /// Telemetry observer specification (declarative, so the config
+    /// stays `Clone`; [`Simulator::new`] instantiates it). The default
+    /// [`ObserverMode::Off`] leaves every run bit-for-bit identical to
+    /// an observer-free build.
+    pub observer: ObserverMode,
 }
 
 impl Default for SimConfig {
@@ -112,6 +118,7 @@ impl Default for SimConfig {
             fixed_routing: None,
             fault_plan: None,
             audit_invariants: false,
+            observer: ObserverMode::Off,
         }
     }
 }
@@ -144,6 +151,10 @@ pub struct SimReport {
     /// [`SimConfig::fault_plan`] or [`SimConfig::audit_invariants`] was
     /// set.
     pub robustness: Option<RobustnessReport>,
+    /// What the telemetry observer measured; `Some` exactly when
+    /// [`SimConfig::observer`] was not [`ObserverMode::Off`]. Everything
+    /// else in the report is bit-identical with or without it.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl SimReport {
@@ -252,6 +263,12 @@ pub struct Simulator {
     flows: Vec<FlowSt>,
     scenario: Vec<(f64, ScenarioEvent)>,
     robust: Option<Box<RobustRt>>,
+    /// Telemetry observer; `None` keeps the hot paths at one pointer
+    /// check, like `robust`.
+    obs: Option<Box<dyn SimObserver>>,
+    /// Last observed control-plane quiescence state (edge detector for
+    /// `ControlQuiescent` events; telemetry-only).
+    quiescent: bool,
     // measurement
     warmup_end: f64,
     end_time: f64,
@@ -372,6 +389,7 @@ impl Simulator {
             .collect();
         let nflows = flows.len();
 
+        let obs = cfg.observer.build();
         let mut sim = Simulator {
             topo: topo.clone(),
             models,
@@ -384,6 +402,8 @@ impl Simulator {
             flows,
             scenario: scenario.events(),
             robust,
+            obs,
+            quiescent: false,
             warmup_end: cfg.warmup,
             end_time: cfg.warmup + cfg.duration,
             flow_stats: vec![FlowStats::default(); nflows],
@@ -540,6 +560,16 @@ impl Simulator {
                 self.ctl_bytes += attempts * (bits / 8.0) as u64;
                 let id = self.msgs.insert_tagged(deliver, tag);
                 self.queue.push(at, Ev::Control { node: to, from, msg: id });
+                let now = self.time;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_event(&SimEvent::LsuSent {
+                        time: now,
+                        from,
+                        to,
+                        bytes: attempts * (bits / 8.0) as u64,
+                        attempts,
+                    });
+                }
             } else {
                 // Fault plan without control chaos: reliable wire, but
                 // still incarnation-tagged so crash semantics hold.
@@ -549,6 +579,16 @@ impl Simulator {
                 self.ctl_bytes += (bits / 8.0) as u64;
                 let id = self.msgs.insert_tagged(msg, tag);
                 self.queue.push(at, Ev::Control { node: to, from, msg: id });
+                let now = self.time;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_event(&SimEvent::LsuSent {
+                        time: now,
+                        from,
+                        to,
+                        bytes: (bits / 8.0) as u64,
+                        attempts: 1,
+                    });
+                }
             }
             return;
         }
@@ -558,6 +598,16 @@ impl Simulator {
         self.ctl_bytes += (bits / 8.0) as u64;
         let msg = self.msgs.insert(msg);
         self.queue.push(at, Ev::Control { node: to, from, msg });
+        let now = self.time;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_event(&SimEvent::LsuSent {
+                time: now,
+                from,
+                to,
+                bytes: (bits / 8.0) as u64,
+                attempts: 1,
+            });
+        }
     }
 
     /// True unless `x` is currently crashed.
@@ -726,6 +776,10 @@ impl Simulator {
             rb.pending.push(rb.records.len() - 1);
             ev
         };
+        let now = self.time;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_event(&SimEvent::Fault { time: now, event: ev });
+        }
         match ev {
             FaultEvent::FailLink { a, b } => self.fail_physical(a, b),
             FaultEvent::RestoreLink { a, b } => self.restore_physical(a, b),
@@ -755,18 +809,47 @@ impl Simulator {
     fn check_recovery(&mut self) {
         let now = self.time;
         let msgs_empty = self.msgs.is_empty();
+        let want_obs = self.obs.is_some();
         let nodes = &self.nodes;
         if let Some(rb) = self.robust.as_deref_mut() {
             if rb.pending.is_empty() || !msgs_empty {
                 return;
             }
             if nodes.iter().all(|nd| !nd.router.is_active()) {
+                let mut closed: Vec<f64> = Vec::new();
                 for &i in &rb.pending {
                     rb.records[i].recovery_s = Some(now - rb.records[i].time);
+                    if want_obs {
+                        closed.push(rb.records[i].time);
+                    }
                 }
                 rb.pending.clear();
+                if let Some(o) = self.obs.as_deref_mut() {
+                    for ft in closed {
+                        o.on_event(&SimEvent::Recovery {
+                            time: now,
+                            fault_time: ft,
+                            recovery_s: now - ft,
+                        });
+                    }
+                }
             }
         }
+    }
+
+    /// Telemetry-only edge detector: publish a `ControlQuiescent` event
+    /// each time the control plane transitions into quiescence (no LSU
+    /// in flight, every router PASSIVE). Pure observation — reads state,
+    /// perturbs nothing.
+    fn observe_quiescence(&mut self) {
+        let now = self.time;
+        let q = self.msgs.is_empty() && self.nodes.iter().all(|nd| !nd.router.is_active());
+        if q && !self.quiescent {
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.on_event(&SimEvent::ControlQuiescent { time: now });
+            }
+        }
+        self.quiescent = q;
     }
 
     /// Marginal distances `D^i_jk + l^i_k` through the current successor
@@ -791,17 +874,53 @@ impl Simulator {
             self.send_control(i, s.to, s.msg);
         }
         if out.routes_changed {
+            if !out.changed.is_empty() && self.obs.is_some() {
+                let now = self.time;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    for c in out.changed {
+                        o.on_event(&SimEvent::RouteChange {
+                            time: now,
+                            node: i,
+                            dest: c.dest,
+                            old: c.old,
+                            new: c.new,
+                        });
+                    }
+                }
+            }
             for j in 0..self.topo.node_count() as u32 {
                 let j = NodeId(j);
                 if j == i {
                     continue;
                 }
                 let sc = self.successor_costs(i, j);
-                self.nodes[i.index()].alloc.refresh(j, &sc);
+                let outcome = self.nodes[i.index()].alloc.refresh(j, &sc);
+                self.observe_alloc(i, j, outcome);
             }
             // Loop-free at every instant: audit right where the tables
             // just changed.
             self.audit();
+        }
+    }
+
+    /// Publish an `AllocShift` when an allocator update actually moved
+    /// traffic mass (telemetry-only; pure observation).
+    #[inline]
+    fn observe_alloc(&mut self, i: NodeId, j: NodeId, outcome: mdr_flow::AllocOutcome) {
+        if self.obs.is_none() {
+            return;
+        }
+        if let (Some(h), true) = (outcome.heuristic, outcome.shift > 1e-12) {
+            let now = self.time;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.on_event(&SimEvent::AllocShift {
+                    time: now,
+                    node: i,
+                    dest: j,
+                    heuristic: h,
+                    shift: outcome.shift,
+                });
+            }
         }
     }
 
@@ -813,6 +932,7 @@ impl Simulator {
                 // A crashed router can neither deliver nor forward.
                 rb.counters.packets_blackholed += 1;
                 self.flow_stats[pkt.flow as usize].dropped_no_route += 1;
+                self.observe_drop(node, &pkt, DropReason::Crashed);
                 return;
             }
         }
@@ -823,11 +943,16 @@ impl Simulator {
             if pkt.created >= self.warmup_end {
                 self.flow_stats[f].deliver(delay);
             }
+            let now = self.time;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.on_event(&SimEvent::PacketDelivered { time: now, flow: pkt.flow, node, delay });
+            }
             return;
         }
         if pkt.ttl == 0 {
             self.flow_stats[pkt.flow as usize].dropped_ttl += 1;
             self.rcount(|c| c.packets_looped += 1);
+            self.observe_drop(node, &pkt, DropReason::Ttl);
             return;
         }
         pkt.ttl -= 1;
@@ -860,6 +985,7 @@ impl Simulator {
                 // Empty successor set: a blackhole opened here.
                 self.flow_stats[pkt.flow as usize].dropped_no_route += 1;
                 self.rcount(|c| c.packets_blackholed += 1);
+                self.observe_drop(node, &pkt, DropReason::NoRoute);
                 return;
             }
         };
@@ -873,10 +999,20 @@ impl Simulator {
                 // Chosen next hop sits behind a dead link.
                 self.flow_stats[pkt.flow as usize].dropped_no_route += 1;
                 self.rcount(|c| c.packets_blackholed += 1);
+                self.observe_drop(node, &pkt, DropReason::NoRoute);
                 return;
             }
         };
         self.enqueue_packet(lid, pkt);
+    }
+
+    /// Publish a `PacketDropped` (telemetry-only).
+    #[inline]
+    fn observe_drop(&mut self, node: NodeId, pkt: &Packet, reason: DropReason) {
+        let now = self.time;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_event(&SimEvent::PacketDropped { time: now, flow: pkt.flow, node, reason });
+        }
     }
 
     fn enqueue_packet(&mut self, lid: LinkId, pkt: Packet) {
@@ -920,6 +1056,18 @@ impl Simulator {
         if let Some(s) = from.slot(link.to) {
             from.est[s].on_packet(pkt.bits, qdelay);
         }
+        let now = self.time;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_event(&SimEvent::PacketHop {
+                time: now,
+                flow: pkt.flow,
+                link: lid,
+                from: link.from,
+                to: link.to,
+                bits: pkt.bits,
+                queue_delay: qdelay,
+            });
+        }
         // Next serialization.
         match next_bits {
             Some(b) => {
@@ -939,8 +1087,14 @@ impl Simulator {
             self.queue.push(now + self.cfg.t_short, Ev::ShortTermTick { node: i });
             return;
         }
-        for e in self.nodes[i.index()].est.iter_mut() {
-            e.close_window(now);
+        for s in 0..self.nodes[i.index()].est.len() {
+            let cost = self.nodes[i.index()].est[s].close_window(now);
+            if self.obs.is_some() {
+                let lid = self.nodes[i.index()].out_link[s];
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_event(&SimEvent::LinkCostSample { time: now, node: i, link: lid, cost });
+                }
+            }
         }
         for j in 0..self.topo.node_count() as u32 {
             let j = NodeId(j);
@@ -948,7 +1102,8 @@ impl Simulator {
                 continue;
             }
             let sc = self.successor_costs(i, j);
-            self.nodes[i.index()].alloc.update(j, &sc, Update::ShortTerm);
+            let outcome = self.nodes[i.index()].alloc.update(j, &sc, Update::ShortTerm);
+            self.observe_alloc(i, j, outcome);
         }
         self.queue.push(now + self.cfg.t_short, Ev::ShortTermTick { node: i });
     }
@@ -980,6 +1135,7 @@ impl Simulator {
 
     fn on_scenario(&mut self, idx: usize) {
         let (_, ev) = self.scenario[idx].clone();
+        let now = self.time;
         match ev {
             ScenarioEvent::SetFlowRate { flow, rate } => {
                 self.flows[flow].rate = rate;
@@ -988,9 +1144,28 @@ impl Simulator {
                 if t.is_finite() {
                     self.queue.push(t, Ev::Generate { flow });
                 }
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_event(&SimEvent::TrafficChange { time: now, flow: flow as u32, rate });
+                }
             }
-            ScenarioEvent::FailLink { a, b } => self.fail_physical(a, b),
-            ScenarioEvent::RestoreLink { a, b } => self.restore_physical(a, b),
+            ScenarioEvent::FailLink { a, b } => {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_event(&SimEvent::Fault {
+                        time: now,
+                        event: FaultEvent::FailLink { a, b },
+                    });
+                }
+                self.fail_physical(a, b);
+            }
+            ScenarioEvent::RestoreLink { a, b } => {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_event(&SimEvent::Fault {
+                        time: now,
+                        event: FaultEvent::RestoreLink { a, b },
+                    });
+                }
+                self.restore_physical(a, b);
+            }
         }
     }
 
@@ -1032,6 +1207,18 @@ impl Simulator {
                 Ev::Control { node, from, msg } => {
                     let (msg, tag) = self.msgs.take_tagged(msg);
                     if self.control_deliverable(node, from, tag) {
+                        let now = self.time;
+                        let entries = msg.entries.len() as u64;
+                        let ack = msg.ack;
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.on_event(&SimEvent::LsuReceived {
+                                time: now,
+                                node,
+                                from,
+                                entries,
+                                ack,
+                            });
+                        }
                         let out =
                             self.nodes[node.index()].router.handle(RouterEvent::Lsu { from, msg });
                         self.apply_router_output(node, out);
@@ -1045,6 +1232,9 @@ impl Simulator {
             }
             if self.robust.is_some() {
                 self.check_recovery();
+            }
+            if self.obs.is_some() {
+                self.observe_quiescence();
             }
         }
         let mean_delays_ms: Vec<f64> =
@@ -1075,6 +1265,7 @@ impl Simulator {
             duration: self.cfg.duration,
             events_processed,
             robustness,
+            telemetry: self.obs.take().map(|o| o.finish()),
         }
     }
 

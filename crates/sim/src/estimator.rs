@@ -240,6 +240,57 @@ mod tests {
     }
 
     #[test]
+    fn mm1_inverts_known_marginal_delays_across_loads() {
+        // D'(f) = C/(C-f)^2 + tau/L for M/M/1: feeding the estimator a
+        // stationary stream consistent with flow f must reproduce the
+        // closed form at every operating point, light to near-saturated.
+        let m = model();
+        for &flow in &[500_000.0, 2_000_000.0, 5_000_000.0, 8_000_000.0, 9_000_000.0] {
+            let got = settle(EstimatorKind::Mm1, flow, 60);
+            let want = m.marginal_delay(flow);
+            assert!((got - want).abs() / want < 0.02, "flow {flow}: got {got}, closed form {want}");
+        }
+    }
+
+    #[test]
+    fn pa_converges_to_mm1_on_stationary_stream() {
+        // The capacity-oblivious estimator must land on the same answer
+        // as the closed form when the stream it observes *is* M/M/1.
+        for &flow in &[1_000_000.0, 3_000_000.0, 6_000_000.0] {
+            let pa = settle(EstimatorKind::Pa, flow, 100);
+            let mm1 = settle(EstimatorKind::Mm1, flow, 100);
+            assert!((pa - mm1).abs() / mm1 < 0.1, "flow {flow}: PA {pa} vs Mm1 {mm1}");
+        }
+    }
+
+    #[test]
+    fn empty_first_window_keeps_idle_cost() {
+        // Closing a window that saw no packets must not move the cost
+        // away from the idle marginal (EWMA edge case: empty window).
+        let m = model();
+        let mut e = LinkEstimator::new(EstimatorKind::Mm1, m, 0.0);
+        let idle = m.marginal_delay(0.0);
+        let c = e.close_window(1.0);
+        assert!((c - idle).abs() / idle < 1e-9, "got {c}, idle {idle}");
+        assert_eq!(e.flow(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_window_blends_by_alpha() {
+        // EWMA edge case: a window holding exactly one packet. The
+        // smoothed delay must move toward that sample by alpha (0.3),
+        // and the resulting cost must stay finite and positive.
+        let m = model();
+        let mut e = LinkEstimator::new(EstimatorKind::Pa, m, 0.0);
+        let seed_delay = m.mean_packet_bits / m.capacity; // constructor seed
+        e.on_packet(1000.0, 0.004);
+        let c = e.close_window(1.0);
+        let want = 0.3 * 0.004 + 0.7 * seed_delay;
+        assert!((e.smoothed_delay - want).abs() < 1e-12, "{} vs {want}", e.smoothed_delay);
+        assert!(c.is_finite() && c > 0.0);
+    }
+
+    #[test]
     fn costs_are_finite_and_positive_always() {
         let m = model();
         let mut e = LinkEstimator::new(EstimatorKind::Pa, m, 0.0);

@@ -31,6 +31,7 @@ pub mod monitor;
 pub mod par;
 pub mod scenario;
 pub mod stats;
+pub mod telemetry;
 
 pub use batch::{run_many, run_many_with, RunSet, SimJob};
 pub use chaos::{
@@ -42,3 +43,7 @@ pub use estimator::{EstimatorKind, LinkEstimator};
 pub use monitor::InvariantMonitor;
 pub use scenario::{Scenario, ScenarioEvent};
 pub use stats::{FlowStats, LinkStats};
+pub use telemetry::{
+    ConvergenceSample, DropReason, FaultClass, MetricsHub, MetricsReport, NullObserver,
+    ObserverMode, RecordingObserver, SimEvent, SimObserver, TelemetryReport,
+};

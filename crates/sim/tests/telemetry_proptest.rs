@@ -1,0 +1,142 @@
+//! Property-based tests for the [`mdr_sim::telemetry`] metric
+//! primitives: histogram merging is a lossless commutative monoid,
+//! the EWMA matches a scalar reference fold, and time-series bucketing
+//! conserves every sample under arbitrary event orderings.
+
+use mdr_sim::telemetry::{Ewma, FixedHistogram, TimeSeries};
+use proptest::prelude::*;
+
+/// A histogram of the shared evaluation shape filled with `xs`.
+fn hist(xs: &[f64]) -> FixedHistogram {
+    let mut h = FixedHistogram::new(0.0, 0.01, 50);
+    for &x in xs {
+        h.record(x);
+    }
+    h
+}
+
+/// Full observable state of a histogram, for structural equality.
+fn state(h: &FixedHistogram) -> (Vec<u64>, u64, u64) {
+    (h.buckets().to_vec(), h.underflow, h.overflow)
+}
+
+/// Samples spanning underflow (< 0), in-range, and overflow (> 0.5).
+fn arb_samples(max: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-0.1f64..1.0, 0..max)
+}
+
+proptest! {
+    /// Merging never loses a count: totals add, bucket by bucket.
+    #[test]
+    fn histogram_merge_is_lossless(a in arb_samples(64), b in arb_samples(64)) {
+        let ha = hist(&a);
+        let hb = hist(&b);
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.total(), ha.total() + hb.total());
+        prop_assert_eq!(merged.underflow, ha.underflow + hb.underflow);
+        prop_assert_eq!(merged.overflow, ha.overflow + hb.overflow);
+        for (i, (&x, &y)) in ha.buckets().iter().zip(hb.buckets()).enumerate() {
+            prop_assert_eq!(merged.buckets()[i], x + y);
+        }
+    }
+
+    /// Merge order does not matter (commutativity).
+    #[test]
+    fn histogram_merge_is_commutative(a in arb_samples(64), b in arb_samples(64)) {
+        let mut ab = hist(&a);
+        ab.merge(&hist(&b));
+        let mut ba = hist(&b);
+        ba.merge(&hist(&a));
+        prop_assert_eq!(state(&ab), state(&ba));
+    }
+
+    /// Merge grouping does not matter (associativity).
+    #[test]
+    fn histogram_merge_is_associative(
+        a in arb_samples(48),
+        b in arb_samples(48),
+        c in arb_samples(48),
+    ) {
+        let mut left = hist(&a);
+        left.merge(&hist(&b));
+        left.merge(&hist(&c));
+        let mut bc = hist(&b);
+        bc.merge(&hist(&c));
+        let mut right = hist(&a);
+        right.merge(&bc);
+        prop_assert_eq!(state(&left), state(&right));
+    }
+
+    /// Merging histograms from split halves of a stream equals
+    /// histogramming the whole stream — the property the cross-run
+    /// aggregation in `trace` relies on.
+    #[test]
+    fn histogram_split_merge_equals_whole(xs in arb_samples(128), cut in 0usize..128) {
+        let cut = cut.min(xs.len());
+        let mut split = hist(&xs[..cut]);
+        split.merge(&hist(&xs[cut..]));
+        prop_assert_eq!(state(&split), state(&hist(&xs)));
+    }
+
+    /// The EWMA must match the obvious scalar fold bit for bit.
+    #[test]
+    fn ewma_matches_scalar_reference(
+        alpha in 0.01f64..1.0,
+        xs in prop::collection::vec(-1e6f64..1e6, 0..64),
+    ) {
+        let mut e = Ewma::new(alpha);
+        let mut reference: Option<f64> = None;
+        for &x in &xs {
+            let got = e.update(x);
+            reference = Some(match reference {
+                None => x,
+                Some(y) => alpha * x + (1.0 - alpha) * y,
+            });
+            prop_assert_eq!(Some(got), reference);
+        }
+        prop_assert_eq!(e.value(), reference);
+    }
+
+    /// Time-series bucketing conserves samples: every record lands in
+    /// exactly one bucket regardless of arrival order, including
+    /// negative and far-future timestamps.
+    #[test]
+    fn time_series_never_drops_samples(
+        bucket in 0.01f64..10.0,
+        events in prop::collection::vec((-5.0f64..500.0, -1e3f64..1e3), 0..128),
+    ) {
+        let mut ts = TimeSeries::new(bucket);
+        for &(t, v) in &events {
+            ts.record(t, v);
+        }
+        prop_assert_eq!(ts.total_count(), events.len() as u64);
+        let want: f64 = events.iter().map(|&(_, v)| v).sum();
+        prop_assert!((ts.total_sum() - want).abs() <= 1e-6 * (1.0 + want.abs()));
+        // The per-row identities hold too: counts re-sum to the total.
+        let rows: u64 = ts.rows().map(|(_, c, _)| c).sum();
+        prop_assert_eq!(rows, events.len() as u64);
+    }
+
+    /// Bucket placement is stable under permutation: recording the same
+    /// events in a different order yields the identical series.
+    #[test]
+    fn time_series_is_order_independent_on_counts(
+        bucket in 0.01f64..10.0,
+        events in prop::collection::vec((0.0f64..100.0, -1e3f64..1e3), 0..64),
+    ) {
+        let mut fwd = TimeSeries::new(bucket);
+        for &(t, v) in &events {
+            fwd.record(t, v);
+        }
+        let mut rev = TimeSeries::new(bucket);
+        for &(t, v) in events.iter().rev() {
+            rev.record(t, v);
+        }
+        prop_assert_eq!(fwd.len(), rev.len());
+        for ((t1, c1, s1), (t2, c2, s2)) in fwd.rows().zip(rev.rows()) {
+            prop_assert_eq!((t1, c1), (t2, c2));
+            prop_assert!((s1 - s2).abs() <= 1e-9 * (1.0 + s1.abs()));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Golden-trace snapshot: the exact control-plane event sequence a
+//! fixed-seed CAIRN run emits, pinned against a checked-in snapshot.
+//! Any change to event ordering, variant payloads, or emission points
+//! shows up as a diff here — regenerate deliberately with
+//! `UPDATE_SNAPSHOTS=1 cargo test -p mdr-tests --test golden_trace`.
+
+use mdr::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// How many events to pin verbatim at each end of the sequence.
+const EDGE: usize = 20;
+
+/// The fixed scenario: CAIRN at a moderate load with one mid-run rate
+/// change, control-plane events only (the data plane contributes
+/// millions of hops; counts pin it well enough via `delivered`).
+fn golden_events() -> Vec<SimEvent> {
+    let t = topo::cairn();
+    let flows = topo::cairn_flows(&t, 2_000_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).expect("traffic");
+    let scen = Scenario::new().at(3.0, ScenarioEvent::SetFlowRate { flow: 4, rate: 4_000_000.0 });
+    let cfg = SimConfig {
+        warmup: 2.0,
+        duration: 4.0,
+        seed: 42,
+        observer: ObserverMode::Recording { data_plane: false },
+        ..Default::default()
+    };
+    let rep = SimJob::new(&t, &traffic, cfg).with_scenario(&scen).run();
+    rep.telemetry.expect("recording observer attached").recorded.expect("recorded sequence")
+}
+
+/// Render the sequence as the snapshot text: total, per-kind counts,
+/// and the first/last [`EDGE`] events in `Debug` form (stable float
+/// formatting, so byte-exact across runs and platforms).
+fn render(events: &[SimEvent]) -> String {
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in events {
+        *kinds.entry(ev.kind()).or_default() += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "events: {}", events.len());
+    let _ = writeln!(out, "kinds:");
+    for (k, n) in &kinds {
+        let _ = writeln!(out, "  {k}: {n}");
+    }
+    let _ = writeln!(out, "first {EDGE}:");
+    for ev in events.iter().take(EDGE) {
+        let _ = writeln!(out, "  {ev:?}");
+    }
+    let _ = writeln!(out, "last {EDGE}:");
+    for ev in events.iter().rev().take(EDGE).rev() {
+        let _ = writeln!(out, "  {ev:?}");
+    }
+    out
+}
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/golden_trace.snap")
+}
+
+#[test]
+fn cairn_event_sequence_matches_golden_snapshot() {
+    let events = golden_events();
+    assert!(!events.is_empty(), "the run must emit control-plane events");
+    let got = render(&events);
+    let path = snapshot_path();
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+UPDATE_SNAPSHOTS=1 cargo test -p mdr-tests --test golden_trace",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "golden trace diverged — if the change is intentional, regenerate with \
+UPDATE_SNAPSHOTS=1 cargo test -p mdr-tests --test golden_trace"
+    );
+}
+
+#[test]
+fn recorded_sequence_is_reproducible() {
+    let a = golden_events();
+    let b = golden_events();
+    assert_eq!(a.len(), b.len(), "event counts differ across identical runs");
+    assert_eq!(a, b, "event sequences differ across identical runs");
+}
+
+#[test]
+fn recorded_times_are_nondecreasing_and_in_horizon() {
+    let events = golden_events();
+    let mut prev = 0.0;
+    for ev in &events {
+        let t = ev.time();
+        assert!(t >= prev, "event time went backwards: {prev} -> {t} ({ev:?})");
+        assert!(t <= 2.0 + 4.0 + 1e-9, "event past the horizon: {ev:?}");
+        prev = t;
+    }
+}

@@ -1,0 +1,153 @@
+//! Telemetry must be a pure observer: attaching any observer — null,
+//! recording, or metrics — to any scenario must leave every measured
+//! field of the [`SimReport`] bit-identical to the observer-off run.
+//! This is asserted, not assumed, across steady-state, scenario-driven,
+//! and chaos-driven runs.
+
+use mdr::prelude::*;
+
+/// Drop the telemetry field so observer-on and observer-off reports can
+/// be compared wholesale.
+fn strip(mut r: SimReport) -> SimReport {
+    r.telemetry = None;
+    r
+}
+
+/// The scenario grid: each entry is a fully configured job with the
+/// observer off.
+fn scenario_grid() -> Vec<(&'static str, SimJob)> {
+    let mut out = Vec::new();
+
+    // Two routers, one flow — the minimal data path.
+    let mut b = TopologyBuilder::new();
+    let a = b.add_node("a");
+    let z = b.add_node("z");
+    let t = b.bidi(a, z, 1e7, 0.001).build().unwrap();
+    let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(a, z, 2_000_000.0)]).unwrap();
+    let cfg = SimConfig { warmup: 2.0, duration: 4.0, seed: 5, ..Default::default() };
+    out.push(("two_node", SimJob::new(&t, &traffic, cfg)));
+
+    // CAIRN multipath with a mid-run traffic burst.
+    let t = topo::cairn();
+    let flows = topo::cairn_flows(&t, 1_500_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+    let scen = Scenario::new()
+        .at(5.0, ScenarioEvent::SetFlowRate { flow: 2, rate: 3_000_000.0 })
+        .at(8.0, ScenarioEvent::SetFlowRate { flow: 2, rate: 1_500_000.0 });
+    let cfg = SimConfig { warmup: 4.0, duration: 8.0, seed: 7, ..Default::default() };
+    out.push(("cairn_burst", SimJob::new(&t, &traffic, cfg).with_scenario(&scen)));
+
+    // A triangle losing and regaining its direct edge.
+    let mut b = TopologyBuilder::new();
+    let x = b.add_node("x");
+    let y = b.add_node("y");
+    let z = b.add_node("z");
+    let t = b.bidi(x, y, 1e7, 0.001).bidi(y, z, 1e7, 0.001).bidi(x, z, 1e7, 0.001).build().unwrap();
+    let traffic = TrafficMatrix::from_flows(&t, &[Flow::new(x, z, 3_000_000.0)]).unwrap();
+    let scen = Scenario::new()
+        .at(4.0, ScenarioEvent::FailLink { a: x, b: z })
+        .at(7.0, ScenarioEvent::RestoreLink { a: x, b: z });
+    let cfg = SimConfig { warmup: 2.0, duration: 8.0, seed: 13, ..Default::default() };
+    out.push(("triangle_failure", SimJob::new(&t, &traffic, cfg).with_scenario(&scen)));
+
+    // NET1 under the full chaos stack with invariant auditing on.
+    let t = topo::net1();
+    let flows = topo::net1_flows(800_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+    let plan = FaultPlan {
+        seed: 0xBEEF,
+        start: 2.0,
+        link_faults: Some(FaultProcess { mtbf: 10.0, mttr: 1.0 }),
+        router_faults: Some(FaultProcess { mtbf: 25.0, mttr: 1.5 }),
+        control: Some(ControlChaos::default()),
+    };
+    let cfg = SimConfig {
+        warmup: 4.0,
+        duration: 8.0,
+        seed: 11,
+        fault_plan: Some(plan),
+        audit_invariants: true,
+        ..Default::default()
+    };
+    out.push(("net1_chaos", SimJob::new(&t, &traffic, cfg)));
+
+    out
+}
+
+/// Every observer flavor attached to every scenario: telemetry present
+/// and non-trivial, everything else bit-identical to observer-off.
+#[test]
+fn every_observer_leaves_every_scenario_bit_identical() {
+    for (name, job) in scenario_grid() {
+        let off = job.run();
+        assert!(off.telemetry.is_none(), "{name}: observer-off run must carry no telemetry");
+        let modes = [
+            ObserverMode::Null,
+            ObserverMode::Recording { data_plane: true },
+            ObserverMode::Recording { data_plane: false },
+            ObserverMode::Metrics { bucket: 0.5 },
+        ];
+        for mode in modes {
+            let mut on = job.clone();
+            on.cfg.observer = mode.clone();
+            let rep = on.run();
+            let tel = rep.telemetry.clone().unwrap_or_else(|| {
+                panic!("{name}/{mode:?}: observer attached but no telemetry reported")
+            });
+            assert!(tel.events > 0, "{name}/{mode:?}: observer saw no events");
+            assert_eq!(
+                strip(rep),
+                off,
+                "{name}/{mode:?}: attaching the observer changed the simulation"
+            );
+        }
+    }
+}
+
+/// The recording observer with the data plane on must see strictly more
+/// events than the control-plane-only one, and the extra events must
+/// all be data-plane kinds.
+#[test]
+fn data_plane_filter_only_removes_data_plane_events() {
+    let (_, job) = scenario_grid().swap_remove(1);
+    let run = |data_plane: bool| {
+        let mut j = job.clone();
+        j.cfg.observer = ObserverMode::Recording { data_plane };
+        j.run().telemetry.unwrap().recorded.unwrap()
+    };
+    let full = run(true);
+    let control = run(false);
+    assert!(full.len() > control.len(), "data plane must contribute events");
+    assert!(
+        control.iter().all(|ev| !ev.is_data_plane()),
+        "filtered trace leaked data-plane events"
+    );
+    let filtered: Vec<_> = full.iter().filter(|ev| !ev.is_data_plane()).cloned().collect();
+    assert_eq!(filtered, control, "filter must be exactly the data-plane predicate");
+}
+
+/// The metrics observer on the chaos scenario measures convergence for
+/// the injected faults and the delay histogram accounts for every
+/// delivered packet.
+#[test]
+fn metrics_hub_measures_chaos_convergence() {
+    let (_, job) = scenario_grid().pop().unwrap();
+    let mut on = job;
+    on.cfg.observer = ObserverMode::Metrics { bucket: 1.0 };
+    let rep = on.run();
+    let rob = rep.robustness.clone().expect("chaos run carries robustness");
+    assert!(!rob.faults.is_empty(), "fault plan injected nothing");
+    let metrics = rep.telemetry.unwrap().metrics.expect("metrics observer reports metrics");
+    assert!(!metrics.convergence.is_empty(), "no convergence samples measured");
+    for c in &metrics.convergence {
+        assert!(c.recovery_s >= 0.0, "negative recovery: {c:?}");
+    }
+    // Every delivery is histogrammed; warm-up deliveries are observed
+    // too, so the histogram can only hold more than the measured count.
+    assert!(
+        metrics.delays.total() >= rep.delivered && rep.delivered > 0,
+        "delay histogram lost deliveries: {} < {}",
+        metrics.delays.total(),
+        rep.delivered
+    );
+}

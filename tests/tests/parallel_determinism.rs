@@ -35,6 +35,7 @@ fn assert_reports_identical(a: &SimReport, b: &SimReport) {
     assert_eq!(a.links, b.links, "per-link statistics differ");
     assert_eq!(a.series, b.series, "delay time series differ");
     assert_eq!(a.robustness, b.robustness, "robustness reports differ");
+    assert_eq!(a.telemetry, b.telemetry, "telemetry reports differ");
     // Belt and braces: the derived equality must agree too.
     assert_eq!(a, b);
 }
@@ -77,6 +78,42 @@ fn run_many_matches_serial_execution_bit_for_bit() {
     assert_eq!(serial.len(), parallel.len());
     for (s, p) in serial.iter().zip(&parallel) {
         assert_reports_identical(s, p);
+    }
+}
+
+#[test]
+fn observer_on_runs_match_serial_execution_bit_for_bit() {
+    let t = topo::net1();
+    let flows = topo::net1_flows(1_200_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).expect("traffic");
+    let batch: Vec<SimJob> = [3u64, 11, 29]
+        .iter()
+        .map(|&seed| {
+            let cfg = SimConfig {
+                warmup: 5.0,
+                duration: 8.0,
+                seed,
+                observer: ObserverMode::Recording { data_plane: true },
+                ..Default::default()
+            };
+            SimJob::new(&t, &traffic, cfg)
+        })
+        .collect();
+    let serial: Vec<SimReport> = batch.iter().map(|j| j.run()).collect();
+    let parallel = run_many_with(4, batch);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        // Telemetry equality here covers the full recorded event
+        // sequence — the worker-thread runs must emit the exact same
+        // events in the exact same order as the serial ones.
+        assert_reports_identical(s, p);
+        let tel = s.telemetry.as_ref().expect("recording observer must report telemetry");
+        assert!(tel.events > 0, "observer saw no events");
+        assert_eq!(
+            tel.recorded.as_ref().map(|evs| evs.len() as u64),
+            Some(tel.events),
+            "recorded length must match the event count"
+        );
     }
 }
 
