@@ -33,6 +33,10 @@
 //! assert!(result.mean_delay_ms > 0.0);
 //! ```
 
+// No unsafe anywhere: the whole workspace is plain safe Rust, and
+// `mdr-lint` verifies every crate root carries this attribute.
+#![forbid(unsafe_code)]
+
 pub use mdr_flow as flow;
 pub use mdr_net as net;
 pub use mdr_opt as opt;

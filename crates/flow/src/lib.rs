@@ -29,6 +29,10 @@
 //! restricted to use only the best successor for packet forwarding"
 //! (§5).
 
+// No unsafe anywhere: the whole workspace is plain safe Rust, and
+// `mdr-lint` verifies every crate root carries this attribute.
+#![forbid(unsafe_code)]
+
 pub mod allocator;
 pub mod heuristics;
 pub mod params;

@@ -1,0 +1,258 @@
+//! `lint.toml` — the machine-readable rule scope + allowlist.
+//!
+//! The environment is offline, so no `toml` crate: this module parses
+//! the small, line-oriented TOML subset the config actually uses —
+//! `[table]` headers, `[[array-of-tables]]` headers, `key = "string"`,
+//! `key = 123`, and `key = ["a", "b"]` (single line). Anything else is
+//! a hard error: a config the parser cannot fully understand must not
+//! silently weaken the lint.
+
+use std::fmt;
+
+/// One `[[allow]]` entry: suppress `rule` inside `path`.
+///
+/// Every entry must carry a human `reason`; entries that suppress
+/// nothing are themselves reported as errors (a stale allowlist is a
+/// lint violation, which is what keeps it empty-by-default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule code (`MDR006`) or name (`unsafe-code`).
+    pub rule: String,
+    /// Workspace-relative path prefix (file or directory).
+    pub path: String,
+    /// Mandatory justification, echoed in `--explain` output.
+    pub reason: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates whose code must be bit-deterministic: the hash-iteration,
+    /// wall-clock, and float-ordering rules apply here.
+    pub deterministic_crates: Vec<String>,
+    /// Paths where `unwrap`/`expect` are forbidden (engine event loop,
+    /// protocol decode paths).
+    pub no_panic_paths: Vec<String>,
+    /// Crate-root files that must carry `#![forbid(unsafe_code)]`.
+    pub unsafe_forbid_roots: Vec<String>,
+    /// Rule suppressions.
+    pub allows: Vec<AllowEntry>,
+    /// Model checker: per-topology depth bound override (0 = built-in
+    /// per-topology defaults).
+    pub model_depth: usize,
+    /// Model checker: abort if a topology's reachable set exceeds this
+    /// (the depth bound is then not exhaustively explorable in CI).
+    pub model_max_states: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            deterministic_crates: [
+                "crates/core",
+                "crates/net",
+                "crates/proto",
+                "crates/routing",
+                "crates/flow",
+                "crates/opt",
+                "crates/sim",
+            ]
+            .map(str::to_string)
+            .to_vec(),
+            no_panic_paths: ["crates/sim/src/engine.rs", "crates/proto/src"]
+                .map(str::to_string)
+                .to_vec(),
+            unsafe_forbid_roots: Vec::new(),
+            allows: Vec::new(),
+            model_depth: 0,
+            model_max_states: 5_000_000,
+        }
+    }
+}
+
+/// A config-file problem, with the offending line.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in `lint.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ConfigError {
+    ConfigError { line, msg: msg.into() }
+}
+
+/// Parse the `lint.toml` text.
+pub fn parse(src: &str) -> Result<LintConfig, ConfigError> {
+    let mut cfg = LintConfig { allows: Vec::new(), ..LintConfig::default() };
+    // Explicit sections replace the built-in defaults entirely.
+    let mut saw_det = false;
+    let mut saw_panic = false;
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Scope,
+        Model,
+        Allow,
+    }
+    let mut section = Section::None;
+    for (ln, raw) in src.lines().enumerate() {
+        let ln = ln + 1;
+        let line = raw.split_once('#').map_or(raw, |(a, _)| a).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            section = Section::Allow;
+            cfg.allows.push(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                reason: String::new(),
+            });
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = match name {
+                "scope" => Section::Scope,
+                "model" => Section::Model,
+                other => return Err(err(ln, format!("unknown section [{other}]"))),
+            };
+            continue;
+        }
+        let (key, val) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| err(ln, "expected `key = value`"))?;
+        match section {
+            Section::None => return Err(err(ln, "key outside any section")),
+            Section::Scope => {
+                let list = parse_string_list(val).ok_or_else(|| {
+                    err(ln, "expected a single-line list of strings: [\"a\", \"b\"]")
+                })?;
+                match key {
+                    "deterministic_crates" => {
+                        cfg.deterministic_crates = list;
+                        saw_det = true;
+                    }
+                    "no_panic_paths" => {
+                        cfg.no_panic_paths = list;
+                        saw_panic = true;
+                    }
+                    "unsafe_forbid_roots" => cfg.unsafe_forbid_roots = list,
+                    other => return Err(err(ln, format!("unknown [scope] key `{other}`"))),
+                }
+            }
+            Section::Model => {
+                let n: usize =
+                    val.parse().map_err(|_| err(ln, format!("expected an integer for `{key}`")))?;
+                match key {
+                    "depth" => cfg.model_depth = n,
+                    "max_states" => cfg.model_max_states = n,
+                    other => return Err(err(ln, format!("unknown [model] key `{other}`"))),
+                }
+            }
+            Section::Allow => {
+                let entry = cfg.allows.last_mut().ok_or_else(|| err(ln, "internal"))?;
+                let s = parse_string(val)
+                    .ok_or_else(|| err(ln, format!("expected a quoted string for `{key}`")))?;
+                match key {
+                    "rule" => entry.rule = s,
+                    "path" => entry.path = s,
+                    "reason" => entry.reason = s,
+                    other => return Err(err(ln, format!("unknown [[allow]] key `{other}`"))),
+                }
+            }
+        }
+    }
+    let _ = (saw_det, saw_panic);
+    for (i, a) in cfg.allows.iter().enumerate() {
+        if a.rule.is_empty() || a.path.is_empty() {
+            return Err(err(0, format!("[[allow]] entry {} needs both `rule` and `path`", i + 1)));
+        }
+        if a.reason.is_empty() {
+            return Err(err(
+                0,
+                format!(
+                    "[[allow]] entry for {} at {} has no `reason` — every suppression must be justified",
+                    a.rule, a.path
+                ),
+            ));
+        }
+    }
+    Ok(cfg)
+}
+
+fn parse_string(val: &str) -> Option<String> {
+    let inner = val.strip_prefix('"')?.strip_suffix('"')?;
+    if inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+fn parse_string_list(val: &str) -> Option<Vec<String>> {
+    let inner = val.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner.split(',').map(|s| parse_string(s.trim())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = parse(
+            r#"
+# comment
+[scope]
+deterministic_crates = ["crates/sim", "crates/routing"]
+no_panic_paths = ["crates/sim/src/engine.rs"]
+
+[model]
+depth = 9
+max_states = 1000
+
+[[allow]]
+rule = "unsafe-code"
+path = "crates/sim/src/chaos.rs"
+reason = "audited"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.deterministic_crates, vec!["crates/sim", "crates/routing"]);
+        assert_eq!(cfg.model_depth, 9);
+        assert_eq!(cfg.model_max_states, 1000);
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].rule, "unsafe-code");
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let e = parse("[[allow]]\nrule = \"unsafe-code\"\npath = \"x.rs\"\n").unwrap_err();
+        assert!(e.msg.contains("reason"));
+    }
+
+    #[test]
+    fn unknown_keys_are_hard_errors() {
+        assert!(parse("[scope]\nfrobnicate = [\"a\"]\n").is_err());
+        assert!(parse("[mystery]\n").is_err());
+        assert!(parse("loose = \"key\"\n").is_err());
+    }
+
+    #[test]
+    fn empty_config_keeps_defaults() {
+        let cfg = parse("").unwrap();
+        assert!(cfg.deterministic_crates.iter().any(|c| c == "crates/sim"));
+        assert!(cfg.allows.is_empty());
+    }
+}

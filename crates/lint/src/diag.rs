@@ -1,0 +1,83 @@
+//! Rustc-style diagnostics: `error[MDR001]: …` with a `-->` span line,
+//! the offending source line, a caret underline, and a `help:` with the
+//! suggested fix.
+
+use std::fmt;
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Machine code, e.g. `MDR001`.
+    pub code: &'static str,
+    /// Human rule name, e.g. `hash-collections`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Length of the underlined span in bytes.
+    pub len: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (the `--fix`-adjacent suggestion).
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// Render against `source` (the file's text; pass `""` when the
+    /// source is unavailable and only the header will be printed).
+    pub fn render(&self, source: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("error[{}]: {} ({})\n", self.code, self.message, self.rule));
+        out.push_str(&format!("  --> {}:{}:{}\n", self.path, self.line, self.col));
+        if let Some(src_line) = source.lines().nth(self.line as usize - 1) {
+            let gutter = format!("{}", self.line);
+            let pad = " ".repeat(gutter.len());
+            out.push_str(&format!("{pad} |\n"));
+            out.push_str(&format!("{gutter} | {src_line}\n"));
+            let mut underline = String::new();
+            for _ in 1..self.col {
+                underline.push(' ');
+            }
+            for _ in 0..self.len.max(1) {
+                underline.push('^');
+            }
+            out.push_str(&format!("{pad} | {underline}\n"));
+        }
+        out.push_str(&format!("  = help: {}\n", self.help));
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[{}] {}:{}:{}: {}", self.code, self.path, self.line, self.col, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_span_and_caret() {
+        let d = Diagnostic {
+            code: "MDR001",
+            rule: "hash-collections",
+            path: "crates/sim/src/engine.rs".into(),
+            line: 2,
+            col: 5,
+            len: 7,
+            message: "HashMap in a deterministic crate".into(),
+            help: "use BTreeMap".into(),
+        };
+        let r = d.render("first\nuse HashMap;\nlast\n");
+        assert!(r.contains("error[MDR001]"));
+        assert!(r.contains("--> crates/sim/src/engine.rs:2:5"));
+        assert!(r.contains("2 | use HashMap;"));
+        assert!(r.contains("    ^^^^^^^"));
+        assert!(r.contains("help: use BTreeMap"));
+    }
+}

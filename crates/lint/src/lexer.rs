@@ -1,0 +1,447 @@
+//! A self-contained Rust lexer.
+//!
+//! The build environment is fully offline (external crates exist only
+//! as vendored API stand-ins), so `mdr-lint` cannot use `syn`/
+//! `proc-macro2`. The determinism rules it enforces are all expressible
+//! over a faithful *token* stream, which this module produces: it
+//! understands line/doc comments, nested block comments, string / raw
+//! string / byte string / char literals, lifetimes, numeric literals
+//! (distinguishing floats from integers), identifiers, and multi-char
+//! operators. Everything a rule needs — and nothing it doesn't.
+//!
+//! Comments are kept as tokens (the `unsafe` rule must see `// SAFETY:`
+//! justifications); most rules run on a comment-free view.
+
+/// Token classification — just enough structure for the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (rules match on the text).
+    Ident,
+    /// `'lifetime` (including `'static`).
+    Lifetime,
+    /// Integer literal.
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `2f64`, …).
+    Float,
+    /// String, raw string, byte string, or char literal.
+    Literal,
+    /// Punctuation / operator. Multi-char operators the rules care
+    /// about (`==`, `!=`, `<=`, `>=`, `::`, `->`, `=>`, `..`, `&&`,
+    /// `||`) arrive as single tokens.
+    Punct,
+    /// `//…` or `/*…*/` comment, text includes the delimiters.
+    Comment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokKind,
+    /// Exact source text.
+    pub text: &'a str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (byte offset within the line).
+    pub col: u32,
+}
+
+/// Tokenize `src`. The lexer is total: any byte sequence produces a
+/// token stream (unknown bytes become single-char `Punct` tokens), so
+/// a syntactically broken file degrades to weaker linting instead of a
+/// crash.
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut line_start = 0usize;
+    macro_rules! col {
+        ($pos:expr) => {
+            ($pos - line_start + 1) as u32
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        // Newlines / whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            line_start = i;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let tline = line;
+        let tcol = col!(start);
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Comment,
+                text: &src[start..i],
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        line_start = i + 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Comment,
+                text: &src[start..i],
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Raw / byte strings: r"…", r#"…"#, br"…", b"…".
+        if (c == b'r' || c == b'b') && is_raw_or_byte_string(b, i) {
+            i = consume_string_like(b, i, &mut line, &mut line_start);
+            toks.push(Token {
+                kind: TokKind::Literal,
+                text: &src[start..i],
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Plain string.
+        if c == b'"' {
+            i = consume_plain_string(b, i, &mut line, &mut line_start);
+            toks.push(Token {
+                kind: TokKind::Literal,
+                text: &src[start..i],
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == b'\'' {
+            if is_lifetime(b, i) {
+                i += 1;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: &src[start..i],
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                i = consume_char_literal(b, i);
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: &src[start..i],
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c == b'_' || c.is_ascii_alphabetic() {
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            toks.push(Token { kind: TokKind::Ident, text: &src[start..i], line: tline, col: tcol });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let (end, float) = consume_number(b, i);
+            i = end;
+            let kind = if float { TokKind::Float } else { TokKind::Int };
+            toks.push(Token { kind, text: &src[start..i], line: tline, col: tcol });
+            continue;
+        }
+        // Multi-char operators the rules match on.
+        let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+        if matches!(two, "==" | "!=" | "<=" | ">=" | "::" | "->" | "=>" | ".." | "&&" | "||") {
+            i += 2;
+            toks.push(Token { kind: TokKind::Punct, text: &src[start..i], line: tline, col: tcol });
+            continue;
+        }
+        // Single punct (also the total-ness fallback for odd bytes).
+        i += c_len(b, i);
+        toks.push(Token { kind: TokKind::Punct, text: &src[start..i], line: tline, col: tcol });
+    }
+    toks
+}
+
+/// Byte length of the (possibly multi-byte) char at `i`.
+fn c_len(b: &[u8], i: usize) -> usize {
+    let c = b[i];
+    if c < 0x80 {
+        1
+    } else if c >= 0xF0 {
+        4
+    } else if c >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    // 'x is a lifetime unless followed by a closing quote ('x'), and
+    // '\… is always a char escape.
+    if i + 1 >= b.len() {
+        return false;
+    }
+    let n = b[i + 1];
+    if n == b'\\' {
+        return false;
+    }
+    if !(n == b'_' || n.is_ascii_alphabetic()) {
+        return false;
+    }
+    // Scan the identifier; a terminating quote means char literal.
+    let mut j = i + 1;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    !(j < b.len() && b[j] == b'\'' && j == i + 2)
+}
+
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    rest.starts_with(b"r\"")
+        || rest.starts_with(b"r#")
+        || rest.starts_with(b"br\"")
+        || rest.starts_with(b"br#")
+        || rest.starts_with(b"b\"")
+}
+
+/// Consume r"…" / r#"…"# / b"…" / br#"…"# starting at `i`.
+fn consume_string_like(b: &[u8], mut i: usize, line: &mut u32, line_start: &mut usize) -> usize {
+    // Skip the r/b/br prefix.
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        i += 1;
+    }
+    let raw = i > 0 && b[i - 1] == b'r';
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return i; // not actually a string; treated as consumed prefix
+    }
+    if raw || hashes > 0 {
+        i += 1; // opening quote
+        while i < b.len() {
+            if b[i] == b'\n' {
+                *line += 1;
+                *line_start = i + 1;
+            }
+            if b[i] == b'"' {
+                let mut j = i + 1;
+                let mut h = 0;
+                while j < b.len() && b[j] == b'#' && h < hashes {
+                    h += 1;
+                    j += 1;
+                }
+                if h == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        consume_plain_string(b, i, line, line_start)
+    }
+}
+
+/// Consume a `"…"` string with escapes, starting at the opening quote.
+fn consume_plain_string(b: &[u8], mut i: usize, line: &mut u32, line_start: &mut usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+                *line_start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consume a `'…'` char literal starting at the opening quote.
+fn consume_char_literal(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    if i < b.len() && b[i] == b'\\' {
+        i += 2;
+        // \u{…}
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+    } else if i < b.len() {
+        i += c_len(b, i);
+    }
+    if i < b.len() && b[i] == b'\'' {
+        i += 1;
+    }
+    i
+}
+
+/// Consume a numeric literal at `i`; returns (end, is_float).
+fn consume_number(b: &[u8], mut i: usize) -> (usize, bool) {
+    let mut float = false;
+    // Radix prefixes are integers.
+    if b[i] == b'0' && i + 1 < b.len() && matches!(b[i + 1], b'x' | b'o' | b'b') {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return (i, false);
+    }
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    // Fraction — but not the `..` of a range and not a method call `1.max(2)`.
+    if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+        float = true;
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    } else if i < b.len()
+        && b[i] == b'.'
+        && (i + 1 == b.len()
+            || !(b[i + 1] == b'.' || b[i + 1] == b'_' || b[i + 1].is_ascii_alphabetic()))
+    {
+        // Trailing-dot float like `1.`
+        float = true;
+        i += 1;
+    }
+    // Exponent.
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        let mut j = i + 1;
+        if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+            j += 1;
+        }
+        if j < b.len() && b[j].is_ascii_digit() {
+            float = true;
+            i = j;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Suffix.
+    if i < b.len() && b[i].is_ascii_alphabetic() {
+        let s = i;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        let suffix = &b[s..i];
+        if suffix.starts_with(b"f32") || suffix.starts_with(b"f64") {
+            float = true;
+        }
+    }
+    (i, float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text.to_string())).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let x = a::b(y);");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert!(t.contains(&(TokKind::Punct, "::".into())));
+        assert!(t.contains(&(TokKind::Punct, ";".into())));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let t = kinds("a // SAFETY: fine\nb /* block\nmulti */ c");
+        assert_eq!(t[1].0, TokKind::Comment);
+        assert!(t[1].1.contains("SAFETY"));
+        assert_eq!(t[3].0, TokKind::Comment);
+        assert_eq!(t[4], (TokKind::Ident, "c".into()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let t = tokenize("/* a\nb */\n\"x\ny\"\nz");
+        let z = t.last().unwrap();
+        assert_eq!(z.text, "z");
+        assert_eq!(z.line, 5);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let t = kinds("0..n 1.5 2 1e-9 3f64 0x1f 1.max(2)");
+        assert!(t.contains(&(TokKind::Int, "0".into())));
+        assert!(t.contains(&(TokKind::Punct, "..".into())));
+        assert!(t.contains(&(TokKind::Float, "1.5".into())));
+        assert!(t.contains(&(TokKind::Int, "2".into())));
+        assert!(t.contains(&(TokKind::Float, "1e-9".into())));
+        assert!(t.contains(&(TokKind::Float, "3f64".into())));
+        assert!(t.contains(&(TokKind::Int, "0x1f".into())));
+        // `1.max` is an int receiving a method call, not a float.
+        assert!(t.contains(&(TokKind::Int, "1".into())));
+        assert!(t.contains(&(TokKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(t.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(t.contains(&(TokKind::Literal, "'x'".into())));
+        assert!(t.contains(&(TokKind::Literal, "'\\n'".into())));
+    }
+
+    #[test]
+    fn raw_strings_hide_contents() {
+        let t = kinds(r##"let s = r#"HashMap == 1.0"#; done"##);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Literal && s.contains("HashMap")));
+        assert_eq!(t.last().unwrap().1, "done");
+        // Nothing inside the literal leaked out as an ident.
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "HashMap"));
+    }
+
+    #[test]
+    fn equality_operators_fuse() {
+        let t = kinds("a == b != c <= d");
+        assert!(t.contains(&(TokKind::Punct, "==".into())));
+        assert!(t.contains(&(TokKind::Punct, "!=".into())));
+        assert!(t.contains(&(TokKind::Punct, "<=".into())));
+    }
+}

@@ -1,0 +1,33 @@
+//! `mdr-lint` — the workspace's static verification layer.
+//!
+//! Two engines, both run by the `mdr-lint` binary and gated in CI:
+//!
+//! 1. **Determinism scan** ([`rules`]): a token-level pass over every
+//!    workspace source file enforcing the bit-determinism and
+//!    robustness rules the simulator's reproducibility contract rests
+//!    on (no hash-ordered iteration, no wall-clock reads, no
+//!    `partial_cmp` on costs, no panicking calls in the event loop or
+//!    decode paths, `unsafe` only at allowlisted `// SAFETY:` sites).
+//!    The environment is offline and the vendored dependency set has no
+//!    `syn`, so the scanner runs on a small hand-rolled lexer
+//!    ([`lexer`]) rather than a full parse — rules are deliberately
+//!    shaped so token-level matching is exact for this codebase's
+//!    idioms.
+//!
+//! 2. **Exhaustive LFI model checking** ([`model`]): a breadth-first
+//!    enumeration of *all* interleavings of MPDA message deliveries,
+//!    losses, and link events on small topologies, asserting the
+//!    Loop-Free Invariant in every reachable state and printing a
+//!    minimal counterexample trace on violation.
+//!
+//! Configuration lives in `lint.toml` at the workspace root
+//! ([`config`]); the allowlist is empty by default and stale entries
+//! are themselves errors.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod model;
+pub mod rules;

@@ -1,0 +1,175 @@
+//! `mdr-lint` CLI.
+//!
+//! ```text
+//! cargo run --release -p mdr-lint            # scan + model-check (CI gate)
+//! cargo run -p mdr-lint -- scan              # determinism scan only
+//! cargo run -p mdr-lint -- model-check       # LFI model checking only
+//! cargo run -p mdr-lint -- --depth 8 all     # override depth bounds
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage/config/IO
+//! error.
+
+#![forbid(unsafe_code)]
+
+use mdr_lint::config::{self, LintConfig};
+use mdr_lint::model::{self, Verdict};
+use mdr_lint::rules;
+use mdr_routing::mpda::UpdateRule;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+enum Mode {
+    Scan,
+    ModelCheck,
+    All,
+}
+
+struct Args {
+    mode: Mode,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    depth: usize,
+}
+
+fn usage() -> String {
+    "usage: mdr-lint [scan|model-check|all] [--root DIR] [--config FILE] [--depth N]".to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default root: the workspace containing this crate, so both
+    // `cargo run -p mdr-lint` and a CI checkout invocation work
+    // without flags.
+    let mut args = Args {
+        mode: Mode::All,
+        root: Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        config: None,
+        depth: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "scan" => args.mode = Mode::Scan,
+            "model-check" => args.mode = Mode::ModelCheck,
+            "all" => args.mode = Mode::All,
+            "--root" => {
+                args.root =
+                    PathBuf::from(it.next().ok_or_else(|| "--root needs a value".to_string())?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--config needs a value".to_string())?,
+                ));
+            }
+            "--depth" => {
+                let v = it.next().ok_or_else(|| "--depth needs a value".to_string())?;
+                args.depth = v.parse().map_err(|_| format!("invalid --depth `{v}`"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn load_config(args: &Args) -> Result<LintConfig, String> {
+    let path = args.config.clone().unwrap_or_else(|| args.root.join("lint.toml"));
+    let mut cfg = if path.is_file() {
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        config::parse(&src).map_err(|e| e.to_string())?
+    } else if args.config.is_some() {
+        return Err(format!("config file {} not found", path.display()));
+    } else {
+        LintConfig::default()
+    };
+    if args.depth > 0 {
+        cfg.model_depth = args.depth;
+    }
+    Ok(cfg)
+}
+
+/// Run the determinism scan; returns the number of findings.
+fn run_scan(root: &Path, cfg: &LintConfig) -> Result<usize, String> {
+    let outcome = rules::scan_workspace(root, cfg)
+        .map_err(|e| format!("scan of {} failed: {e}", root.display()))?;
+    for d in &outcome.diags {
+        let source = std::fs::read_to_string(root.join(&d.path)).unwrap_or_default();
+        print!("{}", d.render(&source));
+        println!();
+    }
+    println!(
+        "mdr-lint scan: {} file(s), {} finding(s)",
+        outcome.files_scanned,
+        outcome.diags.len()
+    );
+    Ok(outcome.diags.len())
+}
+
+/// Run the model-checking suite; returns the number of violated or
+/// capped scenarios.
+fn run_model_check(cfg: &LintConfig) -> usize {
+    let suite = model::builtin_suite(cfg.model_depth);
+    let mut bad = 0usize;
+    for s in &suite {
+        match model::explore(s, UpdateRule::Lfi, cfg.model_max_states) {
+            Verdict::Holds(st) => {
+                println!(
+                    "mdr-lint model-check: `{}` holds — {} states, {} transitions, depth {} \
+                     (n={}, depth bound {}, lossy={})",
+                    s.name, st.states, st.transitions, st.deepest, s.n, s.depth, s.lossy
+                );
+            }
+            Verdict::Violated(cx, st) => {
+                bad += 1;
+                println!("mdr-lint model-check: `{}` VIOLATED after {} states:", s.name, st.states);
+                print!("{}", model::render_trace(s, &cx));
+                println!("  scenario traps: {}", s.what_it_traps);
+            }
+            Verdict::Capped(st) => {
+                bad += 1;
+                println!(
+                    "mdr-lint model-check: `{}` exceeded the {}-state cap at depth {} — \
+                     not exhaustively explorable; lower the depth bound or raise max_states",
+                    s.name, cfg.model_max_states, st.deepest
+                );
+            }
+        }
+    }
+    bad
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match load_config(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mdr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings = 0usize;
+    if matches!(args.mode, Mode::Scan | Mode::All) {
+        match run_scan(&args.root, &cfg) {
+            Ok(n) => findings += n,
+            Err(e) => {
+                eprintln!("mdr-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if matches!(args.mode, Mode::ModelCheck | Mode::All) {
+        findings += run_model_check(&cfg);
+    }
+    if findings > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,61 @@
+//! End-to-end: the real workspace passes its own lint with the real
+//! `lint.toml` — i.e. the allowlist is empty and the tree is clean.
+//!
+//! This is the same check CI's `mdr-lint` job runs via the binary; the
+//! test keeps `cargo test` sufficient to notice a regression locally.
+
+use mdr_lint::config::{self, LintConfig};
+use mdr_lint::model::{self, Scenario, Verdict};
+use mdr_lint::rules;
+use mdr_routing::mpda::UpdateRule;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn real_config() -> LintConfig {
+    let path = workspace_root().join("lint.toml");
+    let src = std::fs::read_to_string(&path).expect("lint.toml must exist at the workspace root");
+    config::parse(&src).expect("lint.toml must parse")
+}
+
+#[test]
+fn workspace_scan_is_clean_with_empty_allowlist() {
+    let cfg = real_config();
+    assert!(
+        cfg.allows.is_empty(),
+        "the allowlist is empty by policy; new entries need a DESIGN.md discussion"
+    );
+    let outcome = rules::scan_workspace(workspace_root(), &cfg).expect("scan must run");
+    assert!(outcome.files_scanned >= 60, "walked {} files only", outcome.files_scanned);
+    let rendered: Vec<String> = outcome.diags.iter().map(|d| d.to_string()).collect();
+    assert!(rendered.is_empty(), "workspace has lint findings:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn builtin_model_suite_covers_at_least_three_topologies() {
+    let suite = model::builtin_suite(0);
+    assert!(suite.len() >= 3);
+    // Distinct node counts 3..=5, and at least one cold-start and one
+    // lossy scenario — the shapes the ISSUE calls for.
+    assert!(suite.iter().any(|s| s.n == 3));
+    assert!(suite.iter().any(|s| s.n == 4));
+    assert!(suite.iter().any(|s| s.n == 5));
+    assert!(suite.iter().any(|s| !s.start_converged));
+    assert!(suite.iter().any(|s| s.lossy));
+}
+
+#[test]
+fn model_suite_smoke_holds_at_reduced_depth() {
+    // The full per-scenario depths run in release CI; under `cargo test`
+    // (debug) explore each scenario shallowly to keep the suite fast
+    // while still crossing every scenario's interesting first phase.
+    for s in model::builtin_suite(0) {
+        let shallow = Scenario { depth: s.depth.min(6), ..s };
+        match model::explore(&shallow, UpdateRule::Lfi, 2_000_000) {
+            Verdict::Holds(st) => assert!(st.states > 0),
+            v => panic!("`{}` failed the smoke exploration: {v:?}", shallow.name),
+        }
+    }
+}

@@ -18,6 +18,10 @@
 //! are immutable once built, adjacency is stored in sorted vectors so all
 //! iteration orders are reproducible across runs.
 
+// No unsafe anywhere: the whole workspace is plain safe Rust, and
+// `mdr-lint` verifies every crate root carries this attribute.
+#![forbid(unsafe_code)]
+
 pub mod delay;
 pub mod error;
 pub mod graph;

@@ -23,6 +23,10 @@
 //! graph is a DAG by a decreasing-potential argument — the same shape of
 //! argument as the paper's Theorem 1.
 
+// No unsafe anywhere: the whole workspace is plain safe Rust, and
+// `mdr-lint` verifies every crate root carries this attribute.
+#![forbid(unsafe_code)]
+
 pub mod evaluator;
 pub mod gallager;
 pub mod optimality;

@@ -16,6 +16,10 @@
 //! simulator charges propagation (and optionally serialization) time for
 //! control messages based on the encoded length.
 
+// No unsafe anywhere: the whole workspace is plain safe Rust, and
+// `mdr-lint` verifies every crate root carries this attribute.
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod lsu;
 

@@ -120,7 +120,10 @@ where
                 }
                 let fdk = router(k).feasible_distance(j);
                 let fdi = r.feasible_distance(j);
-                if fdk.partial_cmp(&fdi) != Some(std::cmp::Ordering::Less) {
+                // `total_cmp`, not `partial_cmp`: a NaN feasible
+                // distance must *fail* the ordering check loudly, not
+                // compare as incomparable-therefore-unequal by luck.
+                if fdk.total_cmp(&fdi) != std::cmp::Ordering::Less {
                     return Err((r.id(), k, j));
                 }
             }

@@ -28,6 +28,10 @@
 //! back messages to transmit. No clocks, threads, or I/O — the in-memory
 //! convergence harness and the packet simulator drive the same code.
 
+// No unsafe anywhere: the whole workspace is plain safe Rust, and
+// `mdr-lint` verifies every crate root carries this attribute.
+#![forbid(unsafe_code)]
+
 pub(crate) mod core;
 pub mod dv;
 pub mod harness;
@@ -39,7 +43,7 @@ pub mod table;
 
 pub use dv::{DvEvent, DvMessage, DvOutput, DvRouter};
 pub use harness::Harness;
-pub use mpda::{MpdaRouter, RouteChange, RouterEvent, RouterOutput, SendTo};
+pub use mpda::{MpdaRouter, RouteChange, RouterEvent, RouterOutput, SendTo, UpdateRule};
 pub use pda::PdaRouter;
 pub use spf::{bellman_ford, dijkstra, SpfResult};
 pub use table::TopoTable;

@@ -19,7 +19,7 @@
 use crate::core::LsCore;
 use crate::table::TopoTable;
 use mdr_net::{LinkCost, NodeId, INFINITE_COST};
-use mdr_proto::LsuMessage;
+use mdr_proto::{LsuEntry, LsuMessage};
 use std::collections::BTreeSet;
 
 /// An input to the router state machine: receipt of an LSU or detection
@@ -91,6 +91,27 @@ pub struct RouteChange {
     pub new: Vec<NodeId>,
 }
 
+/// The feasible-distance / successor update rule the router runs.
+///
+/// [`UpdateRule::Lfi`] is the paper's rule and the only sound one; the
+/// broken variant exists so the verification tooling (the `mdr-lint`
+/// model checker, the chaos auditors) can prove it *detects* unsound
+/// rules rather than vacuously passing. It must never be used outside
+/// tests and checker self-validation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum UpdateRule {
+    /// Eq. 17 exactly: `S^i_j = { k | D^i_jk < FD^i_j }` with a
+    /// *strict* inequality, FD raised only at ACTIVE-phase boundaries.
+    #[default]
+    Lfi,
+    /// Deliberately unsound one-character bug: the successor condition
+    /// uses `≤` instead of `<`. Two routers with tied feasible
+    /// distances then adopt each other as successors, which violates
+    /// the strictly-decreasing-potential argument of Theorem 1 and
+    /// creates instant two-node loops on equal-cost topologies.
+    NonStrictSuccessors,
+}
+
 /// Protocol counters (message/work accounting used by the complexity
 /// benchmarks).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -125,6 +146,7 @@ pub struct MpdaRouter {
     pending_acks: BTreeSet<NodeId>,
     /// Neighbors that came up and still need a full-table sync.
     needs_full: BTreeSet<NodeId>,
+    rule: UpdateRule,
     stats: RouterStats,
 }
 
@@ -133,12 +155,19 @@ impl MpdaRouter {
     /// nothing and has no operational links until [`RouterEvent::LinkUp`]
     /// events arrive.
     pub fn new(id: NodeId, n: usize) -> Self {
+        Self::with_rule(id, n, UpdateRule::Lfi)
+    }
+
+    /// A router running a specific [`UpdateRule`] — verification-tooling
+    /// entry point; production code always uses [`MpdaRouter::new`].
+    pub fn with_rule(id: NodeId, n: usize, rule: UpdateRule) -> Self {
         MpdaRouter {
             core: LsCore::new(id, n),
             fd: vec![INFINITE_COST; n],
             successors: vec![Vec::new(); n],
             pending_acks: BTreeSet::new(),
             needs_full: BTreeSet::new(),
+            rule,
             stats: RouterStats::default(),
         }
     }
@@ -215,18 +244,67 @@ impl MpdaRouter {
     }
 
     /// Handle one event (procedure MPDA, Fig. 4).
+    ///
+    /// The procedure is decomposed into the paper's named steps — NTU
+    /// ([`Self::step_ntu`]), MTU + feasible-distance update
+    /// ([`Self::step_mtu_and_fd`]), successor recomputation
+    /// ([`Self::recompute_successors`]) and message generation
+    /// ([`Self::step_emit`]) — each a pure function of router state so
+    /// that external drivers (the in-memory harness, the packet
+    /// simulator, and the `mdr-lint` exhaustive model checker) all
+    /// exercise exactly the same transition relation.
     pub fn handle(&mut self, event: RouterEvent) -> RouterOutput {
         self.stats.events += 1;
         let was_active = self.is_active();
-        let mut ack_to: Option<NodeId> = None;
 
         // ---- Step 1: NTU ----
-        match &event {
+        let ack_to = match self.step_ntu(&event) {
+            Some(a) => a,
+            None => return RouterOutput::default(), // non-neighbor LSU dropped
+        };
+
+        let last_ack = was_active && self.pending_acks.is_empty();
+        let old_dist = self.core.dist.clone();
+        let old_succ = self.successors.clone();
+
+        // ---- Steps 2-3: MTU and feasible-distance update ----
+        let diff = self.step_mtu_and_fd(was_active, last_ack);
+
+        // ---- Step 4: successor sets via the LFI condition (Eq. 17) ----
+        self.recompute_successors();
+
+        // ---- Steps 5-8: state transition and message generation ----
+        let sends = self.step_emit(was_active, last_ack, ack_to, &diff);
+
+        let routes_changed = old_dist != self.core.dist || old_succ != self.successors;
+        let mut changed = Vec::new();
+        if routes_changed {
+            for (j, old) in old_succ.into_iter().enumerate() {
+                if old != self.successors[j] {
+                    changed.push(RouteChange {
+                        dest: NodeId(j as u32),
+                        old,
+                        new: self.successors[j].clone(),
+                    });
+                }
+            }
+        }
+        RouterOutput { sends, routes_changed, changed }
+    }
+
+    /// Step 1 — the neighbor-table update: apply the event to the link
+    /// and neighbor tables. Returns `None` when the event was an LSU
+    /// from a non-neighbor (in flight across a link we consider down),
+    /// which the caller must treat as a full no-op; otherwise
+    /// `Some(ack_to)` where `ack_to` names the neighbor whose
+    /// entries-bearing LSU must be acknowledged this round.
+    fn step_ntu(&mut self, event: &RouterEvent) -> Option<Option<NodeId>> {
+        let mut ack_to = None;
+        match event {
             RouterEvent::Lsu { from, msg } => {
                 if !self.core.is_neighbor(*from) {
-                    // In-flight message across a link we consider down.
                     self.stats.dropped += 1;
-                    return RouterOutput::default();
+                    return None;
                 }
                 self.stats.lsu_received += 1;
                 self.core.process_lsu(*from, msg);
@@ -253,12 +331,13 @@ impl MpdaRouter {
                 self.core.link_cost_change(*to, *cost);
             }
         }
+        Some(ack_to)
+    }
 
-        let last_ack = was_active && self.pending_acks.is_empty();
-        let old_dist = self.core.dist.clone();
-        let old_succ = self.successors.clone();
-
-        // ---- Steps 2-3: MTU and feasible-distance update ----
+    /// Steps 2–3 — the main-table update and the feasible-distance rule,
+    /// the heart of the safety argument. Returns the LSU entries that
+    /// describe how `T^i` changed (empty while MTU is deferred).
+    fn step_mtu_and_fd(&mut self, was_active: bool, last_ack: bool) -> Vec<LsuEntry> {
         let mut diff = Vec::new();
         if !was_active {
             // Step 2: PASSIVE — update T^i immediately; FD can only drop.
@@ -278,11 +357,19 @@ impl MpdaRouter {
             }
         }
         // (While ACTIVE mid-phase: NTU only; MTU deferred.)
+        diff
+    }
 
-        // ---- Step 4: successor sets via the LFI condition (Eq. 17) ----
-        self.recompute_successors();
-
-        // ---- Steps 5-8: state transition and message generation ----
+    /// Steps 5–8 — ACTIVE/PASSIVE transition and message generation:
+    /// full-table syncs to freshly-up neighbors, the `diff` broadcast,
+    /// and the mandatory acknowledgment of `ack_to`.
+    fn step_emit(
+        &mut self,
+        was_active: bool,
+        last_ack: bool,
+        mut ack_to: Option<NodeId>,
+        diff: &[LsuEntry],
+    ) -> Vec<SendTo> {
         let mut sends = Vec::new();
         let can_initiate = !was_active || last_ack;
         if can_initiate {
@@ -293,7 +380,7 @@ impl MpdaRouter {
                     // step 2 of Fig. 2).
                     self.core.main_topo.full_entries()
                 } else if !diff.is_empty() {
-                    diff.clone()
+                    diff.to_vec()
                 } else {
                     continue;
                 };
@@ -322,21 +409,7 @@ impl MpdaRouter {
                 sends.push(SendTo { to: k, msg: LsuMessage::ack_only(self.core.id) });
             }
         }
-
-        let routes_changed = old_dist != self.core.dist || old_succ != self.successors;
-        let mut changed = Vec::new();
-        if routes_changed {
-            for (j, old) in old_succ.into_iter().enumerate() {
-                if old != self.successors[j] {
-                    changed.push(RouteChange {
-                        dest: NodeId(j as u32),
-                        old,
-                        new: self.successors[j].clone(),
-                    });
-                }
-            }
-        }
-        RouterOutput { sends, routes_changed, changed }
+        sends
     }
 
     /// Eq. 17: `S^i_j = { k | D^i_jk < FD^i_j ∧ k ∈ N^i }`.
@@ -350,10 +423,82 @@ impl MpdaRouter {
                 continue;
             }
             for &k in self.core.link_costs.keys() {
-                if self.core.neighbor_distance(k, jd) < fdj {
+                let djk = self.core.neighbor_distance(k, jd);
+                let admit = match self.rule {
+                    UpdateRule::Lfi => djk < fdj,
+                    // The deliberately unsound variant: `≤` admits
+                    // neighbors at *equal* feasible distance, breaking
+                    // the strict potential of Theorem 1.
+                    UpdateRule::NonStrictSuccessors => djk <= fdj && fdj < INFINITE_COST,
+                };
+                if admit {
                     set.push(k);
                 }
             }
+        }
+    }
+
+    /// Append a canonical byte encoding of the router's complete
+    /// protocol state (everything that determines future behavior:
+    /// tables, feasible distances, successor sets, ACTIVE-phase
+    /// bookkeeping — but not the diagnostic counters). Two routers have
+    /// equal encodings iff they are behaviorally identical, which is
+    /// what the `mdr-lint` model checker keys its visited-state set on.
+    /// Costs are encoded via `f64::to_bits`, so the encoding is exact.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        fn push_u32(out: &mut Vec<u8>, x: u32) {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        fn push_cost(out: &mut Vec<u8>, c: LinkCost) {
+            out.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+        fn push_topo(out: &mut Vec<u8>, t: &TopoTable) {
+            push_u32(out, t.len() as u32);
+            for (h, tl, c) in t.iter() {
+                push_u32(out, h.0);
+                push_u32(out, tl.0);
+                push_cost(out, c);
+            }
+        }
+        push_u32(out, self.core.id.0);
+        push_u32(out, self.core.n as u32);
+        push_u32(out, self.core.link_costs.len() as u32);
+        for (&k, &c) in &self.core.link_costs {
+            push_u32(out, k.0);
+            push_cost(out, c);
+        }
+        push_u32(out, self.core.neighbor_topo.len() as u32);
+        for (&k, topo) in &self.core.neighbor_topo {
+            push_u32(out, k.0);
+            push_topo(out, topo);
+        }
+        push_u32(out, self.core.neighbor_dist.len() as u32);
+        for (&k, dists) in &self.core.neighbor_dist {
+            push_u32(out, k.0);
+            for &d in dists {
+                push_cost(out, d);
+            }
+        }
+        push_topo(out, &self.core.main_topo);
+        for &d in &self.core.dist {
+            push_cost(out, d);
+        }
+        for &f in &self.fd {
+            push_cost(out, f);
+        }
+        for set in &self.successors {
+            push_u32(out, set.len() as u32);
+            for &k in set {
+                push_u32(out, k.0);
+            }
+        }
+        push_u32(out, self.pending_acks.len() as u32);
+        for &k in &self.pending_acks {
+            push_u32(out, k.0);
+        }
+        push_u32(out, self.needs_full.len() as u32);
+        for &k in &self.needs_full {
+            push_u32(out, k.0);
         }
     }
 }
@@ -389,8 +534,16 @@ mod tests {
     /// Bring up a full mesh of `LinkUp` events for the given undirected
     /// edges, then run to quiescence.
     fn converge(nn: usize, edges: &[(u32, u32, f64)]) -> Vec<MpdaRouter> {
+        converge_with_rule(nn, edges, UpdateRule::Lfi)
+    }
+
+    fn converge_with_rule(
+        nn: usize,
+        edges: &[(u32, u32, f64)],
+        rule: UpdateRule,
+    ) -> Vec<MpdaRouter> {
         let mut routers: Vec<MpdaRouter> =
-            (0..nn).map(|i| MpdaRouter::new(n(i as u32), nn)).collect();
+            (0..nn).map(|i| MpdaRouter::with_rule(n(i as u32), nn, rule)).collect();
         let mut queues: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
         for &(a, b, c) in edges {
             let out = routers[a as usize].handle(RouterEvent::LinkUp { to: n(b), cost: c });
@@ -553,6 +706,40 @@ mod tests {
         let out = r.handle(RouterEvent::Lsu { from: n(1), msg: LsuMessage::ack_only(n(1)) });
         assert!(out.routes_changed);
         assert_eq!(r.distance(n(1)), 2.0);
+    }
+
+    #[test]
+    fn non_strict_rule_admits_tied_neighbors() {
+        // Equal-cost triangle. Under the sound rule only the destination
+        // itself qualifies (strict `<`); under the deliberately broken
+        // rule the tied third corner is admitted too — routers 0 and 1
+        // each list the other as a successor for destination 2, an
+        // instant two-node loop the LFI checkers must flag.
+        let sound = converge(3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        assert_eq!(sound[0].successors(n(2)), &[n(2)]);
+        let broken = converge_with_rule(
+            3,
+            &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)],
+            UpdateRule::NonStrictSuccessors,
+        );
+        assert!(broken[0].successors(n(2)).contains(&n(1)));
+        assert!(broken[1].successors(n(2)).contains(&n(0)));
+        assert!(crate::lfi::check_loop_freedom(&broken).is_err());
+        assert!(crate::lfi::check_fd_ordering(&broken).is_err());
+    }
+
+    #[test]
+    fn encode_state_distinguishes_and_matches() {
+        let a = converge(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let b = converge(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let (mut ka, mut kb) = (Vec::new(), Vec::new());
+        a[1].encode_state(&mut ka);
+        b[1].encode_state(&mut kb);
+        assert_eq!(ka, kb, "identical histories must encode identically");
+        let c = converge(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+        let mut kc = Vec::new();
+        c[1].encode_state(&mut kc);
+        assert_ne!(ka, kc, "different link costs must change the encoding");
     }
 
     #[test]

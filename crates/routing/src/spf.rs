@@ -81,10 +81,11 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: smaller dist = "greater" for max-heap popping.
+        // `total_cmp` gives a genuine total order (NaN sorts last
+        // instead of silently tying), which `Ord` requires.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| other.parent.cmp(&self.parent))
             .then_with(|| other.node.cmp(&self.node))
     }

@@ -1,0 +1,135 @@
+//! Edge cases for the LFI checkers (`lfi::check_loop_freedom` /
+//! `lfi::check_fd_ordering` and their closure-generic `_with`
+//! variants): tied feasible distances, zero-cost links, unreachable
+//! destinations, and single-node graphs.
+
+use mdr_net::{NodeId, INFINITE_COST};
+use mdr_routing::lfi;
+use mdr_routing::{MpdaRouter, RouterEvent, UpdateRule};
+
+/// Bring `edges` up on `n` routers under `rule` and drain all traffic
+/// to quiescence with a fixed delivery order (the checkers' verdicts on
+/// the converged state do not depend on which order was used).
+fn converge(n: usize, edges: &[(u32, u32, f64)], rule: UpdateRule) -> Vec<MpdaRouter> {
+    let mut routers: Vec<MpdaRouter> =
+        (0..n).map(|i| MpdaRouter::with_rule(NodeId(i as u32), n, rule)).collect();
+    let mut chans: std::collections::BTreeMap<(u32, u32), std::collections::VecDeque<_>> =
+        std::collections::BTreeMap::new();
+    let dispatch =
+        |routers: &mut Vec<MpdaRouter>,
+         chans: &mut std::collections::BTreeMap<(u32, u32), std::collections::VecDeque<_>>,
+         at: u32,
+         ev: RouterEvent| {
+            for s in routers[at as usize].handle(ev).sends {
+                chans.entry((at, s.to.0)).or_default().push_back(s.msg);
+            }
+        };
+    for &(a, b, c) in edges {
+        dispatch(&mut routers, &mut chans, a, RouterEvent::LinkUp { to: NodeId(b), cost: c });
+        dispatch(&mut routers, &mut chans, b, RouterEvent::LinkUp { to: NodeId(a), cost: c });
+    }
+    let mut steps = 0u32;
+    while let Some((&(a, b), _)) = chans.iter().find(|(_, q)| !q.is_empty()) {
+        let msg = chans.get_mut(&(a, b)).and_then(|q| q.pop_front());
+        if let Some(msg) = msg {
+            dispatch(&mut routers, &mut chans, b, RouterEvent::Lsu { from: NodeId(a), msg });
+        }
+        chans.retain(|_, q| !q.is_empty());
+        steps += 1;
+        assert!(steps < 100_000, "bring-up failed to quiesce");
+    }
+    routers
+}
+
+/// Both checkers, both call forms, must agree.
+fn assert_all_checks_pass(routers: &[MpdaRouter]) {
+    assert_eq!(lfi::check_loop_freedom(routers), Ok(()));
+    assert_eq!(lfi::check_fd_ordering(routers), Ok(()));
+    assert_eq!(lfi::check_loop_freedom_with(routers.len(), |i| &routers[i.index()]), Ok(()));
+    assert_eq!(lfi::check_fd_ordering_with(routers.len(), |i| &routers[i.index()]), Ok(()));
+}
+
+#[test]
+fn tied_feasible_distances_pass_under_lfi_rule() {
+    // Equal-cost triangle: every pair of non-adjacent paths ties. The
+    // strict `D^k_j < FD^i_j` rule must resolve ties by exclusion (only
+    // the destination itself is a successor), and both checkers accept.
+    let routers = converge(3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)], UpdateRule::Lfi);
+    assert_all_checks_pass(&routers);
+    for r in &routers {
+        for j in 0..3u32 {
+            let j = NodeId(j);
+            if j == r.id() {
+                continue;
+            }
+            assert_eq!(r.successors(j), &[j], "ties must leave only the direct hop");
+        }
+    }
+}
+
+#[test]
+fn tied_feasible_distances_fail_under_non_strict_rule() {
+    // The deliberately unsound `D^k_j <= FD^i_j` rule admits tied
+    // neighbors, creating mutual successor edges: both checkers must
+    // reject, and the plain and `_with` forms must report identically.
+    let routers =
+        converge(3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)], UpdateRule::NonStrictSuccessors);
+    let plain = lfi::check_loop_freedom(&routers);
+    let with = lfi::check_loop_freedom_with(routers.len(), |i| &routers[i.index()]);
+    assert!(plain.is_err(), "tied FDs under <= must form a successor cycle");
+    assert_eq!(plain, with);
+    let (j, cycle) = plain.unwrap_err();
+    assert!(cycle.len() >= 2, "cycle for dest {j} too short: {cycle:?}");
+
+    let plain = lfi::check_fd_ordering(&routers);
+    let with = lfi::check_fd_ordering_with(routers.len(), |i| &routers[i.index()]);
+    assert!(plain.is_err(), "a tied successor edge violates strict FD ordering");
+    assert_eq!(plain, with);
+    let (i, k, j) = plain.unwrap_err();
+    assert_eq!(
+        routers[i.index()].feasible_distance(j).total_cmp(&routers[k.index()].feasible_distance(j)),
+        std::cmp::Ordering::Equal,
+        "the reported edge {i} → {k} must be an exact FD tie"
+    );
+}
+
+#[test]
+fn zero_cost_links_keep_both_invariants() {
+    // A zero-cost link makes a neighbor's distance *equal* to ours, so
+    // the strict LFI test must refuse it as a successor — distances stay
+    // exact but the successor graph stays strictly descending.
+    let routers = converge(3, &[(0, 1, 0.0), (1, 2, 1.0)], UpdateRule::Lfi);
+    assert_all_checks_pass(&routers);
+    assert_eq!(routers[0].distance(NodeId(2)), 1.0);
+    assert_eq!(routers[1].distance(NodeId(2)), 1.0);
+    // 1's route to 2 is direct; 0 reaches 2 through 1 only if the
+    // FD-strict rule admits it (D^1_2 = 1 is NOT < FD^0_2 = 1), so 0's
+    // successor set for 2 must be empty — loop freedom before liveness.
+    assert_eq!(routers[1].successors(NodeId(2)), &[NodeId(2)]);
+    assert!(routers[0].successors(NodeId(2)).is_empty());
+}
+
+#[test]
+fn unreachable_destinations_are_invariant_neutral() {
+    // Two disconnected components: unreachable destinations carry
+    // INFINITE_COST, empty successor sets, and trip neither checker.
+    let routers = converge(4, &[(0, 1, 1.0), (2, 3, 1.0)], UpdateRule::Lfi);
+    assert_all_checks_pass(&routers);
+    for (i, j) in [(0u32, 2u32), (0, 3), (1, 2), (2, 0), (3, 1)] {
+        let r = &routers[i as usize];
+        assert_eq!(r.distance(NodeId(j)), INFINITE_COST, "{i} must not reach {j}");
+        assert!(r.successors(NodeId(j)).is_empty());
+    }
+    assert_eq!(routers[0].distance(NodeId(1)), 1.0);
+    assert_eq!(routers[2].distance(NodeId(3)), 1.0);
+}
+
+#[test]
+fn single_node_graph_is_trivially_loop_free() {
+    let routers = converge(1, &[], UpdateRule::Lfi);
+    assert_all_checks_pass(&routers);
+    assert_eq!(routers[0].distance(NodeId(0)), 0.0);
+    // The degenerate closure forms with n = 0 must also hold (vacuous).
+    assert_eq!(lfi::check_loop_freedom_with(0, |_| unreachable!()), Ok(()));
+    assert_eq!(lfi::check_fd_ordering_with(0, |_| unreachable!()), Ok(()));
+}

@@ -716,7 +716,10 @@ impl Simulator {
     /// protocol state — MPDA tables, allocator, pending ACKs, all of it.
     fn crash_router(&mut self, x: NodeId) {
         {
-            let rb = self.robust.as_deref_mut().expect("crash requires a fault plan");
+            // Crash events are only scheduled by a fault plan, which is
+            // what installs `robust`; if it is absent the event is
+            // stale — drop it rather than panic mid-run.
+            let Some(rb) = self.robust.as_deref_mut() else { return };
             rb.crashed[x.index()] = true;
             // New incarnation: anything still in flight to or from the
             // old life is stale at delivery.
@@ -746,8 +749,8 @@ impl Simulator {
     /// intact and whose far end is alive come back up, and the LinkUp
     /// exchange re-synchronizes the tables from the neighbors.
     fn restart_router(&mut self, x: NodeId) {
-        self.robust.as_deref_mut().expect("restart requires a fault plan").crashed[x.index()] =
-            false;
+        let Some(rb) = self.robust.as_deref_mut() else { return };
+        rb.crashed[x.index()] = false;
         let nbrs = self.nodes[x.index()].nbrs.clone();
         for &y in &nbrs {
             if !self.alive(y) {
@@ -770,7 +773,7 @@ impl Simulator {
     /// Inject scheduled fault `index` and open its recovery clock.
     fn on_fault(&mut self, index: usize) {
         let ev = {
-            let rb = self.robust.as_deref_mut().expect("Ev::Fault without a fault plan");
+            let Some(rb) = self.robust.as_deref_mut() else { return };
             let (t, ev) = rb.schedule[index];
             rb.records.push(FaultRecord { time: t, event: ev, recovery_s: None });
             rb.pending.push(rb.records.len() - 1);

@@ -22,6 +22,10 @@
 //! sorted iteration everywhere. The same [`SimConfig`] always produces
 //! byte-identical results.
 
+// No unsafe anywhere: the whole workspace is plain safe Rust, and
+// `mdr-lint` verifies every crate root carries this attribute.
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod chaos;
 pub mod engine;
