@@ -1,5 +1,6 @@
 //! End-to-end: the real workspace passes its own lint with the real
-//! `lint.toml` — i.e. the allowlist is empty and the tree is clean.
+//! `lint.toml` — i.e. the tree is clean and the allowlist holds only
+//! the one sanctioned entry (the `mdr-node` I/O shell's wall clock).
 //!
 //! This is the same check CI's `mdr-lint` job runs via the binary; the
 //! test keeps `cargo test` sufficient to notice a regression locally.
@@ -21,12 +22,21 @@ fn real_config() -> LintConfig {
 }
 
 #[test]
-fn workspace_scan_is_clean_with_empty_allowlist() {
+fn workspace_scan_is_clean_with_shell_only_allowlist() {
     let cfg = real_config();
-    assert!(
-        cfg.allows.is_empty(),
-        "the allowlist is empty by policy; new entries need a DESIGN.md discussion"
-    );
+    // The allowlist is empty by policy, with one sanctioned exception
+    // (see DESIGN.md): the live node's I/O shell reads wall-clock time
+    // to drive its otherwise mock-clocked deterministic core. Any entry
+    // beyond that — another rule, another path — needs a DESIGN.md
+    // discussion and a new carve-out here.
+    for allow in &cfg.allows {
+        assert_eq!(
+            (allow.rule.as_str(), allow.path.as_str()),
+            ("MDR002", "crates/node/src/shell"),
+            "unsanctioned allowlist entry; new entries need a DESIGN.md discussion"
+        );
+    }
+    assert_eq!(cfg.allows.len(), 1, "exactly one sanctioned allowlist entry expected");
     let outcome = rules::scan_workspace(workspace_root(), &cfg).expect("scan must run");
     assert!(outcome.files_scanned >= 60, "walked {} files only", outcome.files_scanned);
     let rendered: Vec<String> = outcome.diags.iter().map(|d| d.to_string()).collect();

@@ -1,0 +1,748 @@
+//! Per-neighbor reliable transport over lossy UDP.
+//!
+//! MPDA's correctness argument (Theorem 3) assumes the control channel
+//! delivers LSUs to each neighbor **reliably and in order** — the
+//! simulator models that with a link-layer ARQ abstraction; a real
+//! deployment has to earn it. [`PeerChannel`] provides exactly that
+//! contract on top of a datagram socket:
+//!
+//! * **Hello/keepalive** — a `Hello` every [`ReliableConfig::hello_interval`];
+//!   silence for [`ReliableConfig::dead_interval`] declares the peer
+//!   dead ([`ChannelEvent::PeerDown`]), which the node maps onto the
+//!   same `Delete`-LSU withdrawal path as a simulated link cut.
+//! * **Sliding-window data transfer** — LSUs get consecutive sequence
+//!   numbers; at most [`ReliableConfig::window`] are in flight; the
+//!   receiver buffers out-of-order arrivals and releases a strictly
+//!   in-order, gap-free, duplicate-free stream to the router.
+//! * **Ack-driven retransmission** — cumulative acks; the oldest
+//!   unacked segment retransmits on a timeout that doubles per attempt
+//!   from [`ReliableConfig::rto_initial`] up to
+//!   [`ReliableConfig::rto_max`]; exhausting
+//!   [`ReliableConfig::retry_budget`] attempts declares the peer dead.
+//!   Duplicate acks (cumulative sequence not advancing) are tolerated
+//!   silently — UDP duplicates a reordered ack at will.
+//! * **Incarnation-tagged re-sync** — every datagram carries the
+//!   sender's incarnation (the chaos harness's scheme: restarts
+//!   increment it, it is never 0). A higher incarnation than the
+//!   current adjacency means the peer restarted and lost all protocol
+//!   state: the channel resets and reports
+//!   [`ChannelEvent::PeerRestart`] so the node can tear the adjacency
+//!   down and re-synchronize from scratch. Lower incarnations are stale
+//!   datagrams from a previous life and are dropped.
+//! * **Addressed datagrams** — every datagram also carries the
+//!   incarnation of the *receiver* the sender believes it is talking
+//!   to (`for_inc`; 0 while unknown). A channel accepts only datagrams
+//!   addressed to its node's current life: after a restart, a
+//!   neighbor's retransmissions to the previous incarnation would
+//!   otherwise establish the fresh channel and pollute its reorder
+//!   buffer with old-session sequence numbers.
+//! * **Session-tagged streams** — each datagram carries the sender's
+//!   per-adjacency stream epoch (`session`, bumped on every channel
+//!   reset). Without it, a one-sided reset (this side declared dead
+//!   during an asymmetric loss burst, then re-upped at the same
+//!   incarnation) restarts the sequence space invisibly: fresh
+//!   segments numbered below the receiver's cumulative position are
+//!   acked as duplicates but never delivered — a silent blackhole —
+//!   while high-numbered in-flight segments park in the peer's reorder
+//!   buffer forever. A session newer than the one the adjacency was
+//!   established with forces a full re-sync
+//!   ([`ChannelEvent::PeerDown`] with [`DownReason::SessionReset`],
+//!   then [`ChannelEvent::PeerUp`]); an older one is a stale straggler
+//!   and is dropped.
+//!
+//! Everything here is deterministic-core code: time arrives as explicit
+//! `now` seconds, outputs are [`NodeBody`] values for the node to
+//! envelope and frame. No sockets, no clocks, no randomness — the
+//! backoff schedule and failure decisions are pure functions of the
+//! event history, which is what makes them unit-testable with a mock
+//! clock and seed-stable under the soak harness.
+
+use mdr_proto::{LsuMessage, NodeBody};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Timer and budget knobs for one adjacency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliableConfig {
+    /// Seconds between keepalive `Hello`s.
+    pub hello_interval: f64,
+    /// Seconds of silence after which a peer is declared dead.
+    pub dead_interval: f64,
+    /// First retransmission timeout (seconds); attempt `k` waits
+    /// `rto_initial · 2^k`, capped at [`ReliableConfig::rto_max`].
+    pub rto_initial: f64,
+    /// Ceiling on the per-attempt retransmission timeout (seconds).
+    pub rto_max: f64,
+    /// Retransmissions of one segment before the peer is declared dead.
+    pub retry_budget: u32,
+    /// Maximum unacked segments in flight.
+    pub window: usize,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            hello_interval: 0.2,
+            dead_interval: 1.0,
+            rto_initial: 0.1,
+            rto_max: 1.6,
+            retry_budget: 6,
+            window: 16,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// The timeout before retransmission attempt number `retries + 1`
+    /// of a segment already sent `retries + 1` times... i.e. after the
+    /// segment has been transmitted `retries` extra times already:
+    /// `rto_initial · 2^retries`, capped at `rto_max`.
+    pub fn rto(&self, retries: u32) -> f64 {
+        let factor = 2.0f64.powi(retries.min(30) as i32);
+        (self.rto_initial * factor).min(self.rto_max)
+    }
+}
+
+/// Why an adjacency went down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownReason {
+    /// Nothing heard for the dead interval.
+    DeadInterval,
+    /// A segment exhausted its retransmission budget.
+    RetryExhausted,
+    /// The peer came back with a higher incarnation (reported via
+    /// [`ChannelEvent::PeerRestart`], which implies a down/up pair).
+    Restarted,
+    /// The peer's transport reset without a restart (its stream session
+    /// advanced at an unchanged incarnation): its sequence space is
+    /// gone, so the adjacency re-synchronizes from scratch.
+    SessionReset,
+}
+
+impl DownReason {
+    /// Stable snake-case label for telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DownReason::DeadInterval => "dead_interval",
+            DownReason::RetryExhausted => "retry_exhausted",
+            DownReason::Restarted => "restarted",
+            DownReason::SessionReset => "session_reset",
+        }
+    }
+}
+
+/// What the channel tells the node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelEvent {
+    /// First contact: the adjacency is up at this peer incarnation.
+    PeerUp {
+        /// The peer's incarnation.
+        incarnation: u32,
+    },
+    /// The peer restarted (higher incarnation seen). The channel has
+    /// already reset; the node must tear down and re-establish the
+    /// adjacency.
+    PeerRestart {
+        /// Incarnation of the previous life.
+        old: u32,
+        /// Incarnation of the new life.
+        new: u32,
+    },
+    /// The adjacency failed.
+    PeerDown {
+        /// Why.
+        reason: DownReason,
+    },
+    /// One in-order LSU for the router.
+    Deliver(LsuMessage),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct InFlight {
+    seq: u64,
+    msg: LsuMessage,
+    last_sent: f64,
+    retries: u32,
+    /// Karn's rule: a retransmitted segment yields no RTT sample.
+    retransmitted: bool,
+}
+
+/// Reliable, ordered LSU transfer plus failure detection toward one
+/// neighbor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerChannel {
+    cfg: ReliableConfig,
+    /// Incarnation of the node hosting this channel: the only
+    /// destination incarnation (besides the 0 wildcard) whose datagrams
+    /// this channel accepts.
+    local_inc: u32,
+    /// Incarnation of the live adjacency; `None` while down.
+    peer_inc: Option<u32>,
+    /// The peer's stream session the adjacency was established with.
+    peer_session: u32,
+    /// This side's own stream epoch (≥ 1; bumped on every reset).
+    session: u32,
+    // --- send side ---
+    next_seq: u64,
+    backlog: VecDeque<LsuMessage>,
+    inflight: VecDeque<InFlight>,
+    acked: u64,
+    // --- receive side ---
+    delivered: u64,
+    reorder: BTreeMap<u64, LsuMessage>,
+    // --- timers / stats ---
+    last_heard: f64,
+    next_hello: f64,
+    rtt_sample: Option<f64>,
+}
+
+impl PeerChannel {
+    /// A fresh (down) channel for a node at incarnation `local_inc`;
+    /// the first [`PeerChannel::poll`] at or after `now` emits the
+    /// opening `Hello`.
+    pub fn new(cfg: ReliableConfig, local_inc: u32, now: f64) -> Self {
+        PeerChannel {
+            cfg,
+            local_inc,
+            peer_inc: None,
+            peer_session: 0,
+            session: 1,
+            next_seq: 1,
+            backlog: VecDeque::new(),
+            inflight: VecDeque::new(),
+            acked: 0,
+            delivered: 0,
+            reorder: BTreeMap::new(),
+            last_heard: now,
+            next_hello: now,
+            rtt_sample: None,
+        }
+    }
+
+    /// The adjacency is established.
+    pub fn is_up(&self) -> bool {
+        self.peer_inc.is_some()
+    }
+
+    /// Incarnation of the live adjacency.
+    pub fn incarnation(&self) -> Option<u32> {
+        self.peer_inc
+    }
+
+    /// This side's current stream epoch — stamped on every outgoing
+    /// datagram of this adjacency.
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    /// Unacked segments in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Segments queued behind the window.
+    pub fn backlog(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// In-order segments delivered since the adjacency (re)established.
+    /// Nonzero proves the peer reset its send sequence toward us — and
+    /// since this channel only accepts datagrams addressed to our
+    /// current incarnation, that the peer *processed* it (tearing down
+    /// any routes through our previous life first). The restart
+    /// quarantine in [`crate::core`] keys on exactly this.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// True when nothing is queued, in flight, or buffered — the
+    /// channel's half of the convergence predicate.
+    pub fn is_idle(&self) -> bool {
+        self.backlog.is_empty() && self.inflight.is_empty() && self.reorder.is_empty()
+    }
+
+    /// Every LSU ever queued on this adjacency has been transport-acked
+    /// by the peer. Because the peer's pump hands each in-order segment
+    /// to its router *before* its cumulative ack reaches the wire, a
+    /// flushed channel proves the peer has **processed** everything we
+    /// sent — the exact premise MPDA's ACTIVE phase needs before
+    /// raising FD (see the ack substitution in [`crate::core`]).
+    pub fn flushed(&self) -> bool {
+        self.backlog.is_empty() && self.inflight.is_empty()
+    }
+
+    /// Take the RTT sample produced by the most recent ack, if any
+    /// (cleared on read; retransmitted segments never produce one).
+    pub fn take_rtt_sample(&mut self) -> Option<f64> {
+        self.rtt_sample.take()
+    }
+
+    /// Queue one LSU for reliable in-order delivery and return any
+    /// segments that fit the window right now.
+    pub fn send(&mut self, msg: LsuMessage, now: f64) -> Vec<NodeBody> {
+        self.backlog.push_back(msg);
+        self.fill_window(now)
+    }
+
+    fn fill_window(&mut self, now: f64) -> Vec<NodeBody> {
+        let mut out = Vec::new();
+        while self.inflight.len() < self.cfg.window {
+            let Some(msg) = self.backlog.pop_front() else { break };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.inflight.push_back(InFlight {
+                seq,
+                msg: msg.clone(),
+                last_sent: now,
+                retries: 0,
+                retransmitted: false,
+            });
+            out.push(NodeBody::Data { seq, lsu: msg });
+        }
+        out
+    }
+
+    /// Handle one decoded body from this peer, stamped with the
+    /// sender's `incarnation`, the incarnation it addressed
+    /// (`for_inc`), and its stream `session`. Returns bodies to
+    /// transmit back and events for the node.
+    pub fn on_message(
+        &mut self,
+        incarnation: u32,
+        for_inc: u32,
+        session: u32,
+        body: NodeBody,
+        now: f64,
+    ) -> (Vec<NodeBody>, Vec<ChannelEvent>) {
+        let mut events = Vec::new();
+        if for_inc != 0 && for_inc != self.local_inc {
+            // Addressed to a different life of this node — traffic (or
+            // retransmissions) from a session built against an
+            // incarnation we no longer are. Accepting it would let a
+            // neighbor's stale stream establish or pollute a fresh
+            // channel.
+            return (Vec::new(), events);
+        }
+        match self.peer_inc {
+            None => {
+                self.peer_inc = Some(incarnation);
+                self.peer_session = session;
+                self.last_heard = now;
+                events.push(ChannelEvent::PeerUp { incarnation });
+            }
+            Some(cur) if incarnation > cur => {
+                // The peer restarted: everything it knew — our
+                // adjacency, every sequence number — is gone. Reset and
+                // re-establish at the new incarnation.
+                self.reset(now);
+                self.peer_inc = Some(incarnation);
+                self.peer_session = session;
+                self.last_heard = now;
+                events.push(ChannelEvent::PeerRestart { old: cur, new: incarnation });
+            }
+            Some(cur) if incarnation < cur => {
+                // A stale datagram from a previous life, still floating
+                // around the network. Dropping it is the whole point of
+                // incarnation tags.
+                return (Vec::new(), events);
+            }
+            Some(_) if session > self.peer_session => {
+                // Same process, new stream: the peer's channel reset
+                // underneath us (it declared us dead during an
+                // asymmetric loss burst, say) and its sequence space
+                // restarted. Re-synchronize from scratch — continuing
+                // with our cumulative position would silently blackhole
+                // its fresh low-numbered segments as "duplicates". The
+                // reset-then-adopt below cannot ping-pong: the peer
+                // meets our own session bump with its adjacency already
+                // cleared, and a fresh adoption triggers nothing.
+                self.reset(now);
+                self.peer_inc = Some(incarnation);
+                self.peer_session = session;
+                self.last_heard = now;
+                events.push(ChannelEvent::PeerDown { reason: DownReason::SessionReset });
+                events.push(ChannelEvent::PeerUp { incarnation });
+            }
+            Some(_) if session < self.peer_session => {
+                // Straggler from the peer's previous stream.
+                return (Vec::new(), events);
+            }
+            Some(_) => {
+                self.last_heard = now;
+            }
+        }
+
+        let mut out = Vec::new();
+        match body {
+            NodeBody::Hello => {}
+            NodeBody::Data { seq, lsu } => {
+                if seq > self.delivered {
+                    self.reorder.insert(seq, lsu);
+                    // Release the contiguous prefix in order.
+                    while let Some(msg) = self.reorder.remove(&(self.delivered + 1)) {
+                        self.delivered += 1;
+                        events.push(ChannelEvent::Deliver(msg));
+                    }
+                }
+                // Always ack with the cumulative position: a duplicate
+                // or out-of-order segment means our previous ack was
+                // lost or is still in flight, so repeat it.
+                out.push(NodeBody::Ack { cum_seq: self.delivered });
+            }
+            NodeBody::Ack { cum_seq } => {
+                // Duplicate/reordered acks (cum_seq <= acked) fall
+                // through both loops untouched: tolerated, not fatal.
+                if cum_seq > self.acked {
+                    self.acked = cum_seq;
+                    while self.inflight.front().is_some_and(|f| f.seq <= cum_seq) {
+                        if let Some(f) = self.inflight.pop_front() {
+                            if !f.retransmitted {
+                                self.rtt_sample = Some((now - f.last_sent).max(0.0));
+                            }
+                        }
+                    }
+                    out.extend(self.fill_window(now));
+                }
+            }
+        }
+        (out, events)
+    }
+
+    /// Drive timers at `now`: keepalives, retransmissions, failure
+    /// detection. Call at least once per [`PeerChannel::next_deadline`].
+    pub fn poll(&mut self, now: f64) -> (Vec<NodeBody>, Vec<ChannelEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+
+        // Failure detection first: a dead peer gets no retransmissions.
+        // Deadline comparisons use the exact `base + interval` sums that
+        // `next_deadline` returns — `now - base >= interval` is NOT
+        // equivalent under floating point, and the mismatch would make
+        // polling at the reported deadline a no-op (a livelock for any
+        // caller that sleeps until `next_deadline`).
+        if self.is_up() && now >= self.last_heard + self.cfg.dead_interval {
+            self.reset(now);
+            events.push(ChannelEvent::PeerDown { reason: DownReason::DeadInterval });
+            return (out, events);
+        }
+        if let Some(head) = self.inflight.front_mut() {
+            if now >= head.last_sent + self.cfg.rto(head.retries) {
+                if head.retries >= self.cfg.retry_budget {
+                    self.reset(now);
+                    events.push(ChannelEvent::PeerDown { reason: DownReason::RetryExhausted });
+                    return (out, events);
+                }
+                head.retries += 1;
+                head.retransmitted = true;
+                head.last_sent = now;
+                out.push(NodeBody::Data { seq: head.seq, lsu: head.msg.clone() });
+            }
+        }
+
+        if now >= self.next_hello {
+            self.next_hello = now + self.cfg.hello_interval;
+            out.push(NodeBody::Hello);
+        }
+        (out, events)
+    }
+
+    /// The earliest future instant at which [`PeerChannel::poll`] has
+    /// work to do.
+    pub fn next_deadline(&self) -> f64 {
+        let mut t = self.next_hello;
+        if self.is_up() {
+            t = t.min(self.last_heard + self.cfg.dead_interval);
+        }
+        if let Some(head) = self.inflight.front() {
+            t = t.min(head.last_sent + self.cfg.rto(head.retries));
+        }
+        t
+    }
+
+    /// Drop all transport state: the adjacency is gone and sequence
+    /// numbers restart from 1 for the next life. Undelivered backlog is
+    /// discarded — after re-sync the router re-floods current state,
+    /// which supersedes anything queued here. Bumping the session tells
+    /// the peer our sequence space restarted, so it re-syncs too
+    /// instead of blackholing the new stream against its old cumulative
+    /// position.
+    fn reset(&mut self, now: f64) {
+        self.session = self.session.saturating_add(1);
+        self.peer_inc = None;
+        self.peer_session = 0;
+        self.next_seq = 1;
+        self.backlog.clear();
+        self.inflight.clear();
+        self.acked = 0;
+        self.delivered = 0;
+        self.reorder.clear();
+        self.last_heard = now;
+        self.rtt_sample = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdr_net::NodeId;
+
+    fn lsu(from: u32) -> LsuMessage {
+        LsuMessage::ack_only(NodeId(from))
+    }
+
+    fn cfg() -> ReliableConfig {
+        ReliableConfig::default()
+    }
+
+    fn up(ch: &mut PeerChannel, inc: u32, now: f64) {
+        let (_, ev) = ch.on_message(inc, 0, 1, NodeBody::Hello, now);
+        assert_eq!(ev, vec![ChannelEvent::PeerUp { incarnation: inc }]);
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_to_the_cap() {
+        // rto_initial 0.1, rto_max 1.6: expected waits 0.1, 0.2, 0.4,
+        // 0.8, 1.6, 1.6, ...
+        let c = cfg();
+        assert_eq!(c.rto(0), 0.1);
+        assert_eq!(c.rto(1), 0.2);
+        assert_eq!(c.rto(3), 0.8);
+        assert_eq!(c.rto(4), 1.6);
+        assert_eq!(c.rto(5), 1.6);
+        assert_eq!(c.rto(30), 1.6);
+
+        // And the channel follows it exactly under a mock clock. Use a
+        // long dead interval so only hello and retransmission timers
+        // fire, and step time by next_deadline() — the mock-clock
+        // discipline the node event loop itself uses.
+        let mut ch = PeerChannel::new(ReliableConfig { dead_interval: 1e9, ..c }, 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        let sent = ch.send(lsu(0), 0.0);
+        assert_eq!(sent.len(), 1);
+        let mut expected = Vec::new();
+        let mut t = 0.0;
+        for k in 0..5u32 {
+            t += c.rto(k);
+            expected.push(t);
+        }
+        let mut retx_times = Vec::new();
+        let mut now = 0.0;
+        let mut iters = 0;
+        while retx_times.len() < 5 {
+            iters += 1;
+            // Livelock guard: polling at next_deadline() must always
+            // make progress (the deadline arithmetic in poll() and
+            // next_deadline() has to agree bit-for-bit).
+            assert!(iters < 200, "livelocked at now={now}, retx so far {retx_times:?}");
+            let next = ch.next_deadline();
+            assert!(next >= now, "deadlines never move backwards");
+            now = next;
+            let (out, ev) = ch.poll(now);
+            assert!(ev.is_empty(), "no failure inside the budget");
+            for b in out {
+                if let NodeBody::Data { seq, .. } = b {
+                    assert_eq!(seq, 1);
+                    retx_times.push(now);
+                }
+            }
+        }
+        for (got, want) in retx_times.iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-9, "retx at {got}, expected {want}");
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_declares_the_peer_dead() {
+        let c = ReliableConfig { retry_budget: 3, dead_interval: 1e9, ..cfg() };
+        let mut ch = PeerChannel::new(c, 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        ch.send(lsu(0), 0.0);
+        let mut down = None;
+        let mut retx = 0;
+        let mut t = 0.0;
+        while down.is_none() && t < 100.0 {
+            t = ch.next_deadline().max(t + 1e-3);
+            let (out, ev) = ch.poll(t);
+            retx += out.iter().filter(|b| matches!(b, NodeBody::Data { .. })).count();
+            for e in ev {
+                if let ChannelEvent::PeerDown { reason } = e {
+                    down = Some(reason);
+                }
+            }
+        }
+        assert_eq!(down, Some(DownReason::RetryExhausted));
+        assert_eq!(retx, 3, "exactly the budget's worth of retransmissions");
+        assert!(!ch.is_up());
+        assert!(ch.is_idle(), "transport state cleared on failure");
+    }
+
+    #[test]
+    fn duplicate_and_reordered_acks_are_tolerated() {
+        let mut ch = PeerChannel::new(cfg(), 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        ch.send(lsu(0), 0.0);
+        ch.send(lsu(0), 0.0);
+        assert_eq!(ch.in_flight(), 2);
+        let (_, ev) = ch.on_message(1, 1, 1, NodeBody::Ack { cum_seq: 2 }, 0.05);
+        assert!(ev.is_empty());
+        assert_eq!(ch.in_flight(), 0);
+        // The same ack again, then a stale one from before: no-ops.
+        for cum in [2, 1, 0] {
+            let (out, ev) = ch.on_message(1, 1, 1, NodeBody::Ack { cum_seq: cum }, 0.06);
+            assert!(out.is_empty() && ev.is_empty(), "duplicate ack must be silent");
+        }
+        assert_eq!(ch.in_flight(), 0);
+    }
+
+    #[test]
+    fn receiver_reorders_into_a_gap_free_stream() {
+        let mut ch = PeerChannel::new(cfg(), 1, 0.0);
+        let mk = |i: u32| NodeBody::Data { seq: i as u64, lsu: lsu(i) };
+        // Arrival order 2, 3, 1 — delivery must be 1, 2, 3.
+        let (out, ev) = ch.on_message(1, 1, 1, mk(2), 0.0);
+        assert_eq!(out, vec![NodeBody::Ack { cum_seq: 0 }], "gap: repeat the cumulative ack");
+        assert!(matches!(ev[0], ChannelEvent::PeerUp { .. }));
+        let (out, ev) = ch.on_message(1, 1, 1, mk(3), 0.1);
+        assert_eq!(out, vec![NodeBody::Ack { cum_seq: 0 }]);
+        assert!(ev.is_empty());
+        let (out, ev) = ch.on_message(1, 1, 1, mk(1), 0.2);
+        assert_eq!(out, vec![NodeBody::Ack { cum_seq: 3 }]);
+        let delivered: Vec<u32> = ev
+            .iter()
+            .map(|e| match e {
+                ChannelEvent::Deliver(m) => m.from.0,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(delivered, vec![1, 2, 3]);
+        // A duplicate of an old segment re-acks without re-delivering.
+        let (out, ev) = ch.on_message(1, 1, 1, mk(2), 0.3);
+        assert_eq!(out, vec![NodeBody::Ack { cum_seq: 3 }]);
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn window_limits_flight_and_acks_slide_it() {
+        let c = ReliableConfig { window: 2, ..cfg() };
+        let mut ch = PeerChannel::new(c, 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        let mut wire = Vec::new();
+        for _ in 0..5 {
+            wire.extend(ch.send(lsu(0), 0.0));
+        }
+        assert_eq!(wire.len(), 2, "window caps initial transmissions");
+        assert_eq!(ch.backlog(), 3);
+        let (out, _) = ch.on_message(1, 1, 1, NodeBody::Ack { cum_seq: 2 }, 0.1);
+        let seqs: Vec<u64> = out
+            .iter()
+            .map(|b| match b {
+                NodeBody::Data { seq, .. } => *seq,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![3, 4], "ack slides the window");
+        assert_eq!(ch.backlog(), 1);
+    }
+
+    #[test]
+    fn dead_interval_fires_without_traffic() {
+        let mut ch = PeerChannel::new(cfg(), 1, 0.0);
+        up(&mut ch, 7, 0.0);
+        let (_, ev) = ch.poll(0.99);
+        assert!(ev.is_empty());
+        let (_, ev) = ch.poll(1.0);
+        assert_eq!(ev, vec![ChannelEvent::PeerDown { reason: DownReason::DeadInterval }]);
+        assert!(!ch.is_up());
+    }
+
+    #[test]
+    fn restart_resets_and_reports_incarnations() {
+        let mut ch = PeerChannel::new(cfg(), 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        ch.send(lsu(0), 0.0);
+        assert_eq!(ch.in_flight(), 1);
+        // Data from incarnation 2: the peer restarted.
+        let (out, ev) = ch.on_message(2, 1, 1, NodeBody::Data { seq: 1, lsu: lsu(9) }, 0.5);
+        assert_eq!(
+            ev[0],
+            ChannelEvent::PeerRestart { old: 1, new: 2 },
+            "restart detected before the body is processed"
+        );
+        assert!(matches!(ev[1], ChannelEvent::Deliver(_)), "new-life data still delivers");
+        assert_eq!(out, vec![NodeBody::Ack { cum_seq: 1 }]);
+        assert_eq!(ch.incarnation(), Some(2));
+        assert_eq!(ch.in_flight(), 0, "old-life flight state discarded");
+        // A straggler from incarnation 1 is dropped outright.
+        let (out, ev) = ch.on_message(1, 1, 1, NodeBody::Data { seq: 5, lsu: lsu(9) }, 0.6);
+        assert!(out.is_empty() && ev.is_empty());
+    }
+
+    #[test]
+    fn hello_cadence_and_deadline_accounting() {
+        let mut ch = PeerChannel::new(cfg(), 1, 0.0);
+        let (out, _) = ch.poll(0.0);
+        assert!(matches!(out[0], NodeBody::Hello), "opening hello fires immediately");
+        assert_eq!(ch.next_deadline(), 0.2, "down peer: only the hello timer is armed");
+        let (out, _) = ch.poll(0.1);
+        assert!(out.is_empty());
+        let (out, _) = ch.poll(0.2);
+        assert_eq!(out.len(), 1);
+        up(&mut ch, 1, 0.25);
+        // Now the dead interval is armed too.
+        assert_eq!(ch.next_deadline(), 0.4f64.min(0.25 + 1.0));
+    }
+
+    #[test]
+    fn datagrams_addressed_to_another_life_are_ignored() {
+        // This node is at incarnation 3; a neighbor still retransmitting
+        // into a session built against incarnation 2 must not establish
+        // the channel or park anything in the reorder buffer.
+        let mut ch = PeerChannel::new(cfg(), 3, 0.0);
+        let (out, ev) = ch.on_message(1, 2, 1, NodeBody::Data { seq: 47, lsu: lsu(9) }, 0.0);
+        assert!(out.is_empty() && ev.is_empty(), "stale-addressed data must be silent");
+        assert!(!ch.is_up());
+        assert!(ch.is_idle(), "no reorder pollution from the old session");
+        // Hellos with the unknown-receiver wildcard still make contact…
+        let (_, ev) = ch.on_message(1, 0, 1, NodeBody::Hello, 0.1);
+        assert_eq!(ev, vec![ChannelEvent::PeerUp { incarnation: 1 }]);
+        // …and correctly addressed traffic flows.
+        let (out, ev) = ch.on_message(1, 3, 1, NodeBody::Data { seq: 1, lsu: lsu(9) }, 0.2);
+        assert_eq!(out, vec![NodeBody::Ack { cum_seq: 1 }]);
+        assert!(matches!(ev[0], ChannelEvent::Deliver(_)));
+    }
+
+    #[test]
+    fn peer_session_bump_forces_a_full_resync() {
+        let mut ch = PeerChannel::new(cfg(), 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        let own = ch.session();
+        // Session 1 delivers seq 1; then the peer's channel resets
+        // underneath us (same incarnation, session 2) and its sequence
+        // space restarts at 1. Without the session tag this would be
+        // "a duplicate": acked, never delivered.
+        let (_, ev) = ch.on_message(1, 1, 1, NodeBody::Data { seq: 1, lsu: lsu(8) }, 0.1);
+        assert!(matches!(ev.last(), Some(ChannelEvent::Deliver(_))));
+        let (out, ev) = ch.on_message(1, 1, 2, NodeBody::Data { seq: 1, lsu: lsu(9) }, 0.2);
+        assert_eq!(
+            ev[0],
+            ChannelEvent::PeerDown { reason: DownReason::SessionReset },
+            "the node must tear the adjacency down before re-syncing"
+        );
+        assert_eq!(ev[1], ChannelEvent::PeerUp { incarnation: 1 });
+        assert!(matches!(ev[2], ChannelEvent::Deliver(_)), "the new stream's seq 1 delivers");
+        assert_eq!(out, vec![NodeBody::Ack { cum_seq: 1 }]);
+        assert_eq!(ch.session(), own + 1, "our own stream epoch advanced with the reset");
+        // A straggler from the peer's previous stream is dropped.
+        let (out, ev) = ch.on_message(1, 1, 1, NodeBody::Data { seq: 2, lsu: lsu(8) }, 0.3);
+        assert!(out.is_empty() && ev.is_empty());
+    }
+
+    #[test]
+    fn own_reset_bumps_the_advertised_session() {
+        let mut ch = PeerChannel::new(cfg(), 1, 0.0);
+        assert_eq!(ch.session(), 1);
+        up(&mut ch, 1, 0.0);
+        let (_, ev) = ch.poll(1.0); // dead interval fires
+        assert_eq!(ev, vec![ChannelEvent::PeerDown { reason: DownReason::DeadInterval }]);
+        assert_eq!(ch.session(), 2, "the next life of this stream is distinguishable");
+    }
+}

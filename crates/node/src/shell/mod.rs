@@ -1,0 +1,12 @@
+//! The I/O shell: everything that touches sockets, processes, files,
+//! or the wall clock.
+//!
+//! This directory is the *only* part of `mdr-node` allowed to read real
+//! time — `lint.toml` carries the one `MDR002` allowlist entry for it —
+//! and it contains no protocol logic at all: every decision is made by
+//! the deterministic core ([`crate::core::NodeCore`]), which the shell
+//! merely pumps.
+
+pub mod launch;
+pub mod soak;
+pub mod udp;

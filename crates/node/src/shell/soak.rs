@@ -1,0 +1,264 @@
+//! The soak harness: N live processes under random kill/restart and
+//! receive-side UDP loss, audited from their merged telemetry traces.
+//!
+//! The schedule is drawn from a seeded RNG, so a failing soak replays
+//! exactly from its seed. After the run the harness merges every
+//! per-incarnation trace by hybrid logical clock and replays it through
+//! [`crate::trace::audit_trace`] — the LFI safety checks run against
+//! the *real* multi-process control plane. The report lands in
+//! `soak.json` next to the traces.
+
+use crate::shell::launch::{spawn_node, topology};
+use crate::trace::{audit_trace, merge_lines, TraceAudit};
+use mdr_net::NodeId;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use serde::{Serialize, Value};
+use std::path::PathBuf;
+use std::process::Child;
+use std::time::{Duration, Instant};
+
+/// Soak-run parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakConfig {
+    /// Topology name or spec path (see [`crate::shell::launch::topology`]).
+    pub topo: String,
+    /// Total run length (seconds), including the settle window.
+    pub duration_s: f64,
+    /// Kill/restart cycles to inject.
+    pub kills: u32,
+    /// Receive-side datagram loss probability per process.
+    pub loss: f64,
+    /// Master seed for the kill schedule and per-process loss streams.
+    pub seed: u64,
+    /// UDP port of node 0 (node `i` uses `base_port + i`).
+    pub base_port: u16,
+    /// Directory for traces and the report.
+    pub out_dir: PathBuf,
+}
+
+impl SoakConfig {
+    /// The CI smoke preset: 5 nodes, ~20 s, 2 kills, mild loss.
+    pub fn smoke(out_dir: PathBuf) -> Self {
+        SoakConfig {
+            topo: "ring5".into(),
+            duration_s: 20.0,
+            kills: 2,
+            loss: 0.02,
+            seed: 7,
+            base_port: 47000,
+            out_dir,
+        }
+    }
+
+    /// The full acceptance soak: the CAIRN-derived 8-node subgraph,
+    /// 10 kill/restart cycles, 5% receive loss.
+    pub fn full(out_dir: PathBuf) -> Self {
+        SoakConfig {
+            topo: "cairn8".into(),
+            duration_s: 45.0,
+            kills: 10,
+            loss: 0.05,
+            seed: 7,
+            base_port: 47100,
+            out_dir,
+        }
+    }
+}
+
+/// What a soak run measured; serialized to `soak.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakReport {
+    /// Routers.
+    pub n: usize,
+    /// Kill/restart cycles actually injected.
+    pub kills: u32,
+    /// Configured receive-loss probability.
+    pub loss: f64,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Wall-clock run length (s).
+    pub duration_s: f64,
+    /// Malformed trace lines skipped by the merge (tails cut by kills).
+    pub malformed_lines: u64,
+    /// The merged-trace audit.
+    pub audit: TraceAudit,
+    /// Every child exited cleanly (the final generation; killed
+    /// generations are expected casualties).
+    pub clean_shutdown: bool,
+}
+
+impl SoakReport {
+    /// The pass criterion: zero LFI violations, every final life
+    /// converged, clean shutdown.
+    pub fn passed(&self) -> bool {
+        self.audit.monitor.violations == 0
+            && self.audit.unconverged.is_empty()
+            && self.clean_shutdown
+    }
+}
+
+impl Serialize for SoakReport {
+    fn serialize_value(&self) -> Value {
+        let recoveries = self
+            .audit
+            .recoveries
+            .iter()
+            .map(|r| {
+                Value::Map(vec![
+                    ("node".into(), Value::U64(r.node.0 as u64)),
+                    ("inc".into(), Value::U64(r.incarnation as u64)),
+                    ("recovery_s".into(), Value::F64(r.recovery_s)),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("n".into(), Value::U64(self.n as u64)),
+            ("kills".into(), Value::U64(self.kills as u64)),
+            ("loss".into(), Value::F64(self.loss)),
+            ("seed".into(), Value::U64(self.seed)),
+            ("duration_s".into(), Value::F64(self.duration_s)),
+            ("records".into(), Value::U64(self.audit.records)),
+            ("malformed_lines".into(), Value::U64(self.malformed_lines)),
+            ("lfi_checks".into(), Value::U64(self.audit.monitor.checks)),
+            ("lfi_violations".into(), Value::U64(self.audit.monitor.violations)),
+            (
+                "first_violation".into(),
+                match &self.audit.monitor.first_violation {
+                    Some(s) => Value::Str(s.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("recoveries".into(), Value::Seq(recoveries)),
+            (
+                "max_recovery_s".into(),
+                match self.audit.max_recovery_s() {
+                    Some(x) => Value::F64(x),
+                    None => Value::Null,
+                },
+            ),
+            ("interrupted_lives".into(), Value::U64(self.audit.interrupted.len() as u64)),
+            ("unconverged_final".into(), Value::U64(self.audit.unconverged.len() as u64)),
+            ("clean_shutdown".into(), Value::Bool(self.clean_shutdown)),
+            ("passed".into(), Value::Bool(self.passed())),
+        ])
+    }
+}
+
+/// Run the soak: spawn one process per router, inject the kill/restart
+/// schedule, wait for clean exits, merge and audit the traces, and
+/// write `soak.json` into the output directory.
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, String> {
+    let topo = topology(&cfg.topo)?;
+    let n = topo.node_count();
+    if cfg.duration_s <= 2.0 {
+        return Err("soak duration must exceed the 2 s settle window".into());
+    }
+    std::fs::create_dir_all(&cfg.out_dir).map_err(|e| format!("create out dir: {e}"))?;
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    // Kill instants in the first ~70% of the run, sorted, leaving a
+    // settle window for the final generation to reconverge.
+    let mut kill_times: Vec<f64> =
+        (0..cfg.kills).map(|_| rng.gen_range(0.15..0.7) * cfg.duration_s).collect();
+    kill_times.sort_by(f64::total_cmp);
+    let victims: Vec<u32> = (0..cfg.kills).map(|_| rng.gen_range(0..n as u32)).collect();
+
+    let start = Instant::now();
+    let elapsed = |start: Instant| start.elapsed().as_secs_f64();
+    let mut incarnation: Vec<u32> = vec![1; n];
+    let mut children: Vec<Child> = Vec::with_capacity(n);
+    let mut trace_files: Vec<PathBuf> = Vec::new();
+    let spawn = |node: NodeId,
+                 inc: u32,
+                 remaining: f64,
+                 trace_files: &mut Vec<PathBuf>|
+     -> Result<Child, String> {
+        trace_files.push(cfg.out_dir.join(format!("node{}.inc{}.jsonl", node.0, inc)));
+        spawn_node(
+            &cfg.topo,
+            node,
+            inc,
+            cfg.base_port,
+            &cfg.out_dir,
+            remaining,
+            cfg.loss,
+            cfg.seed ^ ((node.0 as u64) << 32) ^ (inc as u64),
+        )
+        .map_err(|e| format!("spawn node {}: {e}", node.0))
+    };
+
+    for i in 0..n {
+        let child = spawn(NodeId(i as u32), 1, cfg.duration_s, &mut trace_files)?;
+        children.push(child);
+    }
+
+    let mut injected = 0u32;
+    for (t, victim) in kill_times.iter().zip(&victims) {
+        let wait = t - elapsed(start);
+        if wait > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(wait));
+        }
+        let v = *victim as usize;
+        // SIGKILL: no cleanup, no flush — the hard-crash case.
+        let _ = children[v].kill();
+        let _ = children[v].wait();
+        // A brief down time so the death is observable, then restart
+        // with the incremented incarnation.
+        std::thread::sleep(Duration::from_millis(200));
+        incarnation[v] += 1;
+        let remaining = (cfg.duration_s - elapsed(start)).max(3.0);
+        children[v] = spawn(NodeId(*victim), incarnation[v], remaining, &mut trace_files)?;
+        injected += 1;
+    }
+
+    // Children exit on their own deadlines; a generous grace period
+    // guards against a hung child wedging CI forever.
+    let mut clean = true;
+    let grace = cfg.duration_s + 30.0;
+    for (i, child) in children.iter_mut().enumerate() {
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    if !status.success() {
+                        eprintln!("soak: node {i} exited with {status}");
+                        clean = false;
+                    }
+                    break;
+                }
+                Ok(None) if elapsed(start) > grace => {
+                    eprintln!("soak: node {i} hung; killing");
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    clean = false;
+                    break;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(e) => {
+                    eprintln!("soak: wait node {i}: {e}");
+                    clean = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    let contents: Vec<String> =
+        trace_files.iter().map(|p| std::fs::read_to_string(p).unwrap_or_default()).collect();
+    let (records, malformed) = merge_lines(&contents);
+    let audit = audit_trace(n, &records);
+
+    let report = SoakReport {
+        n,
+        kills: injected,
+        loss: cfg.loss,
+        seed: cfg.seed,
+        duration_s: elapsed(start),
+        malformed_lines: malformed,
+        audit,
+        clean_shutdown: clean,
+    };
+    let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
+    let path = cfg.out_dir.join("soak.json");
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(report)
+}

@@ -1,0 +1,110 @@
+//! One node process's socket pump: UDP in, UDP out, mock-free time.
+
+use crate::core::{NodeConfig, NodeCore};
+use mdr_net::NodeId;
+use mdr_sim::telemetry::JsonlSink;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::net::UdpSocket;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Maps node addresses onto loopback UDP ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortMap {
+    /// Port of node 0; node `i` listens on `base + i`.
+    pub base: u16,
+}
+
+impl PortMap {
+    /// The socket address of `node`.
+    pub fn addr(&self, node: NodeId) -> String {
+        format!("127.0.0.1:{}", self.base as u32 + node.0)
+    }
+}
+
+/// Run one node process until `deadline_s` seconds of wall time elapse
+/// (or forever when `deadline_s` is `None`). Returns the number of
+/// telemetry lines written.
+///
+/// `loss` drops each *received* datagram with the given probability
+/// using a seeded RNG — deterministic loss decisions per process, which
+/// keeps soak failures reproducible from their seed.
+pub fn run_node(
+    cfg: NodeConfig,
+    ports: PortMap,
+    trace_path: &str,
+    deadline_s: Option<f64>,
+    loss: f64,
+    loss_seed: u64,
+) -> std::io::Result<u64> {
+    let socket = UdpSocket::bind(ports.addr(cfg.id))?;
+    let mut sink = JsonlSink::create(trace_path, false);
+    let mut rng = SmallRng::seed_from_u64(loss_seed);
+    // All processes share the Unix epoch, NOT a per-process
+    // `Instant::now()` origin: the hybrid logical clocks seed their
+    // physical component from `now`, and merging traces by HLC only
+    // linearizes causally if every process's clock measures the same
+    // timeline. (f64 keeps sub-µs precision at 2^31-second magnitudes —
+    // finer than the HLC's microsecond tick.)
+    let now_s =
+        || SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs_f64()).unwrap_or(0.0);
+    let start = now_s();
+    let deadline = deadline_s.map(|d| start + d);
+
+    let (mut node, out) = NodeCore::new(cfg, start);
+    let write_out = |out: crate::core::NodeOutput,
+                     sink: &mut JsonlSink,
+                     socket: &UdpSocket|
+     -> std::io::Result<()> {
+        for r in &out.records {
+            sink.write_record(r);
+        }
+        if !out.records.is_empty() {
+            // The soak harness kills with SIGKILL; flushing per batch
+            // bounds trace loss to the line in flight.
+            sink.flush();
+        }
+        for (to, bytes) in &out.datagrams {
+            // Transient send errors (e.g. the peer's socket does not
+            // exist yet, surfacing as ECONNREFUSED on loopback) are the
+            // reliability layer's problem, not ours: drop and let the
+            // retransmission timers recover.
+            let _ = socket.send_to(bytes, ports.addr(*to));
+        }
+        Ok(())
+    };
+    write_out(out, &mut sink, &socket)?;
+
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let now = now_s();
+        if let Some(d) = deadline {
+            if now >= d {
+                break;
+            }
+        }
+        // Sleep until the core's next deadline (capped so the loop
+        // stays responsive to the run deadline).
+        let wait = (node.next_deadline() - now).clamp(0.0, 0.05);
+        socket.set_read_timeout(Some(Duration::from_secs_f64(wait.max(1e-4))))?;
+        match socket.recv_from(&mut buf) {
+            Ok((len, _)) => {
+                if loss > 0.0 && rng.gen_bool(loss.clamp(0.0, 1.0)) {
+                    // Injected receive-side loss.
+                } else {
+                    let out = node.on_datagram(&buf[..len], now_s());
+                    write_out(out, &mut sink, &socket)?;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::ConnectionRefused => {}
+            Err(e) => return Err(e),
+        }
+        let out = node.on_tick(now_s());
+        write_out(out, &mut sink, &socket)?;
+    }
+    let out = node.stop(now_s());
+    write_out(out, &mut sink, &socket)?;
+    Ok(sink.close().lines)
+}

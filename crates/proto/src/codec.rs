@@ -54,10 +54,21 @@ pub enum DecodeError {
     BadOp(u8),
     /// Cost was negative, NaN, or infinite.
     BadCost,
+    /// A reserved field (the cost of a `Delete` entry) carried non-zero
+    /// bits.
+    ReservedCost,
     /// Bytes remained after the declared entries.
     TrailingBytes(usize),
     /// Frame checksum mismatch (corrupted on the wire).
     BadChecksum,
+    /// Unknown node-control message type ([`crate::wire`]).
+    BadMsgType(u8),
+    /// A node-control incarnation of zero (the wire reserves 0 for
+    /// "never seen"; live processes count from 1).
+    BadIncarnation,
+    /// A node-control channel session of zero (live channels count
+    /// their stream epochs from 1).
+    BadSession,
 }
 
 impl fmt::Display for DecodeError {
@@ -69,8 +80,16 @@ impl fmt::Display for DecodeError {
             DecodeError::BadFlags(b) => write!(f, "unknown flag bits {b:#x}"),
             DecodeError::BadOp(o) => write!(f, "unknown opcode {o}"),
             DecodeError::BadCost => write!(f, "non-finite or negative cost"),
+            DecodeError::ReservedCost => {
+                write!(f, "non-zero bits in a delete entry's reserved cost field")
+            }
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
             DecodeError::BadChecksum => write!(f, "frame checksum mismatch"),
+            DecodeError::BadMsgType(t) => write!(f, "unknown node message type {t}"),
+            DecodeError::BadIncarnation => {
+                write!(f, "incarnation 0 is reserved for \"never seen\"")
+            }
+            DecodeError::BadSession => write!(f, "session 0 is reserved"),
         }
     }
 }
@@ -113,7 +132,16 @@ pub fn encode(msg: &LsuMessage) -> Bytes {
         buf.put_u8(op_code(e.op));
         buf.put_u32(e.head.0);
         buf.put_u32(e.tail.0);
-        buf.put_f64(e.cost);
+        if e.op == LsuOp::Delete {
+            // The cost field of a delete entry is RESERVED: receivers
+            // never use it, so the encoder pins it to all-zero bits
+            // (and the decoder rejects anything else) — the wire format
+            // cannot silently grow hidden semantics in the slot.
+            assert!(e.cost.to_bits() == 0, "delete entries carry a reserved zero cost");
+            buf.put_u64(0);
+        } else {
+            buf.put_f64(e.cost);
+        }
     }
     buf.freeze()
 }
@@ -145,10 +173,21 @@ pub fn decode(mut buf: &[u8]) -> Result<LsuMessage, DecodeError> {
         let op = op_from(buf.get_u8())?;
         let head = NodeId(buf.get_u32());
         let tail = NodeId(buf.get_u32());
-        let cost = buf.get_f64();
-        if !cost.is_finite() || cost < 0.0 {
-            return Err(DecodeError::BadCost);
-        }
+        let cost = if op == LsuOp::Delete {
+            // Reserved field: must be exactly zero bits so a buffer
+            // that decodes re-encodes to the same bytes (canonicity)
+            // and stray values can never drift into load-bearing ones.
+            if buf.get_u64() != 0 {
+                return Err(DecodeError::ReservedCost);
+            }
+            0.0
+        } else {
+            let cost = buf.get_f64();
+            if !cost.is_finite() || cost < 0.0 {
+                return Err(DecodeError::BadCost);
+            }
+            cost
+        };
         entries.push(LsuEntry { op, head, tail, cost });
     }
     if buf.remaining() != 0 {
@@ -291,6 +330,30 @@ mod tests {
         let mut b = encode(&sample()).to_vec();
         b[2] |= 0x82;
         assert_eq!(decode(&b), Err(DecodeError::BadFlags(0x83)));
+    }
+
+    #[test]
+    fn delete_reserved_cost_rejected_when_nonzero() {
+        // A delete entry whose reserved cost field carries non-zero
+        // bits must be refused, not silently zeroed: the field stays
+        // dead on the wire.
+        let m = LsuMessage::update(NodeId(0), vec![LsuEntry::delete(NodeId(1), NodeId(2))]);
+        let mut b = encode(&m).to_vec();
+        // Entry layout after the 9-byte header: op(1) head(4) tail(4) cost(8).
+        let cost_off = 9 + 1 + 4 + 4;
+        assert!(b[cost_off..cost_off + 8].iter().all(|&x| x == 0));
+        b[cost_off + 7] = 1;
+        assert_eq!(decode(&b), Err(DecodeError::ReservedCost));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved zero cost")]
+    fn encoding_nonzero_delete_cost_is_a_bug() {
+        let m = LsuMessage::update(
+            NodeId(0),
+            vec![LsuEntry { op: LsuOp::Delete, head: NodeId(1), tail: NodeId(2), cost: 3.0 }],
+        );
+        let _ = encode(&m);
     }
 
     #[test]

@@ -23,8 +23,11 @@ pub struct LsuEntry {
     pub head: NodeId,
     /// Tail of the link.
     pub tail: NodeId,
-    /// Cost `d` of the link `h → t`. Ignored by receivers for
-    /// [`LsuOp::Delete`] but still carried (and encoded) for uniformity.
+    /// Cost `d` of the link `h → t`. For [`LsuOp::Delete`] the field is
+    /// **reserved**: receivers ignore it, [`LsuEntry::delete`] sets it
+    /// to `0.0`, and the wire codec asserts the zero on encode and
+    /// rejects non-zero bits on decode, so the slot can never silently
+    /// acquire meaning.
     pub cost: LinkCost,
 }
 

@@ -7,7 +7,9 @@
 
 use mdr_net::NodeId;
 use mdr_proto::{
-    decode, encode, encoded_len, frame, framed_len, unframe, LsuEntry, LsuMessage, LsuOp,
+    decode, decode_node, encode, encode_node, encoded_len, frame, frame_node, framed_len,
+    node_encoded_len, node_framed_len, unframe, unframe_node, HlcStamp, LsuEntry, LsuMessage,
+    LsuOp, NodeBody, NodeMsg,
 };
 use proptest::prelude::*;
 
@@ -20,7 +22,8 @@ fn arb_entry() -> impl Strategy<Value = LsuEntry> {
         op,
         head: NodeId(h),
         tail: NodeId(t),
-        cost: c,
+        // The delete cost field is reserved-zero on the wire.
+        cost: if op == LsuOp::Delete { 0.0 } else { c },
     })
 }
 
@@ -114,4 +117,122 @@ proptest! {
     fn unframe_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = unframe(&bytes);
     }
+
+    // ---- Node-control (Hello/Data/Ack) wire messages ----
+
+    #[test]
+    fn node_roundtrip_any_message(msg in arb_node_msg()) {
+        let bytes = encode_node(&msg);
+        prop_assert_eq!(bytes.len(), node_encoded_len(&msg));
+        let back = decode_node(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn node_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_node(&bytes); // must not panic
+        let _ = unframe_node(&bytes);
+    }
+
+    /// Arbitrary multi-byte mutations plus truncation on the bare node
+    /// codec: never a panic, and any accepted buffer must be canonical.
+    #[test]
+    fn node_mutations_error_or_roundtrip(
+        msg in arb_node_msg(),
+        muts in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+        cut in any::<prop::sample::Index>(),
+        truncate in any::<bool>(),
+    ) {
+        let mut b = encode_node(&msg).to_vec();
+        for (idx, val) in &muts {
+            let i = idx.index(b.len());
+            b[i] = *val;
+        }
+        if truncate {
+            b.truncate(cut.index(b.len() + 1));
+        }
+        if let Ok(m) = decode_node(&b) {
+            prop_assert_eq!(encode_node(&m).to_vec(), b, "decode_node accepted a non-canonical buffer");
+        }
+    }
+
+    /// The framed node codec roundtrips, sizes correctly, and rejects
+    /// every single-bit flip (the CRC contract the reliability layer
+    /// leans on: a corrupted datagram is dropped and retransmitted).
+    #[test]
+    fn node_frame_roundtrip_and_bit_flips(msg in arb_node_msg(), byte in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let f = frame_node(&msg);
+        prop_assert_eq!(f.len(), node_framed_len(&msg));
+        prop_assert_eq!(unframe_node(&f).unwrap(), msg);
+        let mut b = f.to_vec();
+        let i = byte.index(b.len());
+        b[i] ^= 1 << bit;
+        prop_assert!(unframe_node(&b).is_err(), "single-bit flip at byte {} bit {} went undetected", i, bit);
+    }
+
+    /// Framed mutations: error out or decode to a message whose framing
+    /// reproduces the mutated bytes exactly.
+    #[test]
+    fn node_framed_mutations_error_or_roundtrip(
+        msg in arb_node_msg(),
+        muts in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+        cut in any::<prop::sample::Index>(),
+        truncate in any::<bool>(),
+    ) {
+        let mut b = frame_node(&msg).to_vec();
+        for (idx, val) in &muts {
+            let i = idx.index(b.len());
+            b[i] = *val;
+        }
+        if truncate {
+            b.truncate(cut.index(b.len() + 1));
+        }
+        if let Ok(m) = unframe_node(&b) {
+            prop_assert_eq!(frame_node(&m).to_vec(), b, "unframe_node accepted a non-canonical frame");
+        }
+    }
+
+    /// Delete entries travel with an all-zero reserved cost field — in
+    /// particular through the node Data envelope.
+    #[test]
+    fn delete_cost_reserved_through_node_envelope(h in 0u32..100, t in 0u32..100, seq in 1u64..1000) {
+        let msg = NodeMsg {
+            from: NodeId(0),
+            incarnation: 1,
+            for_inc: 1,
+            session: 1,
+            hlc: HlcStamp::default(),
+            body: NodeBody::Data {
+                seq,
+                lsu: LsuMessage::update(NodeId(0), vec![LsuEntry::delete(NodeId(h), NodeId(t))]),
+            },
+        };
+        let b = encode_node(&msg);
+        prop_assert_eq!(decode_node(&b).unwrap(), msg);
+    }
+}
+
+fn arb_hlc() -> impl Strategy<Value = HlcStamp> {
+    (any::<u64>(), any::<u32>()).prop_map(|(l, c)| HlcStamp { l, c })
+}
+
+fn arb_body() -> impl Strategy<Value = NodeBody> {
+    prop_oneof![
+        Just(NodeBody::Hello),
+        (any::<u64>(), arb_msg()).prop_map(|(seq, lsu)| NodeBody::Data { seq, lsu }),
+        any::<u64>().prop_map(|cum_seq| NodeBody::Ack { cum_seq }),
+    ]
+}
+
+fn arb_node_msg() -> impl Strategy<Value = NodeMsg> {
+    (0u32..1000, 1u32..100, any::<u32>(), 1u32..1000, arb_hlc(), arb_body()).prop_map(
+        |(from, incarnation, for_inc, session, hlc, body)| NodeMsg {
+            from: NodeId(from),
+            incarnation,
+            for_inc,
+            session,
+            hlc,
+            body,
+        },
+    )
 }

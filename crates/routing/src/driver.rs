@@ -1,0 +1,221 @@
+//! A public driver for hosting one [`MpdaRouter`] inside an *external*
+//! event loop — the bridge between the pure MPDA transition relation
+//! and a real control plane (`mdr-node`: OS processes, UDP sockets,
+//! wall-clock timers).
+//!
+//! The in-memory harness, the packet simulator, and the `mdr-lint`
+//! model checker all drive `MpdaRouter::handle` directly; an external
+//! process needs the same thing plus two ergonomics the router itself
+//! deliberately does not provide:
+//!
+//! * named entry points per event class (`deliver`, `neighbor_up`,
+//!   `neighbor_down`, `link_cost`) so the transport layer cannot
+//!   mis-tag an event, and
+//! * a serializable [`RouterSnapshot`] of the safety-relevant state
+//!   (successor sets + feasible distances per destination) that the
+//!   per-node telemetry stream publishes after every route change —
+//!   the raw material the merged-trace LFI audit
+//!   ([`crate::lfi::check_loop_freedom_view`] /
+//!   [`crate::lfi::check_fd_ordering_view`]) replays without access to
+//!   the live routers.
+//!
+//! The driver adds no protocol logic of its own: every method is a thin
+//! delegation to the same step functions every other harness uses, so a
+//! deployment, a simulation, and the model checker can never drift
+//! apart behaviorally.
+
+use crate::mpda::{MpdaRouter, RouterEvent, RouterOutput};
+use mdr_net::{LinkCost, NodeId, INFINITE_COST};
+use mdr_proto::LsuMessage;
+
+/// Safety-relevant state of one router at one instant: everything the
+/// LFI checkers need, nothing more.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterSnapshot {
+    /// The router this snapshot describes.
+    pub node: NodeId,
+    /// Per-destination state for every destination except `node`
+    /// itself, ascending by destination address.
+    pub dests: Vec<DestState>,
+}
+
+/// One destination's successor set and feasible distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DestState {
+    /// Destination router.
+    pub dest: NodeId,
+    /// Feasible distance `FD^i_j` (infinite when unreachable).
+    pub fd: LinkCost,
+    /// Current distance `D^i_j`.
+    pub dist: LinkCost,
+    /// Successor set `S^i_j`, ascending by neighbor address.
+    pub successors: Vec<NodeId>,
+}
+
+impl RouterSnapshot {
+    /// The successor set toward `j` (empty when `j` is the router
+    /// itself or unknown).
+    pub fn successors(&self, j: NodeId) -> &[NodeId] {
+        self.dests.iter().find(|d| d.dest == j).map(|d| d.successors.as_slice()).unwrap_or(&[])
+    }
+
+    /// The feasible distance toward `j` (infinite when `j` is the
+    /// router itself or unknown — the checkers treat both correctly:
+    /// a router is never a successor toward itself).
+    pub fn fd(&self, j: NodeId) -> LinkCost {
+        self.dests.iter().find(|d| d.dest == j).map(|d| d.fd).unwrap_or(INFINITE_COST)
+    }
+}
+
+/// Hosts one [`MpdaRouter`] for an external event loop.
+#[derive(Debug, Clone)]
+pub struct RouterDriver {
+    router: MpdaRouter,
+}
+
+impl RouterDriver {
+    /// A driver for router `id` in a network of `n` routers.
+    pub fn new(id: NodeId, n: usize) -> Self {
+        RouterDriver { router: MpdaRouter::new(id, n) }
+    }
+
+    /// Deliver one LSU received (in order, without gaps — the transport
+    /// layer's obligation) from `from`.
+    pub fn deliver(&mut self, from: NodeId, msg: LsuMessage) -> RouterOutput {
+        self.router.handle(RouterEvent::Lsu { from, msg })
+    }
+
+    /// The adjacent link to `to` became usable with initial cost `cost`
+    /// (transport-level adjacency established).
+    pub fn neighbor_up(&mut self, to: NodeId, cost: LinkCost) -> RouterOutput {
+        self.router.handle(RouterEvent::LinkUp { to, cost })
+    }
+
+    /// The adjacent link to `to` failed (dead interval expired or retry
+    /// budget exhausted) — triggers the same `Delete`-LSU withdrawal
+    /// path as a simulated link cut.
+    pub fn neighbor_down(&mut self, to: NodeId) -> RouterOutput {
+        self.router.handle(RouterEvent::LinkDown { to })
+    }
+
+    /// The measured cost of the adjacent link to `to` changed.
+    pub fn link_cost(&mut self, to: NodeId, cost: LinkCost) -> RouterOutput {
+        self.router.handle(RouterEvent::LinkCost { to, cost })
+    }
+
+    /// The hosted router (read-only: all mutation goes through events).
+    pub fn router(&self) -> &MpdaRouter {
+        &self.router
+    }
+
+    /// True when the router is PASSIVE (not waiting on any ACK) — the
+    /// per-node half of the convergence predicate the deployment's
+    /// recovery-time measurement uses.
+    pub fn is_passive(&self) -> bool {
+        !self.router.is_active()
+    }
+
+    /// Capture the safety-relevant state for the telemetry stream.
+    pub fn snapshot(&self, n: usize) -> RouterSnapshot {
+        let id = self.router.id();
+        let mut dests = Vec::with_capacity(n.saturating_sub(1));
+        for j in 0..n as u32 {
+            let j = NodeId(j);
+            if j == id {
+                continue;
+            }
+            dests.push(DestState {
+                dest: j,
+                fd: self.router.feasible_distance(j),
+                dist: self.router.distance(j),
+                successors: self.router.successors(j).to_vec(),
+            });
+        }
+        RouterSnapshot { node: id, dests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfi;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Drive three drivers over an in-memory "wire" to convergence —
+    /// the external-event-loop shape mdr-node uses, minus sockets.
+    fn converge_line() -> Vec<RouterDriver> {
+        let mut d: Vec<RouterDriver> = (0..3).map(|i| RouterDriver::new(n(i), 3)).collect();
+        let mut wire: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
+        for (a, b, c) in [(0u32, 1u32, 1.0f64), (1, 2, 1.0)] {
+            for s in d[a as usize].neighbor_up(n(b), c).sends {
+                wire.push((n(a), s.to, s.msg));
+            }
+            for s in d[b as usize].neighbor_up(n(a), c).sends {
+                wire.push((n(b), s.to, s.msg));
+            }
+        }
+        let mut steps = 0;
+        while let Some((from, to, msg)) = wire.first().cloned() {
+            wire.remove(0);
+            for s in d[to.index()].deliver(from, msg).sends {
+                wire.push((to, s.to, s.msg));
+            }
+            steps += 1;
+            assert!(steps < 10_000, "no quiescence");
+        }
+        d
+    }
+
+    #[test]
+    fn driver_converges_like_the_harness() {
+        let d = converge_line();
+        assert_eq!(d[0].router().distance(n(2)), 2.0);
+        assert_eq!(d[2].router().distance(n(0)), 2.0);
+        assert!(d.iter().all(|x| x.is_passive()));
+    }
+
+    #[test]
+    fn snapshots_feed_the_view_checkers() {
+        let d = converge_line();
+        let snaps: Vec<RouterSnapshot> = d.iter().map(|x| x.snapshot(3)).collect();
+        assert!(lfi::check_loop_freedom_view(3, |i, j| snaps[i.index()].successors(j)).is_ok());
+        assert!(lfi::check_fd_ordering_view(
+            3,
+            |i, j| snaps[i.index()].successors(j),
+            |i, j| snaps[i.index()].fd(j),
+        )
+        .is_ok());
+        // The snapshot agrees with the live router everywhere.
+        for (driver, snap) in d.iter().zip(&snaps) {
+            for ds in &snap.dests {
+                assert_eq!(ds.successors, driver.router().successors(ds.dest));
+                assert_eq!(ds.fd, driver.router().feasible_distance(ds.dest));
+                assert_eq!(ds.dist, driver.router().distance(ds.dest));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_down_withdraws_routes() {
+        let mut d = converge_line();
+        let out = d[1].neighbor_down(n(2));
+        // Router 1 must now consider 2 unreachable and tell router 0
+        // via a Delete-bearing LSU.
+        assert_eq!(d[1].router().distance(n(2)), INFINITE_COST);
+        assert!(out.sends.iter().any(|s| s.to == n(0)));
+        assert!(d[1].snapshot(3).successors(n(2)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_defaults_for_unknown_destinations() {
+        let d = RouterDriver::new(n(0), 4);
+        let s = d.snapshot(4);
+        assert_eq!(s.dests.len(), 3);
+        assert!(s.successors(n(0)).is_empty(), "self is not in the snapshot");
+        assert_eq!(s.fd(n(0)), INFINITE_COST);
+        assert_eq!(s.fd(n(3)), INFINITE_COST);
+    }
+}

@@ -77,6 +77,28 @@ where
     None
 }
 
+/// Verify, for every destination, that the global successor graph
+/// described by a raw *view* — `succ(i, j)` yields `S^i_j` — is
+/// acyclic. Returns `Err((dest, cycle))` on violation.
+///
+/// This is the most general form of the audit: it needs no live
+/// [`MpdaRouter`]s at all, so it also runs over **reconstructed** state
+/// — e.g. the per-node snapshot events of a merged multi-process
+/// telemetry trace (`mdr-node`'s soak harness), where the routers lived
+/// in other OS processes.
+pub fn check_loop_freedom_view<'a, S>(n: usize, succ: S) -> Result<(), (NodeId, Vec<NodeId>)>
+where
+    S: Fn(NodeId, NodeId) -> &'a [NodeId],
+{
+    for j in 0..n as u32 {
+        let j = NodeId(j);
+        if let Some(cycle) = find_cycle(n, |i| succ(i, j)) {
+            return Err((j, cycle));
+        }
+    }
+    Ok(())
+}
+
 /// Verify, for every destination, that the global successor graph formed
 /// by the routers' current successor sets is acyclic. Returns
 /// `Err((dest, cycle))` on violation.
@@ -88,13 +110,7 @@ pub fn check_loop_freedom_with<'a, F>(n: usize, router: F) -> Result<(), (NodeId
 where
     F: Fn(NodeId) -> &'a MpdaRouter,
 {
-    for j in 0..n as u32 {
-        let j = NodeId(j);
-        if let Some(cycle) = find_cycle(n, |i| router(i).successors(j)) {
-            return Err((j, cycle));
-        }
-    }
-    Ok(())
+    check_loop_freedom_view(n, |i, j| router(i).successors(j))
 }
 
 /// [`check_loop_freedom_with`] over a plain router slice.
@@ -110,21 +126,59 @@ pub fn check_fd_ordering_with<'a, F>(n: usize, router: F) -> Result<(), (NodeId,
 where
     F: Fn(NodeId) -> &'a MpdaRouter,
 {
+    check_fd_ordering_view(n, |i, j| router(i).successors(j), |i, j| router(i).feasible_distance(j))
+}
+
+/// The FD-ordering check over a raw view: `succ(i, j)` yields `S^i_j`
+/// and `fd(i, j)` yields `FD^i_j`. Like [`check_loop_freedom_view`],
+/// this form audits reconstructed state (merged multi-process traces)
+/// as well as live routers.
+pub fn check_fd_ordering_view<'a, S, D>(
+    n: usize,
+    succ: S,
+    fd: D,
+) -> Result<(), (NodeId, NodeId, NodeId)>
+where
+    S: Fn(NodeId, NodeId) -> &'a [NodeId],
+    D: Fn(NodeId, NodeId) -> f64,
+{
+    check_fd_ordering_view_if(n, succ, fd, |_, _| true)
+}
+
+/// [`check_fd_ordering_view`] restricted to successor edges `i → k` for
+/// which `live(i, k)` holds. Reconstructed multi-process state needs
+/// this: an edge into a neighbor that has since restarted points at a
+/// *dead incarnation* — a blackhole transient the withdrawal path is
+/// already clearing, not a potential-function violation (the reborn
+/// node's FD = ∞ says nothing about the FD the edge was feasible
+/// against). Cycle detection has no such exemption: a cycle is a loop
+/// no matter which epoch its edges came from.
+pub fn check_fd_ordering_view_if<'a, S, D, L>(
+    n: usize,
+    succ: S,
+    fd: D,
+    live: L,
+) -> Result<(), (NodeId, NodeId, NodeId)>
+where
+    S: Fn(NodeId, NodeId) -> &'a [NodeId],
+    D: Fn(NodeId, NodeId) -> f64,
+    L: Fn(NodeId, NodeId) -> bool,
+{
     for j in 0..n as u32 {
         let j = NodeId(j);
         for i in 0..n as u32 {
-            let r = router(NodeId(i));
-            for &k in r.successors(j) {
-                if k == j {
+            let i = NodeId(i);
+            for &k in succ(i, j) {
+                if k == j || !live(i, k) {
                     continue;
                 }
-                let fdk = router(k).feasible_distance(j);
-                let fdi = r.feasible_distance(j);
+                let fdk = fd(k, j);
+                let fdi = fd(i, j);
                 // `total_cmp`, not `partial_cmp`: a NaN feasible
                 // distance must *fail* the ordering check loudly, not
                 // compare as incomparable-therefore-unequal by luck.
                 if fdk.total_cmp(&fdi) != std::cmp::Ordering::Less {
-                    return Err((r.id(), k, j));
+                    return Err((i, k, j));
                 }
             }
         }
@@ -177,5 +231,55 @@ mod tests {
     fn empty_graph_is_loop_free() {
         let succ: Vec<Vec<NodeId>> = vec![vec![], vec![]];
         assert!(find_cycle(2, |i| succ[i.index()].as_slice()).is_none());
+    }
+
+    #[test]
+    fn view_checkers_work_on_raw_snapshots() {
+        // A reconstructed 3-node view (no routers anywhere): 0 and 1
+        // both reach 2; clean FD ordering.
+        let succ = |i: NodeId, j: NodeId| -> &'static [NodeId] {
+            const TWO: [NodeId; 1] = [NodeId(2)];
+            if j == NodeId(2) && (i == NodeId(0) || i == NodeId(1)) {
+                &TWO
+            } else {
+                &[]
+            }
+        };
+        let fd = |i: NodeId, j: NodeId| if i == j { 0.0 } else { 1.0 };
+        assert!(check_loop_freedom_view(3, succ).is_ok());
+        assert!(check_fd_ordering_view(3, succ, fd).is_ok());
+
+        // A mutual-successor pair must be caught by both checks.
+        let looped = |i: NodeId, j: NodeId| -> &'static [NodeId] {
+            const ZERO: [NodeId; 1] = [NodeId(0)];
+            const ONE: [NodeId; 1] = [NodeId(1)];
+            if j != NodeId(2) {
+                return &[];
+            }
+            match i {
+                NodeId(0) => &ONE,
+                NodeId(1) => &ZERO,
+                _ => &[],
+            }
+        };
+        let (j, cycle) = check_loop_freedom_view(3, looped).unwrap_err();
+        assert_eq!(j, NodeId(2));
+        assert!(cycle.len() >= 3);
+        // Equal FDs across a successor edge violate the strict ordering.
+        assert!(check_fd_ordering_view(3, looped, fd).is_err());
+    }
+
+    #[test]
+    fn fd_ordering_view_rejects_nan() {
+        let succ = |i: NodeId, j: NodeId| -> &'static [NodeId] {
+            const ONE: [NodeId; 1] = [NodeId(1)];
+            if i == NodeId(0) && j == NodeId(2) {
+                &ONE
+            } else {
+                &[]
+            }
+        };
+        let fd = |_: NodeId, _: NodeId| f64::NAN;
+        assert!(check_fd_ordering_view(3, succ, fd).is_err());
     }
 }

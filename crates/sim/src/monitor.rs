@@ -38,15 +38,50 @@ impl InvariantMonitor {
     where
         F: Fn(mdr_net::NodeId) -> &'a MpdaRouter,
     {
+        self.audit_view(
+            n,
+            now,
+            |i, j| router(i).successors(j),
+            |i, j| router(i).feasible_distance(j),
+        );
+    }
+
+    /// Run both LFI checks over a raw *view* of the global routing
+    /// state: `succ(i, j)` yields `S^i_j` and `fd(i, j)` yields
+    /// `FD^i_j`. This form needs no live routers, so it audits
+    /// **reconstructed** state — the snapshot events of a merged
+    /// multi-process telemetry trace (`mdr-node`'s soak harness), where
+    /// every router lived in its own OS process — with exactly the same
+    /// checkers the simulator runs live.
+    pub fn audit_view<'a, S, D>(&mut self, n: usize, now: f64, succ: S, fd: D)
+    where
+        S: Fn(mdr_net::NodeId, mdr_net::NodeId) -> &'a [mdr_net::NodeId],
+        D: Fn(mdr_net::NodeId, mdr_net::NodeId) -> f64,
+    {
+        self.audit_view_if(n, now, succ, fd, |_, _| true);
+    }
+
+    /// [`InvariantMonitor::audit_view`] with an edge-liveness predicate
+    /// for the FD-ordering half (see
+    /// [`lfi::check_fd_ordering_view_if`]): a successor edge into a
+    /// neighbor that has since restarted compares a pre-crash FD with a
+    /// post-crash one — meaningless, and not a loop. Cycle detection
+    /// stays unconditional: a cycle is a violation in any epoch mix.
+    pub fn audit_view_if<'a, S, D, L>(&mut self, n: usize, now: f64, succ: S, fd: D, live: L)
+    where
+        S: Fn(mdr_net::NodeId, mdr_net::NodeId) -> &'a [mdr_net::NodeId],
+        D: Fn(mdr_net::NodeId, mdr_net::NodeId) -> f64,
+        L: Fn(mdr_net::NodeId, mdr_net::NodeId) -> bool,
+    {
         self.checks += 1;
-        if let Err((j, cycle)) = lfi::check_loop_freedom_with(n, &router) {
+        if let Err((j, cycle)) = lfi::check_loop_freedom_view(n, &succ) {
             self.violations += 1;
             self.first_violation.get_or_insert_with(|| {
                 format!("t={now:.6}: successor graph for destination {j} has a cycle: {cycle:?}")
             });
             return;
         }
-        if let Err((i, k, j)) = lfi::check_fd_ordering_with(n, &router) {
+        if let Err((i, k, j)) = lfi::check_fd_ordering_view_if(n, &succ, &fd, &live) {
             self.violations += 1;
             self.first_violation.get_or_insert_with(|| {
                 format!(
@@ -77,5 +112,35 @@ mod tests {
         assert_eq!(m.checks, 1);
         assert_eq!(m.violations, 0);
         assert!(m.first_violation.is_none());
+    }
+
+    #[test]
+    fn audit_view_catches_cycles_in_reconstructed_state() {
+        // No routers anywhere: a raw successor view with a 0 <-> 1 loop
+        // toward destination 2, as a merged-trace replay would build it.
+        let succ = |i: NodeId, j: NodeId| -> &'static [NodeId] {
+            const ZERO: [NodeId; 1] = [NodeId(0)];
+            const ONE: [NodeId; 1] = [NodeId(1)];
+            if j != NodeId(2) {
+                return &[];
+            }
+            match i {
+                NodeId(0) => &ONE,
+                NodeId(1) => &ZERO,
+                _ => &[],
+            }
+        };
+        let mut m = InvariantMonitor::new();
+        m.audit_view(3, 1.25, succ, |_, _| 1.0);
+        assert_eq!(m.checks, 1);
+        assert_eq!(m.violations, 1);
+        let msg = m.first_violation.as_deref().unwrap();
+        assert!(msg.contains("t=1.250000"), "{msg}");
+        assert!(msg.contains("cycle"), "{msg}");
+
+        // A clean view leaves the first violation untouched.
+        m.audit_view(3, 2.0, |_, _| &[], |_, _| 1.0);
+        assert_eq!(m.checks, 2);
+        assert_eq!(m.violations, 1);
     }
 }

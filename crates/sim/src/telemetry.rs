@@ -908,6 +908,47 @@ impl JsonlSink {
         let f = File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
         JsonlSink { path: path.to_string(), data_plane, out: BufWriter::new(f), lines: 0 }
     }
+
+    /// Write any serializable record as one JSON line. This is the
+    /// whole sink minus the [`SimEvent`] coupling — the `mdr-node`
+    /// deployment streams its per-process telemetry records through the
+    /// same writer, so live traces inherit the determinism guarantee
+    /// (insertion-ordered maps, shortest-roundtrip floats) the trace
+    /// tests pin down.
+    ///
+    /// # Panics
+    /// Panics on I/O failure: telemetry runs are experiments; failing
+    /// loudly beats silently tracing nothing.
+    pub fn write_record<T: Serialize>(&mut self, rec: &T) {
+        let line = serde_json::to_string(rec).expect("record serialization is infallible");
+        writeln!(self.out, "{line}").expect("jsonl sink write");
+        self.lines += 1;
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush buffered lines to disk without closing. The `mdr-node`
+    /// soak harness kills processes with SIGKILL; flushing after every
+    /// record bounds trace loss to the line in flight.
+    ///
+    /// # Panics
+    /// Panics when the flush fails.
+    pub fn flush(&mut self) {
+        self.out.flush().expect("jsonl sink flush");
+    }
+
+    /// Flush and close the sink outside the [`SimObserver`] life cycle
+    /// (the deployment has no simulation run to `finish`).
+    ///
+    /// # Panics
+    /// Panics when the flush fails.
+    pub fn close(mut self) -> SinkSummary {
+        self.out.flush().expect("jsonl sink flush");
+        SinkSummary { path: self.path, lines: self.lines }
+    }
 }
 
 impl SimObserver for JsonlSink {
@@ -915,9 +956,7 @@ impl SimObserver for JsonlSink {
         if !self.data_plane && ev.is_data_plane() {
             return;
         }
-        let line = serde_json::to_string(ev).expect("event serialization is infallible");
-        writeln!(self.out, "{line}").expect("jsonl sink write");
-        self.lines += 1;
+        self.write_record(ev);
     }
 
     fn finish(mut self: Box<Self>) -> TelemetryReport {
@@ -1183,6 +1222,34 @@ mod tests {
         );
         let _ = std::fs::remove_file(p1);
         let _ = std::fs::remove_file(p2);
+    }
+
+    #[test]
+    fn jsonl_sink_streams_foreign_records() {
+        // The generic line writer carries any Serialize type — the shape
+        // mdr-node's per-process telemetry uses.
+        struct Rec {
+            node: u32,
+            kind: &'static str,
+        }
+        impl Serialize for Rec {
+            fn serialize_value(&self) -> Value {
+                Value::Map(vec![
+                    ("node".into(), Value::U64(self.node as u64)),
+                    ("kind".into(), Value::Str(self.kind.into())),
+                ])
+            }
+        }
+        let p = std::env::temp_dir().join("mdr_telemetry_test_records.jsonl");
+        let mut sink = JsonlSink::create(p.to_str().unwrap(), false);
+        sink.write_record(&Rec { node: 3, kind: "hello" });
+        sink.write_record(&Rec { node: 4, kind: "snapshot" });
+        assert_eq!(sink.lines(), 2);
+        let summary = sink.close();
+        assert_eq!(summary.lines, 2);
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text, "{\"node\":3,\"kind\":\"hello\"}\n{\"node\":4,\"kind\":\"snapshot\"}\n");
+        let _ = std::fs::remove_file(p);
     }
 
     #[test]
