@@ -1,0 +1,8 @@
+//! Scale experiment — MPDA vs SP on generated 500/1k/10k-router
+//! topologies under the fluid engine (see figures::scale). Pass `smoke`
+//! for the short CI subset (BA-500, distributed control plane).
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "smoke");
+    mdr_bench::figures::scale_run(smoke);
+}

@@ -61,7 +61,13 @@ pub fn run_many_recorded(jobs: Vec<SimJob>) -> Vec<SimReport> {
 /// cover boot convergence and initial balancing, measurement window long
 /// enough for tight per-flow means at the evaluation rates.
 pub fn figure_run_config() -> RunConfig {
-    RunConfig { warmup: 30.0, duration: 60.0, seed: 7, mean_packet_bits: 1000.0 }
+    RunConfig {
+        warmup: 30.0,
+        duration: 60.0,
+        seed: 7,
+        mean_packet_bits: 1000.0,
+        ..Default::default()
+    }
 }
 
 /// The CAIRN evaluation setup: topology plus the 11 paper flows at

@@ -166,6 +166,7 @@ fn main() -> ExitCode {
         duration: args.duration,
         seed: args.seed,
         mean_packet_bits: 1000.0,
+        ..Default::default()
     };
     match args.command {
         Command::Topology => {

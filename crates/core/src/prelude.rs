@@ -14,8 +14,8 @@ pub use mdr_routing::{
 };
 pub use mdr_sim::{
     run_many, run_many_with, ControlChaos, EstimatorKind, FaultClass, FaultEvent, FaultPlan,
-    FaultProcess, FaultRecord, InvariantMonitor, MetricsHub, MetricsReport, NullObserver,
-    ObserverMode, PacketDist, RecordingObserver, RobustnessCounters, RobustnessReport, RunSet,
-    Scenario, ScenarioEvent, SimConfig, SimEvent, SimJob, SimObserver, SimReport, Simulator,
-    TelemetryReport,
+    FaultProcess, FaultRecord, FluidSimulator, InvariantMonitor, MetricsHub, MetricsReport,
+    NullObserver, ObserverMode, PacketDist, RecordingObserver, RobustnessCounters,
+    RobustnessReport, RunSet, Scenario, ScenarioEvent, SimConfig, SimEvent, SimJob, SimMode,
+    SimObserver, SimReport, Simulator, TelemetryReport,
 };

@@ -10,7 +10,7 @@
 
 use mdr_net::{Flow, Mm1, NetError, Topology, TrafficMatrix};
 use mdr_opt::{evaluate, EvalError, Evaluation, GallagerConfig};
-use mdr_sim::{EstimatorKind, Scenario, SimConfig, SimReport, Simulator};
+use mdr_sim::{EstimatorKind, Scenario, SimConfig, SimJob, SimMode, SimReport};
 use std::fmt;
 
 /// A routing scheme to evaluate.
@@ -79,11 +79,22 @@ pub struct RunConfig {
     pub seed: u64,
     /// Mean packet length in bits.
     pub mean_packet_bits: f64,
+    /// Data-plane granularity: per-packet DES (the default, the paper's
+    /// engine) or one of the fluid flow-level modes — every scheme runs
+    /// unchanged in either, which is what the packet-vs-fluid
+    /// cross-validation suite leans on.
+    pub sim_mode: SimMode,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { warmup: 15.0, duration: 60.0, seed: 1, mean_packet_bits: 1000.0 }
+        RunConfig {
+            warmup: 15.0,
+            duration: 60.0,
+            seed: 1,
+            mean_packet_bits: 1000.0,
+            sim_mode: SimMode::Packet,
+        }
     }
 }
 
@@ -190,11 +201,11 @@ pub fn run_with_scenario(
                 duration: cfg.duration,
                 seed: cfg.seed,
                 mean_packet_bits: cfg.mean_packet_bits,
+                sim_mode: cfg.sim_mode,
                 fixed_routing: Some(sol.vars.clone()),
                 ..Default::default()
             };
-            let mut sim = Simulator::new(topo, &traffic, &Scenario::new(), sim_cfg);
-            let report = sim.run();
+            let report = SimJob::new(topo, &traffic, sim_cfg).run();
             let per_flow = report.mean_delays_ms.clone();
             let mean = report.mean_delay_ms();
             Ok(RunResult {
@@ -215,10 +226,10 @@ pub fn run_with_scenario(
                 duration: cfg.duration,
                 seed: cfg.seed,
                 mean_packet_bits: cfg.mean_packet_bits,
+                sim_mode: cfg.sim_mode,
                 ..Default::default()
             };
-            let mut sim = Simulator::new(topo, &traffic, scenario, sim_cfg);
-            let report = sim.run();
+            let report = SimJob::new(topo, &traffic, sim_cfg).with_scenario(scenario).run();
             finish(scheme, report)
         }
         Scheme::Sp { t_long } => {
@@ -233,10 +244,10 @@ pub fn run_with_scenario(
                 duration: cfg.duration,
                 seed: cfg.seed,
                 mean_packet_bits: cfg.mean_packet_bits,
+                sim_mode: cfg.sim_mode,
                 ..Default::default()
             };
-            let mut sim = Simulator::new(topo, &traffic, scenario, sim_cfg);
-            let report = sim.run();
+            let report = SimJob::new(topo, &traffic, sim_cfg).with_scenario(scenario).run();
             finish(scheme, report)
         }
     }

@@ -24,6 +24,7 @@
 
 pub mod delay;
 pub mod error;
+pub mod gen;
 pub mod graph;
 pub mod ids;
 pub mod io;

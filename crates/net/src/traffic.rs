@@ -24,20 +24,23 @@ impl Flow {
     }
 }
 
-/// Dense `n × n` matrix of offered rates, plus the sparse flow list it was
-/// built from (kept for per-flow reporting, matching the paper's figures
-/// which plot *per-flow* average delays against flow ids).
+/// Sparse matrix of offered rates (per-source adjacency sorted by
+/// destination), plus the flow list it was built from (kept for per-flow
+/// reporting, matching the paper's figures which plot *per-flow* average
+/// delays against flow ids). Dense `n × n` storage was dropped when the
+/// generator layer pushed `n` past 10k routers: 10k² f64 rates is 800 MB
+/// per matrix, while real traffic matrices at that scale are sparse.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrafficMatrix {
     n: usize,
-    rates: Vec<f64>, // row-major [src][dst]
+    per_src: Vec<Vec<(NodeId, f64)>>, // [src] → (dst, rate) sorted by dst
     flows: Vec<Flow>,
 }
 
 impl TrafficMatrix {
     /// Empty matrix for an `n`-node network.
     pub fn empty(n: usize) -> Self {
-        TrafficMatrix { n, rates: vec![0.0; n * n], flows: Vec::new() }
+        TrafficMatrix { n, per_src: vec![Vec::new(); n], flows: Vec::new() }
     }
 
     /// Build from a flow list, validating against a topology.
@@ -71,7 +74,11 @@ impl TrafficMatrix {
                 what: "rate must be non-negative and finite",
             });
         }
-        self.rates[f.src.index() * self.n + f.dst.index()] += f.rate;
+        let row = &mut self.per_src[f.src.index()];
+        match row.binary_search_by_key(&f.dst, |&(d, _)| d) {
+            Ok(pos) => row[pos].1 += f.rate,
+            Err(pos) => row.insert(pos, (f.dst, f.rate)),
+        }
         self.flows.push(f);
         Ok(())
     }
@@ -79,7 +86,11 @@ impl TrafficMatrix {
     /// Offered rate `r_ij`.
     #[inline]
     pub fn rate(&self, src: NodeId, dst: NodeId) -> f64 {
-        self.rates[src.index() * self.n + dst.index()]
+        let row = &self.per_src[src.index()];
+        match row.binary_search_by_key(&dst, |&(d, _)| d) {
+            Ok(pos) => row[pos].1,
+            Err(_) => 0.0,
+        }
     }
 
     /// Number of routers the matrix is sized for.
@@ -95,21 +106,22 @@ impl TrafficMatrix {
 
     /// Total offered load in bits/s.
     pub fn total_rate(&self) -> f64 {
-        self.rates.iter().sum()
+        self.per_src.iter().flat_map(|row| row.iter().map(|&(_, r)| r)).sum()
     }
 
     /// Destinations that receive any traffic, ascending. Routing work is
     /// per *active* destination (§4.2: "the heuristics are run for each
     /// active destination").
     pub fn active_destinations(&self) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        for j in 0..self.n {
-            let any = (0..self.n).any(|i| self.rates[i * self.n + j] > 0.0);
-            if any {
-                out.push(NodeId(j as u32));
+        let mut active = vec![false; self.n];
+        for row in &self.per_src {
+            for &(dst, rate) in row {
+                if rate > 0.0 {
+                    active[dst.index()] = true;
+                }
             }
         }
-        out
+        (0..self.n).filter(|&j| active[j]).map(|j| NodeId(j as u32)).collect()
     }
 
     /// Scale every rate by `factor` (used by load sweeps / dynamic
@@ -117,7 +129,11 @@ impl TrafficMatrix {
     pub fn scaled(&self, factor: f64) -> TrafficMatrix {
         TrafficMatrix {
             n: self.n,
-            rates: self.rates.iter().map(|r| r * factor).collect(),
+            per_src: self
+                .per_src
+                .iter()
+                .map(|row| row.iter().map(|&(d, r)| (d, r * factor)).collect())
+                .collect(),
             flows: self.flows.iter().map(|f| Flow::new(f.src, f.dst, f.rate * factor)).collect(),
         }
     }

@@ -1,0 +1,140 @@
+//! Property tests for the `mdr_net::gen` topology/traffic generators:
+//! every generated topology is connected, fully bidirectional, and
+//! within its family's degree bounds; the same seed yields a
+//! byte-identical topology and traffic matrix; fat-tree node/link
+//! counts match the closed-form `k³/4` formulas.
+
+use mdr_net::gen::{
+    barabasi_albert, elephant_mice_flows, fat_tree, fat_tree_hosts, fat_tree_nodes,
+    fat_tree_physical_links, flash_crowd_schedule, gravity_flows, two_tier_isp,
+};
+use mdr_net::{NodeId, Topology};
+use proptest::prelude::*;
+
+/// Every directed link must have its reverse present (the builder's
+/// `bidi` guarantees this by construction; this pins it as an invariant
+/// of the generator layer, which the MPDA adjacency model assumes).
+fn assert_bidirectional(t: &Topology) {
+    for (id, _) in t.links().iter().enumerate() {
+        assert!(
+            t.reverse(mdr_net::LinkId(id as u32)).is_some(),
+            "link {id} has no reverse direction"
+        );
+    }
+}
+
+fn bytes(t: &Topology) -> String {
+    serde_json::to_string(t).expect("topology serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fat_tree_matches_closed_forms(k in (2usize..9).prop_map(|h| 2 * h)) {
+        let t = fat_tree(k);
+        prop_assert_eq!(t.node_count(), fat_tree_nodes(k));
+        prop_assert_eq!(t.node_count(), k * k * k / 4 + 5 * k * k / 4);
+        prop_assert_eq!(t.link_count(), 2 * fat_tree_physical_links(k));
+        prop_assert_eq!(t.link_count(), 2 * (3 * k * k * k / 4));
+        prop_assert!(t.is_connected());
+        assert_bidirectional(&t);
+        // Exact degree bounds: hosts degree 1, every switch degree k.
+        let hosts = fat_tree_hosts(k);
+        prop_assert_eq!(hosts.len(), k * k * k / 4);
+        for n in t.nodes() {
+            let want = if n.index() >= 5 * k * k / 4 { 1 } else { k };
+            prop_assert_eq!(t.degree(n), want, "node {}", n.index());
+        }
+    }
+
+    #[test]
+    fn ba_connected_within_degree_bounds(
+        n in 10usize..300,
+        m in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let t = barabasi_albert(n, m, seed);
+        prop_assert_eq!(t.node_count(), n);
+        prop_assert!(t.is_connected());
+        assert_bidirectional(&t);
+        for node in t.nodes() {
+            let d = t.degree(node);
+            prop_assert!(d >= m, "BA min degree is m: node {} has {}", node.index(), d);
+            prop_assert!(d < n, "degree bounded by n");
+        }
+        // Edge count is exact: C(m+1, 2) seed edges + m per later node.
+        let expect = m * (m + 1) / 2 + (n - m - 1) * m;
+        prop_assert_eq!(t.link_count(), 2 * expect);
+    }
+
+    #[test]
+    fn two_tier_connected_and_dual_homed(
+        backbone in 3usize..40,
+        access_per in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let t = two_tier_isp(backbone, access_per, seed);
+        prop_assert_eq!(t.node_count(), backbone * (1 + access_per));
+        prop_assert!(t.is_connected());
+        assert_bidirectional(&t);
+        for node in t.nodes() {
+            let d = t.degree(node);
+            if node.index() < backbone {
+                // Ring gives 2; chords + access homing only add.
+                prop_assert!(d >= 2, "backbone node {} degree {}", node.index(), d);
+            } else {
+                prop_assert_eq!(d, 2, "access routers are dual-homed");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_byte_identical_topology(n in 10usize..150, m in 1usize..4, seed in any::<u64>()) {
+        let a = barabasi_albert(n, m, seed);
+        let b = barabasi_albert(n, m, seed);
+        prop_assert_eq!(bytes(&a), bytes(&b));
+        let a2 = two_tier_isp(3 + n % 20, m, seed);
+        let b2 = two_tier_isp(3 + n % 20, m, seed);
+        prop_assert_eq!(bytes(&a2), bytes(&b2));
+    }
+
+    #[test]
+    fn same_seed_byte_identical_traffic(n in 10usize..100, seed in any::<u64>()) {
+        let t = barabasi_albert(n, 2, seed);
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let g1 = gravity_flows(&nodes, 4, 1e6, seed);
+        let g2 = gravity_flows(&nodes, 4, 1e6, seed);
+        prop_assert_eq!(
+            serde_json::to_string(&g1).unwrap(),
+            serde_json::to_string(&g2).unwrap()
+        );
+        let e1 = elephant_mice_flows(&nodes, 50, 1e6, 0.9, seed);
+        let e2 = elephant_mice_flows(&nodes, 50, 1e6, 0.9, seed);
+        prop_assert_eq!(
+            serde_json::to_string(&e1).unwrap(),
+            serde_json::to_string(&e2).unwrap()
+        );
+    }
+
+    #[test]
+    fn traffic_generators_produce_valid_flows(n in 5usize..80, seed in any::<u64>()) {
+        let t = barabasi_albert(n, 2, seed);
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let flows = gravity_flows(&nodes, 3, 2e6, seed);
+        let total: f64 = flows.iter().map(|f| f.rate).sum();
+        prop_assert!((total - 2e6).abs() / 2e6 < 1e-9, "gravity rescales exactly, got {total}");
+        for f in &flows {
+            prop_assert!(f.src != f.dst);
+            prop_assert!(f.rate.is_finite() && f.rate > 0.0);
+            prop_assert!(f.src.index() < n && f.dst.index() < n);
+        }
+        // The schedule never reschedules a flow for a different destination.
+        let hot = flows[0].dst;
+        for (at, idx, rate) in flash_crowd_schedule(&flows, hot, 5.0, 9.0, 3.0) {
+            prop_assert!((5.0..=9.0).contains(&at));
+            prop_assert_eq!(flows[idx].dst, hot);
+            prop_assert!(rate.is_finite() && rate >= 0.0);
+        }
+    }
+}

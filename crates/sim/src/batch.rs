@@ -6,7 +6,8 @@
 //! returns the reports **in job order, bit-identical to running the
 //! same jobs serially** — the determinism tests assert exactly that.
 
-use crate::engine::{SimConfig, SimReport, Simulator};
+use crate::engine::{SimConfig, SimMode, SimReport, Simulator};
+use crate::fluid::FluidSimulator;
 use crate::par;
 use crate::scenario::Scenario;
 use mdr_net::{Topology, TrafficMatrix};
@@ -36,9 +37,19 @@ impl SimJob {
         self
     }
 
-    /// Run this job alone (what each worker does).
+    /// Run this job alone (what each worker does). Dispatches on
+    /// [`SimConfig::sim_mode`]: per-packet DES or the fluid flow-level
+    /// engine ([`crate::fluid`]).
     pub fn run(&self) -> SimReport {
-        Simulator::new(&self.topo, &self.traffic, &self.scenario, self.cfg.clone()).run()
+        match self.cfg.sim_mode {
+            SimMode::Packet => {
+                Simulator::new(&self.topo, &self.traffic, &self.scenario, self.cfg.clone()).run()
+            }
+            SimMode::Fluid | SimMode::FluidQuiescent => {
+                FluidSimulator::new(&self.topo, &self.traffic, &self.scenario, self.cfg.clone())
+                    .run()
+            }
+        }
     }
 }
 

@@ -44,11 +44,39 @@ pub enum PacketDist {
     Bimodal,
 }
 
+/// Data-plane granularity of a run.
+///
+/// `Packet` is the paper's per-packet Poisson discrete-event engine.
+/// The fluid variants advance *flow rates* per routing epoch instead of
+/// individual packets, with link delays taken from the `Mm1` closed
+/// forms — the hybrid flow-level mode of ROADMAP item 2, cross-validated
+/// against packet mode in `tests/tests/fluid_crossval.rs`. See
+/// [`crate::fluid`] for the semantics of the two fluid control planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Per-packet discrete-event simulation (the default; bit-identical
+    /// to every run before this enum existed).
+    #[default]
+    Packet,
+    /// Fluid data plane under the *real* distributed MPDA control plane
+    /// (per-router LSU events over the wire, estimator staleness and
+    /// all). Scales to hundreds of routers.
+    Fluid,
+    /// Fluid data plane under a centralized quiescent control plane:
+    /// per-epoch converged MPDA tables computed by per-destination SPF.
+    /// O(epochs · E log V) — reaches 10k+ routers.
+    FluidQuiescent,
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Forwarding discipline: MP (multipath) or SP (single path).
     pub mode: Mode,
+    /// Data-plane granularity: per-packet DES or fluid flow-level (see
+    /// [`SimMode`]). Dispatched by [`crate::SimJob::run`]; constructing
+    /// a [`Simulator`] directly always runs packet mode.
+    pub sim_mode: SimMode,
     /// Long-term routing update period `T_l` (seconds). Phased randomly
     /// per router (§4.2: update periods "should be phased randomly at
     /// each router").
@@ -103,6 +131,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             mode: Mode::Multipath,
+            sim_mode: SimMode::Packet,
             t_long: 10.0,
             t_short: 2.0,
             mean_packet_bits: 1000.0,

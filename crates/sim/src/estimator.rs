@@ -30,6 +30,11 @@ pub enum EstimatorKind {
     Pa,
 }
 
+/// EWMA smoothing factor applied to per-window measurements (shared
+/// with the fluid engine, which mirrors the same smoothing so both
+/// engines' control planes see equally damped costs).
+pub(crate) const WINDOW_ALPHA: f64 = 0.3;
+
 /// Per-directed-link measurement state held by the transmitting router.
 #[derive(Debug, Clone)]
 pub struct LinkEstimator {
@@ -69,7 +74,7 @@ impl LinkEstimator {
         LinkEstimator {
             kind,
             model,
-            alpha: 0.3,
+            alpha: WINDOW_ALPHA,
             window_bits: 0.0,
             window_packets: 0,
             window_delay_sum: 0.0,

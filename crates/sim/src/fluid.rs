@@ -1,0 +1,1022 @@
+//! Fluid (flow-level) simulation engine — ROADMAP item 2's hybrid mode.
+//!
+//! Instead of sampling individual Poisson packets, the fluid engine
+//! treats each flow as a continuous rate and advances the network
+//! between *routing epochs*: whenever the control plane changes a
+//! routing parameter (or a scenario changes a rate), the piecewise-
+//! constant fluid solution is re-resolved and statistics are integrated
+//! analytically over the elapsed interval using the same `Mm1` closed
+//! forms the estimator layer is built on. Two control planes share the
+//! one fluid data plane:
+//!
+//! * [`SimMode::Fluid`] — the *real* distributed MPDA protocol: one
+//!   [`MpdaRouter`] per node, LSUs as events with serialization +
+//!   propagation delay, per-router phased `T_s`/`T_l` timers, and the
+//!   same [`Allocator`] heuristics as packet mode. Link costs are exact
+//!   `Mm1` marginals at the last-resolved link flows (the fluid
+//!   analogue of estimator staleness: costs lag the data plane by one
+//!   resolve). Scales to hundreds of routers.
+//! * [`SimMode::FluidQuiescent`] — a centralized control plane that
+//!   recomputes *converged* MPDA tables every `T_s` epoch by
+//!   per-destination reverse SPF (at quiescence MPDA's successor set
+//!   toward `j` is exactly the strict-downstream set `{k : D_k < D_i}`
+//!   on marginal-delay link costs). No per-router `O(E)` topology
+//!   tables, so 10k+ routers fit in memory.
+//!
+//! Per routing epoch the fluid solution is obtained per destination by
+//! a forward pass over the successor DAG (Kahn order; LFI guarantees
+//! acyclicity) propagating injected rates into per-link flows, and a
+//! backward pass computing per-source delivery probability and mean
+//! delay, with per-link survival `σ_l = min(1, C_l/f_l)` so an
+//! overloaded link saturates instead of producing negative delays (the
+//! `Mm1` affine continuation keeps `T_l` finite at ρ ≥ 1). Saturation
+//! losses land in [`FlowStats::dropped_congestion`] — packet mode
+//! queues instead of dropping, so the field is fluid-only.
+//!
+//! Measurement semantics: statistics accumulate only after warm-up
+//! (packet mode also counts pre-warm-up *drops*; the cross-validation
+//! suite therefore compares delays, not drop totals). The per-flow
+//! delay series is recorded over the whole run, like packet mode.
+
+use crate::events::{Ev, EventQueue, MsgSlab};
+use crate::scenario::{Scenario, ScenarioEvent};
+use crate::stats::{DelayHistogram, DelaySeries, FlowStats, LinkStats};
+use crate::telemetry::{SimEvent, SimObserver};
+use crate::{SimConfig, SimMode, SimReport};
+use mdr_flow::{Allocator, SuccessorCost, Update};
+use mdr_net::{LinkDelayModel, LinkId, Mm1, NodeId, Topology, TrafficMatrix};
+use mdr_proto::LsuMessage;
+use mdr_routing::{dijkstra, MpdaRouter, RouterEvent, TopoTable};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-destination successor DAG in CSR form: `starts[i]..starts[i+1]`
+/// indexes `(next_hop, link, share)` edges, plus a Kahn topological
+/// order over the nodes.
+type DagCsr = (Vec<u32>, Vec<(u32, u32, f64)>, Vec<u32>);
+
+/// Sentinel for "destination carries no traffic" in the dest-slot map.
+const NO_DEST: u32 = u32::MAX;
+/// Allocation mass below this is "no shift" (same threshold telemetry
+/// uses for `AllocShift`).
+const SHIFT_EPS: f64 = 1e-12;
+
+/// Per-flow fluid accumulators. All mass is carried in `f64`
+/// packet-equivalents and rounded once at finalization, so long spans
+/// of piecewise-constant integration lose nothing to repeated rounding.
+#[derive(Clone)]
+struct FlowAcc {
+    pkts: f64,
+    delay_pkts: f64,
+    delay_sq_pkts: f64,
+    max_delay: f64,
+    no_route: f64,
+    congestion: f64,
+    hist: DelayHistogram,
+    hist_delay: f64,
+    hist_pkts: f64,
+}
+
+impl FlowAcc {
+    fn new() -> Self {
+        FlowAcc {
+            pkts: 0.0,
+            delay_pkts: 0.0,
+            delay_sq_pkts: 0.0,
+            max_delay: 0.0,
+            no_route: 0.0,
+            congestion: 0.0,
+            hist: DelayHistogram::default(),
+            hist_delay: 0.0,
+            hist_pkts: 0.0,
+        }
+    }
+
+    /// Flush the pending same-delay histogram run.
+    fn flush_hist(&mut self) {
+        let n = self.hist_pkts.round() as u64;
+        if n > 0 {
+            self.hist.record_n(self.hist_delay, n);
+        }
+        self.hist_pkts = 0.0;
+    }
+}
+
+/// One flow's scriptable state.
+struct FlowSt {
+    src: NodeId,
+    rate: f64,
+    /// Slot of `dst` in the active-destination list.
+    dest_slot: u32,
+}
+
+/// Per-router control-plane state ([`SimMode::Fluid`] only — the
+/// quiescent mode keeps no per-router protocol state at all).
+struct NodeSt {
+    router: MpdaRouter,
+    alloc: Allocator,
+    /// Neighbor ids, ascending (the `Topology::out_links` order).
+    nbrs: Vec<NodeId>,
+    out_link: Vec<LinkId>,
+    /// Cost last reported into MPDA per neighbor slot.
+    reported: Vec<f64>,
+    /// EWMA-smoothed link flow per neighbor slot — the fluid analogue
+    /// of [`crate::estimator::LinkEstimator`]'s window smoothing (same
+    /// α), so the control plane sees the same damped, lagged costs in
+    /// both engines. Without it fluid SP flaps routes every tick where
+    /// packet SP's smoothing holds them steady.
+    smoothed: Vec<f64>,
+    /// Cost estimate from the last closed window per neighbor slot
+    /// (what `LinkEstimator::cost()` returns between windows).
+    cost: Vec<f64>,
+}
+
+impl NodeSt {
+    fn slot(&self, k: NodeId) -> Option<usize> {
+        self.nbrs.binary_search(&k).ok()
+    }
+}
+
+/// The fluid simulator. Construct with [`FluidSimulator::new`], then
+/// [`FluidSimulator::run`] — or let [`crate::SimJob::run`] dispatch on
+/// [`SimConfig::sim_mode`].
+pub struct FluidSimulator {
+    topo: Topology,
+    cfg: SimConfig,
+    models: Vec<Mm1>,
+    time: f64,
+    // Control plane (protocol mode).
+    queue: EventQueue,
+    msgs: MsgSlab,
+    nodes: Vec<NodeSt>,
+    // Control plane (quiescent mode): one allocator per node indexed by
+    // *destination slot* (the allocator keys purely on the id's index,
+    // so remapping destinations into dense slots is transparent to it).
+    qalloc: Vec<Allocator>,
+    // Fluid data plane.
+    active_dests: Vec<NodeId>,
+    flows: Vec<FlowSt>,
+    flows_by_dest: Vec<Vec<u32>>,
+    link_up: Vec<bool>,
+    /// Per destination slot, per directed link: resolved flow (bits/s).
+    fj: Vec<Vec<f64>>,
+    /// Total resolved flow per directed link (bits/s).
+    ftot: Vec<f64>,
+    /// Per flow: delivery probability (with saturation), route-only
+    /// delivery probability, and conditional mean delay.
+    sol_p: Vec<f64>,
+    sol_proute: Vec<f64>,
+    sol_d: Vec<f64>,
+    dirty: Vec<bool>,
+    any_dirty: bool,
+    /// Time up to which statistics have been integrated.
+    cursor: f64,
+    // Measurement.
+    warmup_end: f64,
+    end_time: f64,
+    acc: Vec<FlowAcc>,
+    link_stats: Vec<LinkStats>,
+    link_pkts: Vec<f64>,
+    series: DelaySeries,
+    ctl_msgs: u64,
+    ctl_bytes: u64,
+    events_processed: u64,
+    scenario: Vec<(f64, ScenarioEvent)>,
+    obs: Option<Box<dyn SimObserver>>,
+    quiescent_seen: bool,
+}
+
+impl FluidSimulator {
+    /// Build a fluid simulator over `topo` carrying `traffic` with
+    /// scripted `scenario` perturbations. `cfg.sim_mode` selects the
+    /// control plane ([`SimMode::Packet`] is treated as
+    /// [`SimMode::Fluid`] — dispatching belongs to [`crate::SimJob`]).
+    ///
+    /// # Panics
+    /// Fluid mode has no packet-level fault machinery: `cfg.fault_plan`
+    /// and `cfg.audit_invariants` must be unset (scenario-scripted link
+    /// failures *are* supported).
+    pub fn new(
+        topo: &Topology,
+        traffic: &TrafficMatrix,
+        scenario: &Scenario,
+        cfg: SimConfig,
+    ) -> Self {
+        assert!(cfg.t_short > 0.0 && cfg.t_long > 0.0, "update periods must be positive");
+        assert!(cfg.mean_packet_bits > 0.0);
+        assert!(
+            cfg.fault_plan.is_none() && !cfg.audit_invariants,
+            "fluid mode does not support chaos plans or invariant audits; \
+             use packet mode (SimMode::Packet) for fault-injection studies"
+        );
+        let n = topo.node_count();
+        let quiescent_cp = cfg.sim_mode == SimMode::FluidQuiescent;
+        let models: Vec<Mm1> = topo
+            .links()
+            .iter()
+            .map(|l| Mm1::new(l.capacity, l.prop_delay, cfg.mean_packet_bits))
+            .collect();
+
+        // Active destinations: every distinct flow destination, whether
+        // or not its rate is currently nonzero (a scenario may turn a
+        // zero-rate flow on later).
+        let mut dest_slot = vec![NO_DEST; n];
+        let mut active_dests: Vec<NodeId> = Vec::new();
+        for f in traffic.flows() {
+            if dest_slot[f.dst.index()] == NO_DEST {
+                dest_slot[f.dst.index()] = 0; // provisional mark
+                active_dests.push(f.dst);
+            }
+        }
+        active_dests.sort_unstable();
+        for (slot, &j) in active_dests.iter().enumerate() {
+            dest_slot[j.index()] = slot as u32;
+        }
+        let nd = active_dests.len();
+
+        let flows: Vec<FlowSt> = traffic
+            .flows()
+            .iter()
+            .map(|f| FlowSt { src: f.src, rate: f.rate, dest_slot: dest_slot[f.dst.index()] })
+            .collect();
+        let mut flows_by_dest: Vec<Vec<u32>> = vec![Vec::new(); nd];
+        for (fi, f) in flows.iter().enumerate() {
+            flows_by_dest[f.dest_slot as usize].push(fi as u32);
+        }
+
+        // Control plane state. The protocol mode mirrors the packet
+        // engine's boot: routers, allocators, LinkUp at idle marginal
+        // cost per link in LinkId order, then phased timers.
+        let fixed = cfg.fixed_routing.is_some();
+        let mut nodes: Vec<NodeSt> = Vec::new();
+        let mut qalloc: Vec<Allocator> = Vec::new();
+        let mut boot_sends: Vec<(NodeId, NodeId, LsuMessage)> = Vec::new();
+        if !fixed {
+            if quiescent_cp {
+                qalloc = (0..n)
+                    .map(|_| Allocator::new(nd, cfg.mode).with_ah_gain(cfg.ah_gain))
+                    .collect();
+            } else {
+                nodes = (0..n)
+                    .map(|i| {
+                        let node = NodeId(i as u32);
+                        let mut nbrs = Vec::new();
+                        let mut out_link = Vec::new();
+                        let mut reported = Vec::new();
+                        for (lid, l) in topo.out_links(node) {
+                            nbrs.push(l.to);
+                            out_link.push(lid);
+                            reported.push(models[lid.index()].marginal_delay(0.0));
+                        }
+                        let degree = nbrs.len();
+                        NodeSt {
+                            router: MpdaRouter::new(node, n),
+                            alloc: Allocator::new(n, cfg.mode).with_ah_gain(cfg.ah_gain),
+                            nbrs,
+                            out_link,
+                            cost: reported.clone(),
+                            reported,
+                            smoothed: vec![0.0; degree],
+                        }
+                    })
+                    .collect();
+                for (lid, l) in topo.links().iter().enumerate() {
+                    let idle = models[lid].marginal_delay(0.0);
+                    let out = nodes[l.from.index()]
+                        .router
+                        .handle(RouterEvent::LinkUp { to: l.to, cost: idle });
+                    for s in out.sends {
+                        boot_sends.push((l.from, s.to, s.msg));
+                    }
+                }
+            }
+        }
+
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let queue = EventQueue::with_capacity(2 * n + scenario.events().len() + 16);
+        let obs = cfg.observer.build();
+        let nflows = flows.len();
+        let mut sim = FluidSimulator {
+            topo: topo.clone(),
+            models,
+            time: 0.0,
+            queue,
+            msgs: MsgSlab::new(),
+            nodes,
+            qalloc,
+            active_dests,
+            flows,
+            flows_by_dest,
+            link_up: vec![true; topo.link_count()],
+            fj: vec![vec![0.0; topo.link_count()]; nd],
+            ftot: vec![0.0; topo.link_count()],
+            sol_p: vec![0.0; nflows],
+            sol_proute: vec![0.0; nflows],
+            sol_d: vec![0.0; nflows],
+            dirty: vec![true; nd],
+            any_dirty: true,
+            cursor: 0.0,
+            warmup_end: cfg.warmup,
+            end_time: cfg.warmup + cfg.duration,
+            acc: vec![FlowAcc::new(); nflows],
+            link_stats: vec![LinkStats::default(); topo.link_count()],
+            link_pkts: vec![0.0; topo.link_count()],
+            series: DelaySeries::new(nflows, cfg.series_bucket),
+            ctl_msgs: 0,
+            ctl_bytes: 0,
+            events_processed: 0,
+            scenario: scenario.events(),
+            obs,
+            quiescent_seen: false,
+            cfg,
+        };
+        if !fixed && !quiescent_cp {
+            for (from, to, msg) in boot_sends {
+                sim.send_control(from, to, msg);
+            }
+            for i in 0..n {
+                let ps = rng.gen::<f64>() * sim.cfg.t_short;
+                let pl = rng.gen::<f64>() * sim.cfg.t_long;
+                sim.queue.push(ps, Ev::ShortTermTick { node: NodeId(i as u32) });
+                sim.queue.push(pl, Ev::LongTermTick { node: NodeId(i as u32) });
+            }
+        }
+        if !quiescent_cp {
+            for (idx, (t, _)) in sim.scenario.iter().enumerate() {
+                sim.queue.push(*t, Ev::Scenario { index: idx });
+            }
+        }
+        let _ = rng;
+        sim
+    }
+
+    /// Routing fractions of node `i` toward destination slot `js`.
+    fn phi(&self, i: usize, js: usize) -> &[(NodeId, f64)] {
+        if let Some(vars) = &self.cfg.fixed_routing {
+            return vars.get(NodeId(i as u32), self.active_dests[js]);
+        }
+        if self.cfg.sim_mode == SimMode::FluidQuiescent {
+            self.qalloc[i].params(NodeId(js as u32)).pairs()
+        } else {
+            self.nodes[i].alloc.params(self.active_dests[js]).pairs()
+        }
+    }
+
+    /// Successor DAG toward destination slot `js` in CSR form, plus a
+    /// Kahn topological order (`i` before its successors' positions).
+    /// Each edge carries `(next_hop, link, share)` where `share` is the
+    /// normalized routing fraction; mass routed toward a dead link (or
+    /// an empty successor set) is simply never propagated — the fluid
+    /// analogue of packet mode's no-route drop at a dead next hop.
+    fn build_dag(&self, js: usize) -> DagCsr {
+        let n = self.topo.node_count();
+        let j = self.active_dests[js];
+        let mut starts = vec![0u32; n + 1];
+        let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+        let mut indeg = vec![0u32; n];
+        for (i, start) in starts.iter_mut().enumerate().take(n) {
+            *start = edges.len() as u32;
+            if i == j.index() {
+                continue;
+            }
+            let pairs = self.phi(i, js);
+            let total: f64 = pairs.iter().map(|&(_, w)| w.max(0.0)).sum();
+            if total <= 0.0 {
+                continue;
+            }
+            for &(k, w) in pairs {
+                if w <= 0.0 {
+                    continue;
+                }
+                let Some(lid) = self.topo.link_between(NodeId(i as u32), k) else { continue };
+                if !self.link_up[lid.index()] {
+                    continue;
+                }
+                edges.push((k.0, lid.index() as u32, w / total));
+                indeg[k.index()] += 1;
+            }
+        }
+        starts[n] = edges.len() as u32;
+        // Kahn order: sources first; nodes caught in a (never expected
+        // under LFI) cycle stay out and their traffic is dropped.
+        let mut order: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut head = 0;
+        while head < order.len() {
+            let i = order[head] as usize;
+            head += 1;
+            for &(k, _, _) in &edges[starts[i] as usize..starts[i + 1] as usize] {
+                indeg[k as usize] -= 1;
+                if indeg[k as usize] == 0 {
+                    order.push(k);
+                }
+            }
+        }
+        (starts, edges, order)
+    }
+
+    /// Re-resolve the fluid solution: forward passes for every dirty
+    /// destination (updating link flows), then backward passes for
+    /// *all* active destinations — a changed link flow changes `T_l`
+    /// for everyone sharing the link.
+    fn resolve(&mut self) {
+        if !self.any_dirty {
+            return;
+        }
+        let n = self.topo.node_count();
+        for js in 0..self.active_dests.len() {
+            if !self.dirty[js] {
+                continue;
+            }
+            let (starts, edges, order) = self.build_dag(js);
+            for (l, fjl) in self.fj[js].iter_mut().enumerate() {
+                self.ftot[l] = (self.ftot[l] - *fjl).max(0.0);
+                *fjl = 0.0;
+            }
+            let mut a = vec![0.0f64; n];
+            for &fi in &self.flows_by_dest[js] {
+                let f = &self.flows[fi as usize];
+                if f.rate > 0.0 {
+                    a[f.src.index()] += f.rate;
+                }
+            }
+            for &iu in &order {
+                let i = iu as usize;
+                if a[i] <= 0.0 {
+                    continue;
+                }
+                for &(k, l, share) in &edges[starts[i] as usize..starts[i + 1] as usize] {
+                    let push = a[i] * share;
+                    self.fj[js][l as usize] += push;
+                    self.ftot[l as usize] += push;
+                    a[k as usize] += push;
+                }
+            }
+        }
+        for js in 0..self.active_dests.len() {
+            self.backward(js);
+            self.dirty[js] = false;
+        }
+        self.any_dirty = false;
+    }
+
+    /// Backward pass for destination slot `js`: per-node delivery
+    /// probability and delay moments over the successor DAG, evaluated
+    /// at the flows' sources.
+    fn backward(&mut self, js: usize) {
+        let n = self.topo.node_count();
+        let j = self.active_dests[js];
+        let (starts, edges, order) = self.build_dag(js);
+        let mut p = vec![0.0f64; n];
+        let mut proute = vec![0.0f64; n];
+        let mut m = vec![0.0f64; n];
+        p[j.index()] = 1.0;
+        proute[j.index()] = 1.0;
+        for &iu in order.iter().rev() {
+            let i = iu as usize;
+            if i == j.index() {
+                continue;
+            }
+            for &(k, l, share) in &edges[starts[i] as usize..starts[i + 1] as usize] {
+                let f = self.ftot[l as usize];
+                let c = self.models[l as usize].capacity;
+                let sigma = if f > c { c / f } else { 1.0 };
+                let t_l = self.models[l as usize].packet_delay(f);
+                let k = k as usize;
+                p[i] += share * sigma * p[k];
+                proute[i] += share * proute[k];
+                m[i] += share * sigma * (t_l * p[k] + m[k]);
+            }
+        }
+        for &fi in &self.flows_by_dest[js] {
+            let fi = fi as usize;
+            let s = self.flows[fi].src.index();
+            self.sol_p[fi] = p[s];
+            self.sol_proute[fi] = proute[s];
+            self.sol_d[fi] = if p[s] > 1e-300 { m[s] / p[s] } else { 0.0 };
+        }
+    }
+
+    /// Integrate statistics with the current (piecewise-constant)
+    /// solution from the cursor up to `t`, re-resolving first if the
+    /// routing state changed at the cursor. Must be called *before*
+    /// any mutation of rates, routing parameters, or link states.
+    fn settle(&mut self, t: f64) {
+        let t = t.min(self.end_time);
+        if t <= self.cursor {
+            return;
+        }
+        self.resolve();
+        let (a, b) = (self.cursor, t);
+        self.cursor = t;
+        let lpkt = self.cfg.mean_packet_bits;
+        for fi in 0..self.flows.len() {
+            let rate = self.flows[fi].rate;
+            if rate <= 0.0 {
+                continue;
+            }
+            let lambda = rate / lpkt;
+            let (p, proute, d) = (self.sol_p[fi], self.sol_proute[fi], self.sol_d[fi]);
+            if p > 0.0 {
+                self.series.record_mass(fi, a, b, lambda * p, d);
+            }
+            let lo = a.max(self.warmup_end);
+            if b <= lo {
+                continue;
+            }
+            let dt = b - lo;
+            let acc = &mut self.acc[fi];
+            let dm = lambda * p * dt;
+            if dm > 0.0 {
+                acc.pkts += dm;
+                acc.delay_pkts += dm * d;
+                acc.delay_sq_pkts += dm * d * d;
+                if d > acc.max_delay {
+                    acc.max_delay = d;
+                }
+                if acc.hist_pkts > 0.0 && (d - acc.hist_delay).abs() > 1e-15 {
+                    acc.flush_hist();
+                }
+                acc.hist_delay = d;
+                acc.hist_pkts += dm;
+            }
+            acc.no_route += lambda * (1.0 - proute).max(0.0) * dt;
+            acc.congestion += lambda * (proute - p).max(0.0) * dt;
+        }
+        let lo = a.max(self.warmup_end);
+        if b > lo {
+            let dt = b - lo;
+            for l in 0..self.ftot.len() {
+                let f = self.ftot[l];
+                if f <= 0.0 || !self.link_up[l] {
+                    continue;
+                }
+                let model = &self.models[l];
+                let c = model.capacity;
+                let carried = f.min(c);
+                let st = &mut self.link_stats[l];
+                st.bits += carried * dt;
+                let pk = carried / lpkt * dt;
+                self.link_pkts[l] += pk;
+                // Queueing + serialization, matching packet mode's
+                // per-link delay accounting (no propagation term).
+                st.delay_sum += pk * (model.packet_delay(f) - model.prop_delay);
+                let q = if f < 0.99 * c { f / (c - f) } else { 99.0 * (f / c) };
+                let q = q.min(1e12) as usize;
+                if q > st.max_queue {
+                    st.max_queue = q;
+                }
+            }
+        }
+    }
+
+    /// Mark destination slot `js` dirty.
+    fn mark_dirty(&mut self, js: usize) {
+        self.dirty[js] = true;
+        self.any_dirty = true;
+    }
+
+    /// Mark every destination dirty (topology or wide routing change).
+    fn mark_all_dirty(&mut self) {
+        for d in &mut self.dirty {
+            *d = true;
+        }
+        self.any_dirty = !self.dirty.is_empty();
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol control plane (SimMode::Fluid)
+    // ------------------------------------------------------------------
+
+    /// Close node `i`'s per-link measurement windows (a short tick):
+    /// EWMA the last-resolved link flow — the fluid analogue of the
+    /// packet estimator's measured window flow — and refresh the
+    /// per-slot cost estimate from the `Mm1` closed form. Keeping the
+    /// same smoothing constant as [`crate::estimator::LinkEstimator`]
+    /// makes both engines' control planes equally damped; without it
+    /// fluid routing reacts instantly and flaps where packet routing
+    /// holds steady.
+    fn close_windows(&mut self, i: usize) {
+        for s in 0..self.nodes[i].nbrs.len() {
+            let lid = self.nodes[i].out_link[s];
+            let f = self.ftot[lid.index()];
+            let model = &self.models[lid.index()];
+            let node = &mut self.nodes[i];
+            node.smoothed[s] = crate::estimator::WINDOW_ALPHA * f
+                + (1.0 - crate::estimator::WINDOW_ALPHA) * node.smoothed[s];
+            node.cost[s] = model.marginal_delay(node.smoothed[s]);
+        }
+    }
+
+    /// Schedule LSU delivery over the wire: serialization + propagation,
+    /// exactly like the packet engine's chaos-free path.
+    fn send_control(&mut self, from: NodeId, to: NodeId, msg: LsuMessage) {
+        let Some(s) = self.nodes[from.index()].slot(to) else { return };
+        let lid = self.nodes[from.index()].out_link[s];
+        if !self.link_up[lid.index()] {
+            return; // lost on a dead wire
+        }
+        let l = self.topo.link(lid);
+        let bits = (mdr_proto::encoded_len(&msg) * 8) as f64;
+        let at = self.time + l.prop_delay + bits / l.capacity;
+        self.ctl_msgs += 1;
+        self.ctl_bytes += (bits / 8.0) as u64;
+        let msg = self.msgs.insert(msg);
+        self.queue.push(at, Ev::Control { node: to, from, msg });
+        let now = self.time;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_event(&SimEvent::LsuSent {
+                time: now,
+                from,
+                to,
+                bytes: (bits / 8.0) as u64,
+                attempts: 1,
+            });
+        }
+    }
+
+    /// Marginal distances through the current successor set of router
+    /// `i` toward `j`, using the last-window cost estimates — exactly
+    /// what the packet engine feeds its allocator.
+    fn successor_costs(&self, i: NodeId, j: NodeId) -> Vec<SuccessorCost> {
+        let node = &self.nodes[i.index()];
+        node.router
+            .successors(j)
+            .iter()
+            .filter_map(|&k| {
+                let lk = node.slot(k).map(|s| node.cost[s]).or(node.router.link_cost(k))?;
+                Some(SuccessorCost::new(k, node.router.neighbor_distance(k, j) + lk))
+            })
+            .collect()
+    }
+
+    /// Apply a router output: transmit LSUs; refresh allocations and
+    /// mark the fluid solution dirty when routes changed.
+    fn apply_router_output(&mut self, i: NodeId, out: mdr_routing::RouterOutput) {
+        for s in out.sends {
+            self.send_control(i, s.to, s.msg);
+        }
+        if out.routes_changed {
+            if !out.changed.is_empty() && self.obs.is_some() {
+                let now = self.time;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    for c in out.changed {
+                        o.on_event(&SimEvent::RouteChange {
+                            time: now,
+                            node: i,
+                            dest: c.dest,
+                            old: c.old,
+                            new: c.new,
+                        });
+                    }
+                }
+            }
+            for js in 0..self.active_dests.len() {
+                let j = self.active_dests[js];
+                if j == i {
+                    continue;
+                }
+                let sc = self.successor_costs(i, j);
+                let outcome = self.nodes[i.index()].alloc.refresh(j, &sc);
+                if outcome.shift > SHIFT_EPS {
+                    self.mark_dirty(js);
+                }
+                self.observe_alloc(i, j, outcome);
+            }
+            self.mark_all_dirty();
+        }
+    }
+
+    #[inline]
+    fn observe_alloc(&mut self, i: NodeId, j: NodeId, outcome: mdr_flow::AllocOutcome) {
+        if self.obs.is_none() {
+            return;
+        }
+        if let (Some(h), true) = (outcome.heuristic, outcome.shift > SHIFT_EPS) {
+            let now = self.time;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.on_event(&SimEvent::AllocShift {
+                    time: now,
+                    node: i,
+                    dest: j,
+                    heuristic: h,
+                    shift: outcome.shift,
+                });
+            }
+        }
+    }
+
+    fn on_short_tick(&mut self, i: NodeId) {
+        let now = self.time;
+        self.settle(now);
+        self.close_windows(i.index());
+        if self.obs.is_some() {
+            for s in 0..self.nodes[i.index()].nbrs.len() {
+                let cost = self.nodes[i.index()].cost[s];
+                let lid = self.nodes[i.index()].out_link[s];
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_event(&SimEvent::LinkCostSample { time: now, node: i, link: lid, cost });
+                }
+            }
+        }
+        for js in 0..self.active_dests.len() {
+            let j = self.active_dests[js];
+            if j == i {
+                continue;
+            }
+            let sc = self.successor_costs(i, j);
+            let outcome = self.nodes[i.index()].alloc.update(j, &sc, Update::ShortTerm);
+            if outcome.shift > SHIFT_EPS {
+                self.mark_dirty(js);
+            }
+            self.observe_alloc(i, j, outcome);
+        }
+        self.queue.push(now + self.cfg.t_short, Ev::ShortTermTick { node: i });
+    }
+
+    fn on_long_tick(&mut self, i: NodeId) {
+        self.settle(self.time);
+        for s in 0..self.nodes[i.index()].nbrs.len() {
+            let k = self.nodes[i.index()].nbrs[s];
+            let lid = self.nodes[i.index()].out_link[s];
+            if !self.link_up[lid.index()] {
+                continue;
+            }
+            let cost = self.nodes[i.index()].cost[s];
+            let reported = self.nodes[i.index()].reported[s];
+            let rel = (cost - reported).abs() / reported.max(1e-30);
+            if rel > self.cfg.cost_change_threshold {
+                self.nodes[i.index()].reported[s] = cost;
+                let out =
+                    self.nodes[i.index()].router.handle(RouterEvent::LinkCost { to: k, cost });
+                self.apply_router_output(i, out);
+            }
+        }
+        self.queue.push(self.time + self.cfg.t_long, Ev::LongTermTick { node: i });
+    }
+
+    fn on_scenario(&mut self, idx: usize) {
+        let (_, ev) = self.scenario[idx].clone();
+        self.settle(self.time);
+        self.apply_scenario(ev);
+    }
+
+    fn apply_scenario(&mut self, ev: ScenarioEvent) {
+        let now = self.time;
+        match ev {
+            ScenarioEvent::SetFlowRate { flow, rate } => {
+                self.flows[flow].rate = rate;
+                let js = self.flows[flow].dest_slot as usize;
+                self.mark_dirty(js);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_event(&SimEvent::TrafficChange { time: now, flow: flow as u32, rate });
+                }
+            }
+            ScenarioEvent::FailLink { a, b } => {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_event(&SimEvent::Fault {
+                        time: now,
+                        event: crate::FaultEvent::FailLink { a, b },
+                    });
+                }
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(lid) = self.topo.link_between(x, y) {
+                        if !self.link_up[lid.index()] {
+                            continue;
+                        }
+                        self.link_up[lid.index()] = false;
+                        if !self.nodes.is_empty() {
+                            let out = self.nodes[x.index()]
+                                .router
+                                .handle(RouterEvent::LinkDown { to: y });
+                            self.apply_router_output(x, out);
+                        }
+                    }
+                }
+                self.mark_all_dirty();
+            }
+            ScenarioEvent::RestoreLink { a, b } => {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_event(&SimEvent::Fault {
+                        time: now,
+                        event: crate::FaultEvent::RestoreLink { a, b },
+                    });
+                }
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(lid) = self.topo.link_between(x, y) {
+                        if self.link_up[lid.index()] {
+                            continue;
+                        }
+                        self.link_up[lid.index()] = true;
+                        let idle = self.models[lid.index()].marginal_delay(0.0);
+                        if !self.nodes.is_empty() {
+                            // Fresh estimator state, like the packet
+                            // engine's activate_link.
+                            if let Some(s) = self.nodes[x.index()].slot(y) {
+                                self.nodes[x.index()].reported[s] = idle;
+                                self.nodes[x.index()].smoothed[s] = 0.0;
+                                self.nodes[x.index()].cost[s] = idle;
+                            }
+                            let out = self.nodes[x.index()]
+                                .router
+                                .handle(RouterEvent::LinkUp { to: y, cost: idle });
+                            self.apply_router_output(x, out);
+                        }
+                    }
+                }
+                self.mark_all_dirty();
+            }
+        }
+    }
+
+    /// Telemetry-only edge detector, mirroring the packet engine.
+    fn observe_quiescence(&mut self) {
+        let now = self.time;
+        let q = self.is_quiescent();
+        if q && !self.quiescent_seen {
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.on_event(&SimEvent::ControlQuiescent { time: now });
+            }
+        }
+        self.quiescent_seen = q;
+    }
+
+    /// True when no LSU is in flight and every router is PASSIVE for
+    /// every destination (trivially true for the quiescent control
+    /// plane, which is converged by construction each epoch).
+    pub fn is_quiescent(&self) -> bool {
+        self.msgs.is_empty() && self.nodes.iter().all(|nd| !nd.router.is_active())
+    }
+
+    /// Access a router (tests & diagnostics; protocol mode only).
+    pub fn router(&self, i: NodeId) -> &MpdaRouter {
+        &self.nodes[i.index()].router
+    }
+
+    // ------------------------------------------------------------------
+    // Quiescent control plane (SimMode::FluidQuiescent)
+    // ------------------------------------------------------------------
+
+    /// One quiescent-control-plane epoch at time `t`: converged MPDA
+    /// tables from per-destination reverse SPF over marginal-delay
+    /// costs at the current link flows, fed through the allocator.
+    fn on_epoch(&mut self, t: f64) {
+        self.time = t;
+        self.settle(t);
+        let n = self.topo.node_count();
+        // Reverse topology at current marginal costs: dist from `j` in
+        // the reversed graph is the cost of `i → j` in the real one.
+        let mut rev = TopoTable::new();
+        for (lid, l) in self.topo.links().iter().enumerate() {
+            if self.link_up[lid] {
+                rev.insert(l.to, l.from, self.models[lid].marginal_delay(self.ftot[lid]));
+            }
+        }
+        let mut sc: Vec<SuccessorCost> = Vec::new();
+        for js in 0..self.active_dests.len() {
+            let j = self.active_dests[js];
+            let spf = dijkstra(n, &rev, j);
+            for i in 0..n {
+                if i == j.index() {
+                    continue;
+                }
+                sc.clear();
+                if spf.reachable(NodeId(i as u32)) {
+                    let di = spf.dist[i];
+                    for (lid, l) in self.topo.out_links(NodeId(i as u32)) {
+                        if !self.link_up[lid.index()] {
+                            continue;
+                        }
+                        let dk = spf.dist[l.to.index()];
+                        // LFI at quiescence: strictly-downstream
+                        // neighbors only (D_k < D_i).
+                        if dk < di {
+                            let cost = dk
+                                + self.models[lid.index()].marginal_delay(self.ftot[lid.index()]);
+                            sc.push(SuccessorCost::new(l.to, cost));
+                        }
+                    }
+                }
+                let outcome = self.qalloc[i].update(NodeId(js as u32), &sc, Update::ShortTerm);
+                if outcome.shift > SHIFT_EPS {
+                    self.mark_dirty(js);
+                }
+            }
+        }
+    }
+
+    /// Run to completion and report. Statistics are moved into the
+    /// report, like the packet engine.
+    pub fn run(&mut self) -> SimReport {
+        if self.cfg.sim_mode == SimMode::FluidQuiescent && self.cfg.fixed_routing.is_none() {
+            let mut next_epoch = 0.0;
+            let mut si = 0usize;
+            loop {
+                let t_s = self.scenario.get(si).map_or(f64::INFINITY, |&(t, _)| t);
+                if next_epoch <= t_s && next_epoch <= self.end_time {
+                    self.events_processed += 1;
+                    self.on_epoch(next_epoch);
+                    next_epoch += self.cfg.t_short;
+                } else if t_s <= self.end_time {
+                    self.events_processed += 1;
+                    self.time = t_s;
+                    self.settle(t_s);
+                    let (_, ev) = self.scenario[si].clone();
+                    self.apply_scenario(ev);
+                    si += 1;
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some((t, ev)) = self.queue.pop() {
+                if t > self.end_time {
+                    break;
+                }
+                self.time = t;
+                self.events_processed += 1;
+                match ev {
+                    Ev::Control { node, from, msg } => {
+                        self.settle(t);
+                        let (msg, _) = self.msgs.take_tagged(msg);
+                        let now = self.time;
+                        let entries = msg.entries.len() as u64;
+                        let ack = msg.ack;
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.on_event(&SimEvent::LsuReceived {
+                                time: now,
+                                node,
+                                from,
+                                entries,
+                                ack,
+                            });
+                        }
+                        let out =
+                            self.nodes[node.index()].router.handle(RouterEvent::Lsu { from, msg });
+                        self.apply_router_output(node, out);
+                    }
+                    Ev::ShortTermTick { node } => self.on_short_tick(node),
+                    Ev::LongTermTick { node } => self.on_long_tick(node),
+                    Ev::Scenario { index } => self.on_scenario(index),
+                    // Packet-plane events are never scheduled in fluid
+                    // mode; ignore any stragglers defensively.
+                    _ => {}
+                }
+                if self.obs.is_some() {
+                    self.observe_quiescence();
+                }
+            }
+        }
+        self.time = self.end_time;
+        self.settle(self.end_time);
+
+        // Finalize: round the f64 accumulators into packet counts once.
+        let mut flow_stats: Vec<FlowStats> = Vec::with_capacity(self.acc.len());
+        for acc in &mut self.acc {
+            acc.flush_hist();
+            flow_stats.push(FlowStats {
+                delivered: acc.pkts.round() as u64,
+                delay_sum: acc.delay_pkts,
+                delay_sq_sum: acc.delay_sq_pkts,
+                max_delay: acc.max_delay,
+                dropped_no_route: acc.no_route.round() as u64,
+                dropped_ttl: 0,
+                dropped_congestion: acc.congestion.round() as u64,
+                histogram: std::mem::take(&mut acc.hist),
+            });
+        }
+        for (l, st) in self.link_stats.iter_mut().enumerate() {
+            st.packets = self.link_pkts[l].round() as u64;
+        }
+        let mean_delays_ms: Vec<f64> = flow_stats.iter().map(|f| f.mean_delay() * 1000.0).collect();
+        let delivered = flow_stats.iter().map(|f| f.delivered).sum();
+        let dropped = flow_stats
+            .iter()
+            .map(|f| f.dropped_no_route + f.dropped_ttl + f.dropped_congestion)
+            .sum();
+        SimReport {
+            flows: flow_stats,
+            links: std::mem::take(&mut self.link_stats),
+            series: std::mem::take(&mut self.series),
+            mean_delays_ms,
+            control_messages: self.ctl_msgs,
+            control_bytes: self.ctl_bytes,
+            delivered,
+            dropped,
+            duration: self.cfg.duration,
+            events_processed: self.events_processed,
+            robustness: None,
+            telemetry: self.obs.take().map(|o| o.finish()),
+        }
+    }
+
+    /// Resolved flow on directed link `lid` (bits/s) — diagnostics and
+    /// the cross-validation suite's worst-link error message.
+    pub fn link_flow(&self, lid: LinkId) -> f64 {
+        self.ftot[lid.index()]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.time
+    }
+}

@@ -31,6 +31,7 @@ pub mod chaos;
 pub mod engine;
 pub mod estimator;
 pub mod events;
+pub mod fluid;
 pub mod monitor;
 pub mod par;
 pub mod scenario;
@@ -42,8 +43,9 @@ pub use chaos::{
     ControlChaos, FaultEvent, FaultPlan, FaultProcess, FaultRecord, RobustnessCounters,
     RobustnessReport,
 };
-pub use engine::{PacketDist, SimConfig, SimReport, Simulator};
+pub use engine::{PacketDist, SimConfig, SimMode, SimReport, Simulator};
 pub use estimator::{EstimatorKind, LinkEstimator};
+pub use fluid::FluidSimulator;
 pub use monitor::InvariantMonitor;
 pub use scenario::{Scenario, ScenarioEvent};
 pub use stats::{FlowStats, LinkStats};

@@ -59,6 +59,18 @@ impl Scenario {
         self
     }
 
+    /// Build a scenario from a `(time, flow_index, new_rate)` schedule —
+    /// the neutral tuple form emitted by `mdr_net::gen`'s flash-crowd
+    /// generator (kept tuple-typed there so `mdr-net` stays independent
+    /// of the simulator).
+    pub fn from_rate_schedule(schedule: &[(f64, usize, f64)]) -> Self {
+        let mut s = Scenario::new();
+        for &(t, flow, rate) in schedule {
+            s = s.at(t, ScenarioEvent::SetFlowRate { flow, rate });
+        }
+        s
+    }
+
     /// The scripted events, sorted by time (stable, so same-time events
     /// keep insertion order).
     pub fn events(&self) -> Vec<(f64, ScenarioEvent)> {

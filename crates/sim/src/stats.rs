@@ -38,6 +38,12 @@ impl DelayHistogram {
         self.buckets[Self::index(delay)] += 1;
     }
 
+    /// Record `n` samples at the same delay (fluid mode converts a
+    /// packet *rate* held over an interval into a packet count).
+    pub fn record_n(&mut self, delay: f64, n: u64) {
+        self.buckets[Self::index(delay)] += n;
+    }
+
     /// Approximate quantile `q ∈ [0, 1]` (upper edge of the bucket
     /// containing the q-th sample); 0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
@@ -73,6 +79,12 @@ pub struct FlowStats {
     pub dropped_no_route: u64,
     /// Packets dropped by the defensive TTL (must stay 0 under MPDA).
     pub dropped_ttl: u64,
+    /// Packet-equivalents lost to saturated (ρ ≥ 1) links. Only fluid
+    /// mode sets this: the packet engine queues rather than drops, while
+    /// the fluid solver caps each link's carried rate at capacity and
+    /// accounts the excess here.
+    #[serde(default)]
+    pub dropped_congestion: u64,
     /// Delay distribution for percentile queries.
     pub histogram: DelayHistogram,
 }
@@ -172,6 +184,31 @@ impl DelaySeries {
         }
         row[idx].0 += d;
         row[idx].1 += 1;
+    }
+
+    /// Record a fluid delivery: `pkts_per_s` packet-equivalents per
+    /// second of flow `flow`, all at delay `d`, held over `[from, to)`.
+    /// The mass is split across bucket boundaries by overlap so the
+    /// series stays comparable with packet mode's per-delivery records.
+    pub fn record_mass(&mut self, flow: usize, from: f64, to: f64, pkts_per_s: f64, d: f64) {
+        if to <= from || pkts_per_s <= 0.0 {
+            return;
+        }
+        let first = (from / self.bucket) as usize;
+        let last = (to / self.bucket) as usize;
+        let row = &mut self.acc[flow];
+        if row.len() <= last {
+            row.resize(last + 1, (0.0, 0));
+        }
+        for (idx, slot) in row.iter_mut().enumerate().take(last + 1).skip(first) {
+            let lo = (idx as f64 * self.bucket).max(from);
+            let hi = ((idx + 1) as f64 * self.bucket).min(to);
+            let pkts = (pkts_per_s * (hi - lo).max(0.0)).round() as u64;
+            if pkts > 0 {
+                slot.0 += d * pkts as f64;
+                slot.1 += pkts;
+            }
+        }
     }
 
     /// Mean delay of `flow` per bucket (`None` buckets had no

@@ -1,0 +1,131 @@
+//! Edge-case behavior of the fluid flow-level engine: saturation,
+//! degenerate traffic matrices, and agreement with the M/M/1 closed
+//! forms where the equilibrium is computable by hand.
+
+use mdr_net::{Flow, LinkDelayModel, Mm1, NodeId, Topology, TopologyBuilder, TrafficMatrix};
+use mdr_sim::{FluidSimulator, Scenario, SimConfig, SimMode, SimReport};
+
+/// A 3-node line `n0 — n1 — n2`, 10 Mb/s links, 1 ms propagation.
+fn line3() -> Topology {
+    TopologyBuilder::new()
+        .nodes(3)
+        .bidi(NodeId(0), NodeId(1), 1e7, 0.001)
+        .bidi(NodeId(1), NodeId(2), 1e7, 0.001)
+        .build()
+        .unwrap()
+}
+
+fn fluid_cfg() -> SimConfig {
+    SimConfig { warmup: 10.0, duration: 20.0, sim_mode: SimMode::Fluid, ..Default::default() }
+}
+
+fn run_fluid(t: &Topology, flows: &[Flow], cfg: SimConfig) -> SimReport {
+    let traffic = TrafficMatrix::from_flows(t, flows).unwrap();
+    FluidSimulator::new(t, &traffic, &Scenario::new(), cfg).run()
+}
+
+fn assert_all_finite(r: &SimReport) {
+    for (fi, d) in r.mean_delays_ms.iter().enumerate() {
+        assert!(d.is_finite() && *d >= 0.0, "flow {fi} mean delay {d} not finite/non-negative");
+    }
+    for (li, l) in r.links.iter().enumerate() {
+        assert!(l.bits.is_finite() && l.bits >= 0.0, "link {li} bits {} bad", l.bits);
+    }
+    for f in &r.flows {
+        assert!(f.delay_sum.is_finite() && f.delay_sum >= 0.0);
+        assert!(f.max_delay.is_finite() && f.max_delay >= 0.0);
+    }
+}
+
+/// Offered load 1.5x the only path's capacity: the M/M/1 affine
+/// continuation and the survival fraction must keep every statistic
+/// finite and non-negative — no NaN, no negative delay — while the
+/// excess traffic lands in `dropped_congestion`.
+#[test]
+fn saturated_link_stays_finite() {
+    let t = line3();
+    let rate = 1.5e7; // 1.5x link capacity
+    let r = run_fluid(&t, &[Flow::new(NodeId(0), NodeId(2), rate)], fluid_cfg());
+    assert_all_finite(&r);
+
+    // The link can carry at most C of the offered 1.5C, so at least a
+    // third of the offered packets must be congestion drops (the solver
+    // may shave slightly more while the control plane reprices).
+    let offered = r.delivered + r.dropped;
+    assert!(r.flows[0].dropped_congestion > 0, "saturation produced no congestion drops");
+    assert!(
+        r.dropped as f64 >= 0.30 * offered as f64,
+        "only {} of {} offered packets dropped at 1.5x capacity",
+        r.dropped,
+        offered
+    );
+    // Delivered throughput cannot exceed capacity (in packets of the
+    // configured mean length, with a small rounding allowance).
+    let cap_pkts = 1e7 / 1000.0 * r.duration;
+    assert!((r.delivered as f64) <= cap_pkts * 1.01);
+    // And the reported delay sits at the affine continuation's level —
+    // far above idle, but finite.
+    let idle_ms = Mm1::new(1e7, 0.001, 1000.0).packet_delay(0.0) * 1000.0;
+    assert!(r.mean_delay_ms() > idle_ms);
+}
+
+/// One flow on a line has exactly one routing solution, so the fluid
+/// equilibrium delay must equal the M/M/1 closed form summed over the
+/// two hops — a hand-computable anchor with zero modeling slack.
+#[test]
+fn single_flow_matches_mm1_closed_form() {
+    let t = line3();
+    let rate = 4e6;
+    let r = run_fluid(&t, &[Flow::new(NodeId(0), NodeId(2), rate)], fluid_cfg());
+    assert_all_finite(&r);
+
+    let per_hop = Mm1::new(1e7, 0.001, 1000.0).packet_delay(rate);
+    let expect_ms = 2.0 * per_hop * 1000.0;
+    let got_ms = r.mean_delay_ms();
+    assert!(
+        (got_ms - expect_ms).abs() / expect_ms < 1e-9,
+        "fluid {got_ms} ms vs closed form {expect_ms} ms"
+    );
+    // No drops, and the delivered count is the offered fluid mass.
+    assert_eq!(r.dropped, 0);
+    let offered_pkts = rate / 1000.0 * r.duration;
+    assert!((r.delivered as f64 - offered_pkts).abs() <= 1.0);
+}
+
+/// Zero-rate flows are legal inputs (scenarios may switch them on
+/// later): they must produce zero deliveries and zero delay without
+/// disturbing the live flow sharing their destination slot.
+#[test]
+fn zero_rate_flow_is_inert() {
+    let t = line3();
+    let flows = [
+        Flow::new(NodeId(0), NodeId(2), 4e6),
+        Flow::new(NodeId(1), NodeId(2), 0.0), // same destination, idle
+        Flow::new(NodeId(2), NodeId(0), 0.0), // destination with no traffic at all
+    ];
+    let r = run_fluid(&t, &flows, fluid_cfg());
+    assert_all_finite(&r);
+    assert_eq!(r.flows[1].delivered, 0);
+    assert_eq!(r.flows[2].delivered, 0);
+    assert_eq!(r.mean_delays_ms[1], 0.0);
+    assert_eq!(r.mean_delays_ms[2], 0.0);
+    // The live flow still sees the single-flow closed form.
+    let expect_ms = 2.0 * Mm1::new(1e7, 0.001, 1000.0).packet_delay(4e6) * 1000.0;
+    assert!((r.mean_delays_ms[0] - expect_ms).abs() / expect_ms < 1e-9);
+}
+
+/// The quiescent (centralized) control plane must land on the same
+/// equilibrium as the distributed one when the load is stationary —
+/// it skips the LSU exchange, not the model.
+#[test]
+fn quiescent_control_plane_matches_distributed_fluid() {
+    let t = line3();
+    let flows = [Flow::new(NodeId(0), NodeId(2), 4e6), Flow::new(NodeId(2), NodeId(0), 2e6)];
+    let dist = run_fluid(&t, &flows, fluid_cfg());
+    let quiet =
+        run_fluid(&t, &flows, SimConfig { sim_mode: SimMode::FluidQuiescent, ..fluid_cfg() });
+    assert_all_finite(&quiet);
+    for (fi, (a, b)) in dist.mean_delays_ms.iter().zip(&quiet.mean_delays_ms).enumerate() {
+        assert!((a - b).abs() / a < 1e-6, "flow {fi}: distributed {a} ms vs quiescent {b} ms");
+    }
+}

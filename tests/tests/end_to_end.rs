@@ -24,7 +24,13 @@ fn diamond() -> (Topology, Vec<Flow>) {
 }
 
 fn quick() -> RunConfig {
-    RunConfig { warmup: 10.0, duration: 20.0, seed: 3, mean_packet_bits: 1000.0 }
+    RunConfig {
+        warmup: 10.0,
+        duration: 20.0,
+        seed: 3,
+        mean_packet_bits: 1000.0,
+        ..Default::default()
+    }
 }
 
 /// The saturating diamond needs a longer warm-up: AH takes several
@@ -32,7 +38,13 @@ fn quick() -> RunConfig {
 /// persists. 40 s absorbs even unlucky tick phasings where the split
 /// oscillates for a while before settling (seed 3 is one such).
 fn diamond_cfg() -> RunConfig {
-    RunConfig { warmup: 40.0, duration: 30.0, seed: 3, mean_packet_bits: 1000.0 }
+    RunConfig {
+        warmup: 40.0,
+        duration: 30.0,
+        seed: 3,
+        mean_packet_bits: 1000.0,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -72,7 +84,13 @@ fn loop_freedom_no_ttl_drops_across_schemes_and_failures() {
         .at(6.0, ScenarioEvent::FailLink { a: NodeId(4), b: NodeId(5) })
         .at(12.0, ScenarioEvent::RestoreLink { a: NodeId(4), b: NodeId(5) });
     for scheme in [Scheme::mp(5.0, 1.0), Scheme::sp(5.0)] {
-        let cfg = RunConfig { warmup: 8.0, duration: 10.0, seed: 5, mean_packet_bits: 1000.0 };
+        let cfg = RunConfig {
+            warmup: 8.0,
+            duration: 10.0,
+            seed: 5,
+            mean_packet_bits: 1000.0,
+            ..Default::default()
+        };
         let r = mdr::run_with_scenario(&t, &flows, scheme, cfg, &scen).unwrap();
         let rep = r.report.unwrap();
         let ttl: u64 = rep.flows.iter().map(|f| f.dropped_ttl).sum();
@@ -116,7 +134,13 @@ fn dynamic_rate_change_applies() {
     for i in 0..flows.len() {
         scen = scen.at(15.0, ScenarioEvent::SetFlowRate { flow: i, rate: 0.0 });
     }
-    let cfg = RunConfig { warmup: 5.0, duration: 20.0, seed: 2, mean_packet_bits: 1000.0 };
+    let cfg = RunConfig {
+        warmup: 5.0,
+        duration: 20.0,
+        seed: 2,
+        mean_packet_bits: 1000.0,
+        ..Default::default()
+    };
     let r = mdr::run_with_scenario(&t, &flows, Scheme::mp(10.0, 2.0), cfg, &scen).unwrap();
     let rep = r.report.unwrap();
     // ~10 s of traffic at 5 Mb/s total = ~50k packets, not ~100k.

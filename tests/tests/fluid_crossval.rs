@@ -1,0 +1,373 @@
+//! Packet-vs-fluid cross-validation (the correctness anchor for the
+//! fluid flow-level engine in `mdr_sim::fluid`).
+//!
+//! For every CAIRN/NET1 figure scenario (the stationary grids behind
+//! Figs. 9-12) and both simulated schemes (MP = MPDA multipath, SP =
+//! single path), the fluid engine must agree with the packet engine on:
+//!
+//! * **mean end-to-end delay**, network-wide and per flow, within the
+//!   per-scenario tolerance pinned in [`CASES`]. The packet engine
+//!   samples a finite Poisson stream, so a few percent of M/M/1
+//!   sampling noise is unavoidable; the pinned bounds sit ~2x above the
+//!   observed disagreement, tight enough that a systematic modeling
+//!   error (wrong marginal form, mis-propagated link flow, missing
+//!   queueing term) blows through them.
+//! * **quiescent successor sets**: after both runs end quiescent, every
+//!   router's MPDA successor set toward every active destination must
+//!   be identical *up to boundary ties*. A neighbor `k` is a boundary
+//!   tie when both engines place its reported distance within
+//!   `tie_margin` of the router's own distance `D_i` — membership of
+//!   `{k : D_k < D_i}` then flips on measurement noise smaller than the
+//!   5% LSU quantization threshold, and no routing decision of
+//!   consequence depends on it. Any disagreement *away* from the
+//!   boundary fails the test: that is a converged-routing divergence,
+//!   not noise. `tie_margin: 0.0` pins strict set equality (the
+//!   quiet-load SP anchor achieves it).
+//!
+//! Two operating regimes are pinned deliberately:
+//!
+//! * The **figure loads** (CAIRN 4 Mb/s, NET1 2.5 Mb/s). MP agrees to
+//!   ~2% there. SP does *not*: at those loads SP oscillates (already
+//!   documented at fig13 — route flaps build real queue backlogs that
+//!   take seconds to drain), and the fluid model is an *equilibrium*
+//!   model with no backlog memory, so it reports the oscillation's
+//!   M/M/1 component only. Those cases stay in the suite with loose,
+//!   pinned envelopes — both engines must still agree that SP is far
+//!   worse than MP — and the gap itself is the documented fidelity
+//!   limit of flow-level simulation (EXPERIMENTS.md "Scale").
+//! * A **quiet SP load** per topology (CAIRN 2 Mb/s, NET1 1.5 Mb/s)
+//!   where single-path routing is stable: there fluid must match SP as
+//!   tightly as it matches MP, which pins that the SP disagreement
+//!   above is the regime, not the engine.
+//!
+//! On a delay failure the message prints the worst-offending link (the
+//! largest |packet - fluid| utilization gap) to localize which queue
+//! diverged.
+
+use mdr::prelude::*;
+
+/// One cross-validation case: a figure scenario plus pinned tolerances.
+struct Case {
+    /// Scenario name (matches the `crates/bench` figure it anchors).
+    name: &'static str,
+    net: Net,
+    /// Per-flow offered rate (bits/s) — the figure's operating point.
+    rate: f64,
+    mode: Mode,
+    /// `T_s` (SP pins 2.0, like the scheme layer).
+    t_short: f64,
+    /// Max relative error of the network-wide mean delay.
+    tol_mean: f64,
+    /// Max relative error of any single flow's mean delay.
+    tol_flow: f64,
+    /// Successor-set tie margin (0.0 = strict set equality).
+    tie_margin: f64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Net {
+    Cairn,
+    Net1,
+}
+
+/// The pinned grid. Observed disagreement (seed 7, warmup 20 s,
+/// duration 40 s) is noted per case; tolerances sit roughly 2x above.
+const CASES: &[Case] = &[
+    // Figs. 9/11 operating point. Observed: mean 3.8%, flow 13.3%,
+    // worst boundary gap 0.21.
+    Case {
+        name: "fig9_cairn_mp_tl10_ts2",
+        net: Net::Cairn,
+        rate: 4.0e6,
+        mode: Mode::Multipath,
+        t_short: 2.0,
+        tol_mean: 0.08,
+        tol_flow: 0.25,
+        tie_margin: 0.35,
+    },
+    // Observed: mean 0.7%, flow 3.9%, worst boundary gap 0.143.
+    Case {
+        name: "fig11_cairn_mp_tl10_ts10",
+        net: Net::Cairn,
+        rate: 4.0e6,
+        mode: Mode::Multipath,
+        t_short: 10.0,
+        tol_mean: 0.08,
+        tol_flow: 0.15,
+        tie_margin: 0.25,
+    },
+    // SP at the figure load = the oscillatory regime (see module docs).
+    // Observed: mean 0.22, worst flow 4.4, worst boundary gap 0.50.
+    Case {
+        name: "fig11_cairn_sp_tl10",
+        net: Net::Cairn,
+        rate: 4.0e6,
+        mode: Mode::SinglePath,
+        t_short: 2.0,
+        tol_mean: 0.75,
+        tol_flow: 6.0,
+        tie_margin: 0.75,
+    },
+    // Quiet-load SP anchor: stable single-path routing. Observed: mean
+    // 2.0%, flow 3.8%, ZERO successor-set differences — pinned strict.
+    Case {
+        name: "quiet_cairn_sp_tl10",
+        net: Net::Cairn,
+        rate: 2.0e6,
+        mode: Mode::SinglePath,
+        t_short: 2.0,
+        tol_mean: 0.08,
+        tol_flow: 0.12,
+        tie_margin: 0.0,
+    },
+    // Figs. 10/12 operating point. Observed: mean 1.0%, flow 4.6%,
+    // worst boundary gap 0.043.
+    Case {
+        name: "fig10_net1_mp_tl10_ts2",
+        net: Net::Net1,
+        rate: 2.5e6,
+        mode: Mode::Multipath,
+        t_short: 2.0,
+        tol_mean: 0.08,
+        tol_flow: 0.15,
+        tie_margin: 0.12,
+    },
+    // Observed: mean 3.1%, flow 10.9%, worst boundary gap 0.152.
+    Case {
+        name: "fig12_net1_mp_tl10_ts10",
+        net: Net::Net1,
+        rate: 2.5e6,
+        mode: Mode::Multipath,
+        t_short: 10.0,
+        tol_mean: 0.08,
+        tol_flow: 0.20,
+        tie_margin: 0.25,
+    },
+    // SP at the figure load, oscillatory. Observed: mean 1.01, worst
+    // flow 1.24, worst boundary gap 0.31.
+    Case {
+        name: "fig12_net1_sp_tl10",
+        net: Net::Net1,
+        rate: 2.5e6,
+        mode: Mode::SinglePath,
+        t_short: 2.0,
+        tol_mean: 1.40,
+        tol_flow: 3.00,
+        tie_margin: 0.50,
+    },
+    // Quiet-load SP anchor. Observed: mean 1.7%, flow 2.6%, worst
+    // boundary gap 0.082 (NET1's waist keeps a few genuine near-ties).
+    Case {
+        name: "quiet_net1_sp_tl10",
+        net: Net::Net1,
+        rate: 1.5e6,
+        mode: Mode::SinglePath,
+        t_short: 2.0,
+        tol_mean: 0.08,
+        tol_flow: 0.12,
+        tie_margin: 0.15,
+    },
+];
+
+fn setup(net: Net, rate: f64) -> (Topology, TrafficMatrix) {
+    let (t, flows) = match net {
+        Net::Cairn => {
+            let t = topo::cairn();
+            let flows = topo::cairn_flows(&t, rate);
+            (t, flows)
+        }
+        Net::Net1 => (topo::net1(), topo::net1_flows(rate)),
+    };
+    let traffic = TrafficMatrix::from_flows(&t, &flows).expect("figure flows are valid");
+    (t, traffic)
+}
+
+fn cfg(case: &Case, sim_mode: SimMode) -> SimConfig {
+    SimConfig {
+        mode: case.mode,
+        t_long: 10.0,
+        t_short: case.t_short,
+        warmup: 20.0,
+        duration: 40.0,
+        seed: 7,
+        sim_mode,
+        ..Default::default()
+    }
+}
+
+/// Worst-offending link: the directed link with the largest
+/// |packet − fluid| utilization gap, rendered for failure messages.
+fn worst_link(t: &Topology, packet: &SimReport, fluid: &SimReport) -> String {
+    let dur = packet.duration;
+    let mut worst = (0usize, 0.0f64, 0.0f64, 0.0f64);
+    for (l, (p, f)) in packet.links.iter().zip(&fluid.links).enumerate() {
+        let cap = t.links()[l].capacity;
+        let up = p.bits / dur / cap;
+        let uf = f.bits / dur / cap;
+        let gap = (up - uf).abs();
+        if gap > worst.1 {
+            worst = (l, gap, up, uf);
+        }
+    }
+    let (l, _, up, uf) = worst;
+    let link = &t.links()[l];
+    format!(
+        "worst link {} -> {}: packet util {:.4}, fluid util {:.4}",
+        t.name(link.from),
+        t.name(link.to),
+        up,
+        uf
+    )
+}
+
+fn check_case(case: &Case) {
+    let (t, traffic) = setup(case.net, case.rate);
+    let dests: Vec<NodeId> = traffic.active_destinations();
+    let scen = Scenario::new();
+
+    let mut psim = Simulator::new(&t, &traffic, &scen, cfg(case, SimMode::Packet));
+    let packet = psim.run();
+    let mut fsim = FluidSimulator::new(&t, &traffic, &scen, cfg(case, SimMode::Fluid));
+    let fluid = fsim.run();
+
+    // Both control planes must end quiescent — successor sets are only
+    // comparable at quiescence.
+    assert!(fsim.is_quiescent(), "{}: fluid control plane not quiescent at end", case.name);
+
+    // 1. Network-wide mean delay.
+    let (pm, fm) = (packet.mean_delay_ms(), fluid.mean_delay_ms());
+    let rel = (pm - fm).abs() / pm;
+    assert!(
+        rel <= case.tol_mean,
+        "{}: network mean delay diverged: packet {:.3} ms vs fluid {:.3} ms \
+         (rel {:.3} > tol {}); {}",
+        case.name,
+        pm,
+        fm,
+        rel,
+        case.tol_mean,
+        worst_link(&t, &packet, &fluid)
+    );
+
+    // 2. Per-flow mean delays.
+    for (fi, (pd, fd)) in packet.mean_delays_ms.iter().zip(&fluid.mean_delays_ms).enumerate() {
+        let rel = (pd - fd).abs() / pd;
+        assert!(
+            rel <= case.tol_flow,
+            "{}: flow {} delay diverged: packet {:.3} ms vs fluid {:.3} ms \
+             (rel {:.3} > tol {}); {}",
+            case.name,
+            fi,
+            pd,
+            fd,
+            rel,
+            case.tol_flow,
+            worst_link(&t, &packet, &fluid)
+        );
+    }
+
+    // 3. Quiescent successor sets, identical up to boundary ties.
+    for i in t.nodes() {
+        for &j in &dests {
+            if j == i {
+                continue;
+            }
+            let ps = psim.router(i).successors(j);
+            let fs = fsim.router(i).successors(j);
+            if ps == fs {
+                continue;
+            }
+            assert!(
+                case.tie_margin > 0.0,
+                "{}: successor sets must be strictly identical at {} -> {:?}: \
+                 packet {:?} vs fluid {:?}",
+                case.name,
+                t.name(i),
+                j,
+                ps,
+                fs
+            );
+            // Every asymmetric member must be a boundary tie in BOTH
+            // engines' converged tables.
+            for &k in ps.iter().chain(fs) {
+                if ps.contains(&k) == fs.contains(&k) {
+                    continue;
+                }
+                for (engine, r) in [("packet", psim.router(i)), ("fluid", fsim.router(i))] {
+                    let di = r.distance(j);
+                    let dk = r.neighbor_distance(k, j);
+                    let gap = (dk - di).abs() / di.max(1e-30);
+                    assert!(
+                        gap <= case.tie_margin,
+                        "{}: successor divergence beyond the tie margin at {} -> {:?} \
+                         via {:?}: {} engine has D_i {:.6e}, D_k {:.6e} (gap {:.3} > {}); \
+                         packet set {:?}, fluid set {:?}",
+                        case.name,
+                        t.name(i),
+                        j,
+                        k,
+                        engine,
+                        di,
+                        dk,
+                        gap,
+                        case.tie_margin,
+                        ps,
+                        fs
+                    );
+                }
+            }
+        }
+    }
+
+    let worst_flow = packet
+        .mean_delays_ms
+        .iter()
+        .zip(&fluid.mean_delays_ms)
+        .map(|(pd, fd)| (pd - fd).abs() / pd)
+        .fold(0.0f64, f64::max);
+    println!(
+        "{}: packet {:.3} ms vs fluid {:.3} ms (rel {:.4}, worst flow {:.4}); \
+         successor sets agree",
+        case.name, pm, fm, rel, worst_flow
+    );
+}
+
+#[test]
+fn fig9_cairn_mp_tl10_ts2() {
+    check_case(&CASES[0]);
+}
+
+#[test]
+fn fig11_cairn_mp_tl10_ts10() {
+    check_case(&CASES[1]);
+}
+
+#[test]
+fn fig11_cairn_sp_tl10() {
+    check_case(&CASES[2]);
+}
+
+#[test]
+fn quiet_cairn_sp_tl10() {
+    check_case(&CASES[3]);
+}
+
+#[test]
+fn fig10_net1_mp_tl10_ts2() {
+    check_case(&CASES[4]);
+}
+
+#[test]
+fn fig12_net1_mp_tl10_ts10() {
+    check_case(&CASES[5]);
+}
+
+#[test]
+fn fig12_net1_sp_tl10() {
+    check_case(&CASES[6]);
+}
+
+#[test]
+fn quiet_net1_sp_tl10() {
+    check_case(&CASES[7]);
+}

@@ -1,0 +1,106 @@
+//! Golden-trace snapshot for the fluid engine on a *generated*
+//! topology: a fixed-seed Barabási–Albert 200-router network carrying
+//! gravity-model traffic, run in [`SimMode::Fluid`] with the recording
+//! observer on. Pins three things at once against a checked-in
+//! snapshot: the generator's byte-stability (a changed BA graph or
+//! gravity matrix shifts every event), the fluid control-plane event
+//! sequence, and the telemetry emission points in fluid mode.
+//! Regenerate deliberately with
+//! `UPDATE_SNAPSHOTS=1 cargo test -p mdr-tests --test fluid_golden_trace`.
+
+use mdr::prelude::*;
+use mdr_net::gen;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// How many events to pin verbatim at each end of the sequence.
+const EDGE: usize = 20;
+
+/// The fixed scenario: BA(n=200, m=2, seed=9) with gravity traffic
+/// among the first 50 routers (all 200 still run the routing protocol;
+/// control-plane work scales with *active destinations*, and a sparse
+/// matrix keeps the debug-profile run CI-cheap), one mid-run rate bump
+/// on flow 7. The horizon is short (3 s simulated) — long enough for
+/// the boot flood, several short/long update rounds, and the
+/// perturbation response.
+fn golden_events() -> Vec<SimEvent> {
+    let t = gen::barabasi_albert(200, 2, 9);
+    let endpoints: Vec<NodeId> = t.nodes().take(50).collect();
+    let flows = gen::gravity_flows(&endpoints, 1, 2.0e7, 9);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).expect("generated flows are valid");
+    let bump = traffic.flows()[7].rate * 3.0;
+    let scen = Scenario::new().at(1.5, ScenarioEvent::SetFlowRate { flow: 7, rate: bump });
+    let cfg = SimConfig {
+        warmup: 1.0,
+        duration: 2.0,
+        seed: 42,
+        sim_mode: SimMode::Fluid,
+        observer: ObserverMode::Recording { data_plane: false },
+        ..Default::default()
+    };
+    let rep = SimJob::new(&t, &traffic, cfg).with_scenario(&scen).run();
+    rep.telemetry.expect("recording observer attached").recorded.expect("recorded sequence")
+}
+
+/// Render the sequence as the snapshot text: total, per-kind counts,
+/// and the first/last [`EDGE`] events in `Debug` form (stable float
+/// formatting, so byte-exact across runs and platforms).
+fn render(events: &[SimEvent]) -> String {
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in events {
+        *kinds.entry(ev.kind()).or_default() += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "events: {}", events.len());
+    let _ = writeln!(out, "kinds:");
+    for (k, n) in &kinds {
+        let _ = writeln!(out, "  {k}: {n}");
+    }
+    let _ = writeln!(out, "first {EDGE}:");
+    for ev in events.iter().take(EDGE) {
+        let _ = writeln!(out, "  {ev:?}");
+    }
+    let _ = writeln!(out, "last {EDGE}:");
+    for ev in events.iter().rev().take(EDGE).rev() {
+        let _ = writeln!(out, "  {ev:?}");
+    }
+    out
+}
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/fluid_golden_trace.snap")
+}
+
+#[test]
+fn ba200_fluid_event_sequence_matches_golden_snapshot() {
+    let events = golden_events();
+    assert!(!events.is_empty(), "the run must emit control-plane events");
+    let got = render(&events);
+    let path = snapshot_path();
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+UPDATE_SNAPSHOTS=1 cargo test -p mdr-tests --test fluid_golden_trace",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "fluid golden trace diverged — if the change is intentional, regenerate with \
+UPDATE_SNAPSHOTS=1 cargo test -p mdr-tests --test fluid_golden_trace"
+    );
+}
+
+#[test]
+fn fluid_recorded_sequence_is_reproducible() {
+    let a = golden_events();
+    let b = golden_events();
+    assert_eq!(a.len(), b.len(), "event counts differ across identical runs");
+    assert_eq!(a, b, "event sequences differ across identical runs");
+}

@@ -15,7 +15,13 @@ fn jobs() -> Vec<RunJob> {
         .at(9.0, ScenarioEvent::SetFlowRate { flow: 2, rate: 1_500_000.0 });
     let mut out = Vec::new();
     for seed in [1u64, 7, 42] {
-        let cfg = RunConfig { warmup: 5.0, duration: 10.0, seed, mean_packet_bits: 1000.0 };
+        let cfg = RunConfig {
+            warmup: 5.0,
+            duration: 10.0,
+            seed,
+            mean_packet_bits: 1000.0,
+            ..Default::default()
+        };
         out.push(RunJob::new(&t, &flows, Scheme::mp(10.0, 2.0), cfg));
         out.push(RunJob::new(&t, &flows, Scheme::sp(10.0), cfg).with_scenario(&scen));
     }
@@ -171,11 +177,54 @@ fn chaos_same_seed_reproduces_the_same_robustness_report() {
     assert_eq!(a.robustness, b.robustness);
 }
 
+/// Fluid-mode batches must satisfy the same contract as packet-mode
+/// ones: `run_many` is a pure speed-up, and a repeated seed reproduces
+/// the report bit for bit. The fluid engine is deterministic by
+/// construction (no RNG in the data plane), so any divergence here
+/// means worker-thread state leaked into the solver.
+#[test]
+fn fluid_runs_match_serial_execution_bit_for_bit() {
+    let t = topo::net1();
+    let flows = topo::net1_flows(2_000_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).expect("traffic");
+    let batch: Vec<SimJob> = [(Mode::Multipath, 3u64), (Mode::SinglePath, 11)]
+        .iter()
+        .map(|&(mode, seed)| {
+            let cfg = SimConfig {
+                mode,
+                warmup: 5.0,
+                duration: 8.0,
+                seed,
+                sim_mode: SimMode::Fluid,
+                ..Default::default()
+            };
+            SimJob::new(&t, &traffic, cfg)
+        })
+        .collect();
+    let serial: Vec<SimReport> = batch.iter().map(|j| j.run()).collect();
+    let parallel = run_many_with(4, batch.clone());
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_reports_identical(s, p);
+    }
+    // Same job, fresh run: bit-for-bit reproduction.
+    let again: Vec<SimReport> = batch.iter().map(|j| j.run()).collect();
+    for (s, p) in serial.iter().zip(&again) {
+        assert_reports_identical(s, p);
+    }
+}
+
 #[test]
 fn same_seed_reproduces_the_same_report() {
     let t = topo::cairn();
     let flows = topo::cairn_flows(&t, 2_000_000.0);
-    let cfg = RunConfig { warmup: 5.0, duration: 10.0, seed: 13, mean_packet_bits: 1000.0 };
+    let cfg = RunConfig {
+        warmup: 5.0,
+        duration: 10.0,
+        seed: 13,
+        mean_packet_bits: 1000.0,
+        ..Default::default()
+    };
     let a = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), cfg).expect("first run");
     let b = mdr::run(&t, &flows, Scheme::mp(10.0, 2.0), cfg).expect("second run");
     assert_eq!(a.per_flow_delay_ms, b.per_flow_delay_ms);

@@ -6,7 +6,7 @@
 use mdr::prelude::*;
 
 fn cfg(seed: u64) -> RunConfig {
-    RunConfig { warmup: 15.0, duration: 25.0, seed, mean_packet_bits: 1000.0 }
+    RunConfig { warmup: 15.0, duration: 25.0, seed, mean_packet_bits: 1000.0, ..Default::default() }
 }
 
 /// Fig. 10 direction: MP within a modest envelope of OPT on NET1.
