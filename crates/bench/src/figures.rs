@@ -897,7 +897,46 @@ struct ChaosCell {
     delivered: u64,
     dropped: u64,
     control_messages: u64,
+    /// The structured network adversary in force, if any (profile spec
+    /// plus partition schedule, the same grammar `mdr-node` takes).
+    adversary: Option<String>,
+    /// Recovery distribution split by fault class.
+    by_class: Vec<ClassStats>,
     robustness: RobustnessReport,
+}
+
+/// Per-fault-class recovery statistics inside one cell.
+#[derive(serde::Serialize)]
+struct ClassStats {
+    class: String,
+    injected: u64,
+    recovered: u64,
+    mean_recovery_s: f64,
+    max_recovery_s: f64,
+}
+
+/// Split a robustness report's fault records by class and aggregate
+/// each class's recovery distribution.
+fn class_stats(rob: &RobustnessReport) -> Vec<ClassStats> {
+    let mut acc: BTreeMap<&'static str, (u64, u64, f64, f64)> = BTreeMap::new();
+    for f in &rob.faults {
+        let e = acc.entry(FaultClass::of(f.event).as_str()).or_default();
+        e.0 += 1;
+        if let Some(r) = f.recovery_s {
+            e.1 += 1;
+            e.2 += r;
+            e.3 = e.3.max(r);
+        }
+    }
+    acc.into_iter()
+        .map(|(class, (injected, recovered, sum, max))| ClassStats {
+            class: class.to_string(),
+            injected,
+            recovered,
+            mean_recovery_s: if recovered > 0 { sum / recovered as f64 } else { 0.0 },
+            max_recovery_s: max,
+        })
+        .collect()
 }
 
 /// The whole `results/chaos.json` document.
@@ -921,6 +960,7 @@ fn chaos_intensities() -> Vec<(&'static str, FaultPlan)> {
                 link_faults: Some(FaultProcess { mtbf: 20.0, mttr: 2.0 }),
                 router_faults: None,
                 control: None,
+                profile: None,
             },
         ),
         (
@@ -931,6 +971,7 @@ fn chaos_intensities() -> Vec<(&'static str, FaultPlan)> {
                 link_faults: Some(FaultProcess { mtbf: 15.0, mttr: 2.0 }),
                 router_faults: None,
                 control: Some(ControlChaos::default()),
+                profile: None,
             },
         ),
         (
@@ -947,16 +988,45 @@ fn chaos_intensities() -> Vec<(&'static str, FaultPlan)> {
                     jitter_max: 0.01,
                     rto: 0.02,
                 }),
+                profile: None,
             },
         ),
     ]
 }
 
+/// The adversarial campaign: structured [`NetProfile`] adversaries
+/// (bursty Gilbert–Elliott, asymmetric, grey failure, scripted
+/// partition/heal) at two intensities each. Loss and grey adversaries
+/// run *under* the light link-fault process so every cell still has
+/// fault recoveries to time; partition cells script their own atomic
+/// cut/heal events (times are absolute sim seconds and must fit the
+/// smoke horizon too).
+fn chaos_adversaries() -> Vec<(&'static str, &'static str, Option<&'static str>, Vec<PartitionSpec>)>
+{
+    let cut = |at: f64, heal_at: f64, side: &[u32]| PartitionSpec {
+        at,
+        heal_at,
+        side: side.iter().map(|&i| NodeId(i)).collect(),
+    };
+    vec![
+        ("bursty", "light", Some("ge:0.03,0.5,0.005,0.5"), vec![]),
+        ("bursty", "heavy", Some("ge:0.1,0.3,0.02,0.8"), vec![]),
+        ("asym", "light", Some("iid:0.01;rev-ge:0.05,0.5,0.0,0.6"), vec![]),
+        ("asym", "heavy", Some("iid:0.03;rev-ge:0.12,0.3,0.01,0.8"), vec![]),
+        ("grey", "light", Some("grey:0.2,0.05"), vec![]),
+        ("grey", "heavy", Some("iid:0.01;grey:0.5,0.15"), vec![]),
+        ("partition", "light", None, vec![cut(8.0, 12.0, &[0, 1])]),
+        ("partition", "heavy", None, vec![cut(8.0, 12.0, &[0, 1, 2, 3, 4]), cut(14.0, 17.0, &[5])]),
+    ]
+}
+
 /// Tentpole robustness experiment — CAIRN and NET1 under three seeded
 /// fault intensities (link failures, router crash/restarts, lossy and
-/// corrupting control channel) with invariant auditing on for every
-/// routing-table change. Writes `results/chaos.json` and asserts the
-/// paper's core safety claim: zero LFI violations under any schedule.
+/// corrupting control channel), plus the adversarial profile campaign
+/// (bursty, asymmetric, grey, partition/heal), with invariant auditing
+/// on for every routing-table change. Writes `results/chaos.json` and
+/// asserts the paper's core safety claim: zero LFI violations under any
+/// schedule.
 pub fn chaos() {
     chaos_run(false);
 }
@@ -984,13 +1054,21 @@ pub fn chaos_run(smoke: bool) {
     };
 
     // One flat batch over the whole grid; results come back in order.
-    let mut meta: Vec<(&'static str, &'static str, u64, f64)> = Vec::new();
+    struct CellMeta {
+        topo: &'static str,
+        intensity: String,
+        seed: u64,
+        rate: f64,
+        adversary: Option<String>,
+        has_partition: bool,
+    }
+    let mut meta: Vec<CellMeta> = Vec::new();
     let mut jobs: Vec<SimJob> = Vec::new();
     for (name, t, flows, rate) in &grid {
         let traffic = TrafficMatrix::from_flows(t, flows).expect("chaos traffic");
         for (label, template) in &intensities {
             for &seed in seeds {
-                let plan = FaultPlan { seed: template.seed ^ seed, ..*template };
+                let plan = FaultPlan { seed: template.seed ^ seed, ..template.clone() };
                 let cfg = SimConfig {
                     warmup,
                     duration,
@@ -999,9 +1077,77 @@ pub fn chaos_run(smoke: bool) {
                     audit_invariants: true,
                     ..Default::default()
                 };
-                meta.push((name, label, seed, *rate));
+                meta.push(CellMeta {
+                    topo: name,
+                    intensity: label.to_string(),
+                    seed,
+                    rate: *rate,
+                    adversary: None,
+                    has_partition: false,
+                });
                 jobs.push(SimJob::new(t, &traffic, cfg));
             }
+        }
+    }
+
+    // The adversarial campaign rides on NET1 (present in both the full
+    // grid and the smoke subset).
+    let adversaries = chaos_adversaries();
+    let adversaries: Vec<_> = if smoke {
+        adversaries
+            .into_iter()
+            .filter(|(class, level, _, _)| {
+                *level == "light" && (*class == "bursty" || *class == "partition")
+            })
+            .collect()
+    } else {
+        adversaries
+    };
+    let (net1_name, net1_t, net1_flows, net1_rate) =
+        grid.iter().find(|(name, ..)| *name == "NET1").expect("NET1 is in every grid");
+    let net1_traffic = TrafficMatrix::from_flows(net1_t, net1_flows).expect("chaos traffic");
+    for (class, level, spec, parts) in &adversaries {
+        for &seed in seeds {
+            let mut profile = match spec {
+                Some(s) => NetProfile::parse(s, 0xADB0 ^ seed).expect("adversary spec parses"),
+                None => NetProfile { seed: 0xADB0 ^ seed, ..NetProfile::default() },
+            };
+            profile.partitions = parts.clone();
+            let plan = FaultPlan {
+                seed: 0xC4A0_00AD ^ seed,
+                start: 5.0,
+                // Loss/grey adversaries need faults to time recovery
+                // against; partition cells script their own events.
+                link_faults: parts.is_empty().then_some(FaultProcess { mtbf: 20.0, mttr: 2.0 }),
+                router_faults: None,
+                control: None,
+                profile: Some(profile),
+            };
+            let cfg = SimConfig {
+                warmup,
+                duration,
+                seed,
+                fault_plan: Some(plan),
+                audit_invariants: true,
+                ..Default::default()
+            };
+            let mut adversary = spec.unwrap_or("").to_string();
+            for p in parts {
+                if !adversary.is_empty() {
+                    adversary.push(';');
+                }
+                let side: Vec<String> = p.side.iter().map(|n| n.0.to_string()).collect();
+                adversary.push_str(&format!("{}:{}:{}", p.at, p.heal_at, side.join("|")));
+            }
+            meta.push(CellMeta {
+                topo: net1_name,
+                intensity: format!("{class}/{level}"),
+                seed,
+                rate: *net1_rate,
+                adversary: Some(adversary),
+                has_partition: !parts.is_empty(),
+            });
+            jobs.push(SimJob::new(net1_t, &net1_traffic, cfg));
         }
     }
     let reports = run_many_recorded(jobs);
@@ -1017,7 +1163,7 @@ pub fn chaos_run(smoke: bool) {
     };
     println!("== chaos — {} ==", doc.title);
     println!(
-        "{:<7}{:<9}{:>5}{:>8}{:>10}{:>10}{:>10}{:>11}{:>9}{:>10}{:>11}",
+        "{:<7}{:<17}{:>5}{:>8}{:>10}{:>10}{:>10}{:>11}{:>9}{:>10}{:>11}",
         "topo",
         "level",
         "seed",
@@ -1031,7 +1177,8 @@ pub fn chaos_run(smoke: bool) {
         "violations"
     );
     let mut total_recovered = 0u64;
-    for ((name, label, seed, rate), rep) in meta.into_iter().zip(reports) {
+    for (m, rep) in meta.into_iter().zip(reports) {
+        let (name, label, seed) = (m.topo, m.intensity, m.seed);
         let rob = rep.robustness.clone().expect("chaos run must carry a robustness report");
         assert!(!rob.faults.is_empty(), "{name}/{label}/{seed}: fault plan injected nothing");
         assert_eq!(
@@ -1039,9 +1186,23 @@ pub fn chaos_run(smoke: bool) {
             "{name}/{label}/{seed}: LFI violated — {:?}",
             rob.first_violation
         );
+        if m.has_partition {
+            // A partition cell must record its scripted cut AND heal,
+            // and the routing must reconverge after the heal.
+            let heal = rob
+                .faults
+                .iter()
+                .filter(|f| matches!(f.event, FaultEvent::PartitionHeal { .. }))
+                .collect::<Vec<_>>();
+            assert!(!heal.is_empty(), "{name}/{label}/{seed}: no heal recorded");
+            assert!(
+                heal.iter().any(|f| f.recovery_s.is_some()),
+                "{name}/{label}/{seed}: routing never reconverged after a heal"
+            );
+        }
         total_recovered += rob.recovered;
         println!(
-            "{:<7}{:<9}{:>5}{:>8}{:>10}{:>10.3}{:>10.3}{:>11}{:>9}{:>10}{:>11}",
+            "{:<7}{:<17}{:>5}{:>8}{:>10}{:>10.3}{:>10.3}{:>11}{:>9}{:>10}{:>11}",
             name,
             label,
             seed,
@@ -1056,12 +1217,14 @@ pub fn chaos_run(smoke: bool) {
         );
         doc.cells.push(ChaosCell {
             topology: name.to_string(),
-            intensity: label.to_string(),
+            intensity: label,
             seed,
-            rate_mbps: rate / 1e6,
+            rate_mbps: m.rate / 1e6,
             delivered: rep.delivered,
             dropped: rep.dropped,
             control_messages: rep.control_messages,
+            adversary: m.adversary,
+            by_class: class_stats(&rob),
             robustness: rob,
         });
     }
@@ -1073,6 +1236,11 @@ every cell audited after every routing-table change — {} LFI checks total, zer
     ));
     doc.notes.push(
         "recovery = first instant after a fault with no LSU in flight and every router PASSIVE"
+            .into(),
+    );
+    doc.notes.push(
+        "adversarial cells (bursty/asym/grey/partition) run the structured NetProfile \
+channel — the same seeded adversary the live shell injects at its sockets"
             .into(),
     );
     for n in &doc.notes {
@@ -1252,7 +1420,7 @@ asserted bit-identical to observer-on"
     let mut jobs: Vec<SimJob> = Vec::new();
     for (label, template) in intensities.iter().filter(|(l, _)| wanted.contains(l)) {
         for &seed in seeds {
-            let plan = FaultPlan { seed: template.seed ^ seed, ..*template };
+            let plan = FaultPlan { seed: template.seed ^ seed, ..template.clone() };
             let cfg = SimConfig {
                 warmup: cw,
                 duration: cd,

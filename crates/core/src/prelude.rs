@@ -13,9 +13,10 @@ pub use mdr_routing::{
     DvEvent, DvMessage, DvRouter, Harness, MpdaRouter, PdaRouter, RouteChange, RouterEvent,
 };
 pub use mdr_sim::{
-    run_many, run_many_with, ControlChaos, EstimatorKind, FaultClass, FaultEvent, FaultPlan,
-    FaultProcess, FaultRecord, FluidSimulator, InvariantMonitor, MetricsHub, MetricsReport,
-    NullObserver, ObserverMode, PacketDist, RecordingObserver, RobustnessCounters,
-    RobustnessReport, RunSet, Scenario, ScenarioEvent, SimConfig, SimEvent, SimJob, SimMode,
-    SimObserver, SimReport, Simulator, TelemetryReport,
+    run_many, run_many_with, ControlChaos, DirProfile, EstimatorKind, FaultClass, FaultEvent,
+    FaultPlan, FaultProcess, FaultRecord, FluidSimulator, GreyFailure, InvariantMonitor, LossModel,
+    MetricsHub, MetricsReport, NetEmu, NetProfile, NullObserver, ObserverMode, PacketDist,
+    PartitionSpec, RecordingObserver, RobustnessCounters, RobustnessReport, RunSet, Scenario,
+    ScenarioEvent, SimConfig, SimEvent, SimJob, SimMode, SimObserver, SimReport, Simulator,
+    TelemetryReport,
 };

@@ -37,6 +37,21 @@ fn workspace_scan_is_clean_with_shell_only_allowlist() {
         );
     }
     assert_eq!(cfg.allows.len(), 1, "exactly one sanctioned allowlist entry expected");
+    // The chaos layer (NetProfile/NetEmu) and the adaptive RTT
+    // estimator are load-bearing for reproducible fault campaigns:
+    // they must stay inside the deterministic scope so MDR002 keeps
+    // them clock-free (the estimator only ever sees `now` as an
+    // explicit argument, never reads it).
+    for must_cover in ["crates/sim", "crates/node"] {
+        assert!(
+            cfg.deterministic_crates.iter().any(|c| c == must_cover),
+            "{must_cover} (chaos / RTT estimator home) fell out of deterministic scope"
+        );
+    }
+    assert!(
+        cfg.no_panic_paths.iter().any(|p| p == "crates/node/src/reliable.rs"),
+        "reliable.rs (RTT estimator + retransmit queue) fell out of the no-panic scope"
+    );
     let outcome = rules::scan_workspace(workspace_root(), &cfg).expect("scan must run");
     assert!(outcome.files_scanned >= 60, "walked {} files only", outcome.files_scanned);
     let rendered: Vec<String> = outcome.diags.iter().map(|d| d.to_string()).collect();

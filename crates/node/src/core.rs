@@ -381,6 +381,13 @@ impl NodeCore {
                     lsu.ack = false; // ack substitution: transport acks only
                     self.neighbors[idx].held.push(lsu);
                 }
+                ChannelEvent::Discarded { in_flight, backlog, reorder } => {
+                    self.record(
+                        RecordBody::ChannelLoss { peer, in_flight, backlog, reorder },
+                        now,
+                        out,
+                    );
+                }
             }
             return;
         }
@@ -423,6 +430,19 @@ impl NodeCore {
                 lsu.ack = false;
                 let r = self.driver.deliver(peer, lsu);
                 self.handle_router_output(r, now, out);
+            }
+            ChannelEvent::Discarded { in_flight, backlog, reorder } => {
+                // Flush-or-report: the reset already purged this data;
+                // recording the loss (instead of the old silent discard)
+                // is what lets the soak trace audit reconcile "LSUs
+                // queued" against "LSUs delivered". Routing-wise nothing
+                // to do — the accompanying down/restart re-floods full
+                // state, superseding whatever was dropped.
+                self.record(
+                    RecordBody::ChannelLoss { peer, in_flight, backlog, reorder },
+                    now,
+                    out,
+                );
             }
         }
     }
@@ -709,7 +729,7 @@ mod tests {
             for_inc: 0,
             session: 1,
             hlc: Default::default(),
-            body: NodeBody::Hello,
+            body: NodeBody::Hello { ts_us: 0, echo_ts_us: 0, hold_us: 0 },
         };
         let out = a.on_datagram(&frame_node(&msg), 1.1);
         assert!(out.datagrams.is_empty());

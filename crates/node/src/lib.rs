@@ -52,5 +52,5 @@ pub mod trace;
 pub use crate::core::{NodeConfig, NodeCore, NodeOutput};
 pub use hlc::HybridClock;
 pub use record::{NodeRecord, RecordBody, SnapDest};
-pub use reliable::{ChannelEvent, DownReason, PeerChannel, ReliableConfig};
+pub use reliable::{ChannelEvent, DownReason, PeerChannel, ReliableConfig, RttEstimator};
 pub use trace::{audit_trace, merge_lines, TraceAudit};

@@ -9,7 +9,7 @@
 //! - `spec`   — print a built-in topology as NetworkSpec JSON
 
 use mdr_net::{NetworkSpec, NodeId};
-use mdr_node::shell::launch::{neighbor_table, spawn_node, topology};
+use mdr_node::shell::launch::{neighbor_table, spawn_node, topology, SpawnNet};
 use mdr_node::shell::soak::{run_soak, SoakConfig};
 use mdr_node::shell::udp::{run_node, PortMap};
 use mdr_node::NodeConfig;
@@ -22,13 +22,23 @@ mdr-node — multi-process MPDA control plane
 USAGE:
   mdr-node run --topo <name|spec.json> --node <i> [--inc <k>] [--base-port <p>]
                [--trace <file.jsonl>] [--duration <s>] [--loss <p>] [--seed <s>]
+               [--profile <spec>] [--profile-seed <s>] [--partition <specs>]
+               [--t0 <unix-s>] [--adaptive true|false]
   mdr-node launch --topo <name|spec.json> [--base-port <p>] [--trace-dir <dir>]
-               [--duration <s>] [--loss <p>] [--seed <s>]
-  mdr-node soak [--preset smoke|full] [--topo <name|spec.json>] [--duration <s>]
-               [--kills <k>] [--loss <p>] [--seed <s>] [--base-port <p>] [--out <dir>]
+               [--duration <s>] [--loss <p>] [--seed <s>] [--profile <spec>]
+               [--profile-seed <s>] [--partition <specs>] [--adaptive true|false]
+  mdr-node soak [--preset smoke|full|bursty|partition] [--topo <name|spec.json>]
+               [--duration <s>] [--kills <k>] [--loss <p>] [--seed <s>]
+               [--base-port <p>] [--out <dir>] [--profile <spec>]
+               [--partition <specs>] [--adaptive true|false]
   mdr-node spec --topo <name>
 
-Built-in topologies: ring5, cairn8, cairn, net1.";
+Built-in topologies: ring5, cairn8, cairn, net1.
+
+Impairment profiles (`;`-separated clauses, shared with the simulator):
+  iid:P | ge:PGB,PBG,LGOOD,LBAD | rev-iid:... | rev-ge:... |
+  delay:MAX | rev-delay:MAX | grey:DROP,CORRUPT
+Partitions: `AT:HEAL:N0|N1|...` — multiple schedules `;`-separated.";
 
 /// `--key value` flag bag; every flag takes exactly one value.
 struct Flags(Vec<(String, String)>);
@@ -61,6 +71,29 @@ impl Flags {
     }
 }
 
+/// Assemble the structured impairment profile from `--profile`,
+/// `--partition` and `--profile-seed`, when any were given.
+fn parse_profile(flags: &Flags) -> Result<Option<mdr_sim::chaos::NetProfile>, String> {
+    use mdr_sim::chaos::{NetProfile, PartitionSpec};
+    let spec = flags.get("profile");
+    let parts = flags.get("partition");
+    if spec.is_none() && parts.is_none() {
+        return Ok(None);
+    }
+    let seed: u64 = flags.num("profile-seed", 1)?;
+    let mut profile = match spec {
+        Some(s) => NetProfile::parse(s, seed).map_err(|e| format!("--profile: {e}"))?,
+        None => NetProfile { seed, ..NetProfile::default() },
+    };
+    if let Some(p) = parts {
+        for clause in p.split(';').filter(|c| !c.trim().is_empty()) {
+            let spec = PartitionSpec::parse(clause).map_err(|e| format!("--partition: {e}"))?;
+            profile.partitions.push(spec);
+        }
+    }
+    Ok(Some(profile))
+}
+
 fn cmd_run(flags: &Flags) -> Result<(), String> {
     let topo_arg = flags.get("topo").ok_or("run: --topo is required")?;
     let node: u32 = flags.num("node", u32::MAX)?;
@@ -76,15 +109,22 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     let duration: f64 = flags.num("duration", f64::INFINITY)?;
     let loss: f64 = flags.num("loss", 0.0)?;
     let seed: u64 = flags.num("seed", 0)?;
+    let adaptive: bool = flags.num("adaptive", true)?;
     let trace = flags
         .get("trace")
         .map(str::to_string)
         .unwrap_or_else(|| format!("node{node}.inc{inc}.jsonl"));
 
+    let mut net = mdr_node::shell::udp::NetOptions::lossy(loss, seed);
+    net.profile = parse_profile(flags)?;
+    let t0: f64 = flags.num("t0", f64::NAN)?;
+    net.t0 = t0.is_finite().then_some(t0);
+
     let neighbors = neighbor_table(&topo).into_iter().nth(node as usize).unwrap_or_default();
-    let cfg = NodeConfig::new(NodeId(node), topo.node_count(), inc, neighbors);
+    let mut cfg = NodeConfig::new(NodeId(node), topo.node_count(), inc, neighbors);
+    cfg.reliable.adaptive = adaptive;
     let deadline = duration.is_finite().then_some(duration);
-    let lines = run_node(cfg, PortMap { base: base_port }, &trace, deadline, loss, seed)
+    let lines = run_node(cfg, PortMap { base: base_port }, &trace, deadline, net)
         .map_err(|e| format!("run: {e}"))?;
     eprintln!("mdr-node: node {node} inc {inc} wrote {lines} trace lines to {trace}");
     Ok(())
@@ -100,6 +140,20 @@ fn cmd_launch(flags: &Flags) -> Result<(), String> {
     let dir = PathBuf::from(flags.get("trace-dir").unwrap_or("mdr-node-traces"));
     std::fs::create_dir_all(&dir).map_err(|e| format!("launch: create {}: {e}", dir.display()))?;
 
+    // Validate the profile spec here, before the children choke on it.
+    parse_profile(flags)?;
+    let net = SpawnNet {
+        loss,
+        seed: 0,
+        profile: flags.get("profile").map(str::to_string),
+        partition: flags.get("partition").map(str::to_string),
+        profile_seed: flags.num("profile-seed", 1)?,
+        // The launcher's start instant anchors every child's partition
+        // schedule — the cut is atomic across the fleet.
+        t0: Some(mdr_node::shell::launch::unix_now()),
+        adaptive: flags.num("adaptive", true)?,
+    };
+
     let n = topo.node_count();
     eprintln!("mdr-node: launching {n} routers ({topo_arg}), traces in {}", dir.display());
     let mut children = Vec::with_capacity(n);
@@ -111,8 +165,7 @@ fn cmd_launch(flags: &Flags) -> Result<(), String> {
             base_port,
             &dir,
             duration,
-            loss,
-            seed ^ ((i as u64) << 32),
+            &SpawnNet { seed: seed ^ ((i as u64) << 32), ..net.clone() },
         )
         .map_err(|e| format!("launch: spawn node {i}: {e}"))?;
         children.push(child);
@@ -143,6 +196,8 @@ fn cmd_soak(flags: &Flags) -> Result<(), String> {
     let mut cfg = match flags.get("preset") {
         None | Some("smoke") => SoakConfig::smoke(out),
         Some("full") => SoakConfig::full(out),
+        Some("bursty") => SoakConfig::bursty(out),
+        Some("partition") => SoakConfig::partition(out),
         Some(other) => return Err(format!("soak: unknown preset `{other}`")),
     };
     if let Some(t) = flags.get("topo") {
@@ -153,14 +208,23 @@ fn cmd_soak(flags: &Flags) -> Result<(), String> {
     cfg.loss = flags.num("loss", cfg.loss)?;
     cfg.seed = flags.num("seed", cfg.seed)?;
     cfg.base_port = flags.num("base-port", cfg.base_port)?;
+    if let Some(p) = flags.get("profile") {
+        cfg.profile = Some(p.to_string());
+    }
+    if let Some(p) = flags.get("partition") {
+        cfg.partition = Some(p.to_string());
+    }
+    cfg.adaptive = flags.num("adaptive", cfg.adaptive)?;
 
     eprintln!(
-        "mdr-node: soaking {} for {:.0}s with {} kills at {:.0}% loss (seed {})",
+        "mdr-node: soaking {} for {:.0}s with {} kills at {:.0}% loss (seed {}{}{})",
         cfg.topo,
         cfg.duration_s,
         cfg.kills,
         cfg.loss * 100.0,
-        cfg.seed
+        cfg.seed,
+        cfg.profile.as_deref().map(|p| format!(", profile `{p}`")).unwrap_or_default(),
+        cfg.partition.as_deref().map(|p| format!(", partition `{p}`")).unwrap_or_default(),
     );
     let report = run_soak(&cfg)?;
     eprintln!(
@@ -173,6 +237,14 @@ fn cmd_soak(flags: &Flags) -> Result<(), String> {
         report.audit.max_recovery_s().unwrap_or(0.0),
         report.clean_shutdown,
     );
+    if report.heals > 0 {
+        eprintln!(
+            "mdr-node: partition heal — {}/{} routers reconverged, worst {:.3}s",
+            report.heal_converged,
+            report.n,
+            report.heal_recovery_s.unwrap_or(f64::NAN),
+        );
+    }
     if report.passed() {
         eprintln!("mdr-node: soak PASSED (report: {}/soak.json)", cfg.out_dir.display());
         Ok(())

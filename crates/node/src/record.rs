@@ -78,6 +78,19 @@ pub enum RecordBody {
         /// Why.
         reason: DownReason,
     },
+    /// A channel reset discarded undelivered data (the flush-or-report
+    /// contract: transport loss is recorded, never silent). Follows the
+    /// `peer_down`/`peer_restart` that caused the reset.
+    ChannelLoss {
+        /// The peer.
+        peer: NodeId,
+        /// Segments in flight (sent, never acked) that were dropped.
+        in_flight: u64,
+        /// Segments queued behind the window, never transmitted.
+        backlog: u64,
+        /// Out-of-order segments buffered but never released.
+        reorder: u64,
+    },
     /// A successor set changed.
     RouteChange {
         /// Destination.
@@ -135,6 +148,7 @@ impl RecordBody {
             RecordBody::PeerUp { .. } => "peer_up",
             RecordBody::PeerRestart { .. } => "peer_restart",
             RecordBody::PeerDown { .. } => "peer_down",
+            RecordBody::ChannelLoss { .. } => "channel_loss",
             RecordBody::RouteChange { .. } => "route_change",
             RecordBody::Snapshot { .. } => "snapshot",
             RecordBody::Resynced { .. } => "resynced",
@@ -201,6 +215,12 @@ impl Serialize for NodeRecord {
             RecordBody::PeerDown { peer, reason } => {
                 m.push(("peer".into(), Value::U64(peer.0 as u64)));
                 m.push(("reason".into(), Value::Str(reason.as_str().into())));
+            }
+            RecordBody::ChannelLoss { peer, in_flight, backlog, reorder } => {
+                m.push(("peer".into(), Value::U64(peer.0 as u64)));
+                m.push(("in_flight".into(), Value::U64(*in_flight)));
+                m.push(("backlog".into(), Value::U64(*backlog)));
+                m.push(("reorder".into(), Value::U64(*reorder)));
             }
             RecordBody::RouteChange { dest, old, new } => {
                 m.push(("dest".into(), Value::U64(dest.0 as u64)));
@@ -286,10 +306,18 @@ impl Deserialize for NodeRecord {
                     "dead_interval" => DownReason::DeadInterval,
                     "retry_exhausted" => DownReason::RetryExhausted,
                     "restarted" => DownReason::Restarted,
+                    "session_reset" => DownReason::SessionReset,
+                    "reorder_overflow" => DownReason::ReorderOverflow,
                     other => return Err(Error::custom(format!("unknown down reason `{other}`"))),
                 };
                 RecordBody::PeerDown { peer: node_field(v, "peer")?, reason }
             }
+            "channel_loss" => RecordBody::ChannelLoss {
+                peer: node_field(v, "peer")?,
+                in_flight: field(v, "in_flight")?,
+                backlog: field(v, "backlog")?,
+                reorder: field(v, "reorder")?,
+            },
             "route_change" => RecordBody::RouteChange {
                 dest: node_field(v, "dest")?,
                 old: nodes_field(v, "old")?,
@@ -354,6 +382,9 @@ mod tests {
             RecordBody::PeerUp { peer: NodeId(1), peer_inc: 4 },
             RecordBody::PeerRestart { peer: NodeId(1), old: 4, new: 5 },
             RecordBody::PeerDown { peer: NodeId(2), reason: DownReason::RetryExhausted },
+            RecordBody::PeerDown { peer: NodeId(2), reason: DownReason::SessionReset },
+            RecordBody::PeerDown { peer: NodeId(2), reason: DownReason::ReorderOverflow },
+            RecordBody::ChannelLoss { peer: NodeId(2), in_flight: 3, backlog: 1, reorder: 0 },
             RecordBody::RouteChange { dest: NodeId(7), old: vec![], new: vec![NodeId(1)] },
             RecordBody::Snapshot {
                 dests: vec![SnapDest {

@@ -14,13 +14,33 @@
 //!   numbers; at most [`ReliableConfig::window`] are in flight; the
 //!   receiver buffers out-of-order arrivals and releases a strictly
 //!   in-order, gap-free, duplicate-free stream to the router.
-//! * **Ack-driven retransmission** — cumulative acks; the oldest
-//!   unacked segment retransmits on a timeout that doubles per attempt
-//!   from [`ReliableConfig::rto_initial`] up to
-//!   [`ReliableConfig::rto_max`]; exhausting
+//! * **Ack-driven retransmission with an adaptive RTO** — cumulative
+//!   acks; the oldest unacked segment retransmits on a timeout derived
+//!   from a Jacobson/Karels estimator ([`RttEstimator`]: SRTT/RTTVAR
+//!   with α=1/8, β=1/4, `RTO = SRTT + 4·RTTVAR` clamped to
+//!   [[`ReliableConfig::rto_min`], [`ReliableConfig::rto_max`]]),
+//!   doubled per retry of the same segment. Karn's rule: retransmitted
+//!   segments contribute no samples; hello RTT echoes keep the
+//!   estimator fed even on an idle adjacency. Exhausting
 //!   [`ReliableConfig::retry_budget`] attempts declares the peer dead.
 //!   Duplicate acks (cumulative sequence not advancing) are tolerated
-//!   silently — UDP duplicates a reordered ack at will.
+//!   silently — UDP duplicates a reordered ack at will. Setting
+//!   [`ReliableConfig::adaptive`] to `false` restores the fixed
+//!   `rto_initial · 2^k` ladder (kept for A/B comparison in the soak
+//!   harness).
+//! * **Graceful degradation instead of wedging** — a retry-budget
+//!   exhaustion or a reorder-buffer overflow reports what it discarded
+//!   ([`ChannelEvent::Discarded`]), tears the adjacency down (the node
+//!   withdraws routes through the suspect neighbor rather than
+//!   blackholing into it), and enters a **probing** state: hellos
+//!   continue at an exponentially relaxing cadence (up to the dead
+//!   interval) so the adjacency re-establishes as soon as the path
+//!   heals, without hammering a grey link.
+//! * **Bounded reorder buffer** — out-of-order segments are buffered
+//!   up to [`ReliableConfig::max_reorder`]; past that the stream is
+//!   declared unsynchronizable ([`DownReason::ReorderOverflow`]) and
+//!   the channel forces a full re-sync instead of growing without
+//!   bound under sustained one-direction loss.
 //! * **Incarnation-tagged re-sync** — every datagram carries the
 //!   sender's incarnation (the chaos harness's scheme: restarts
 //!   increment it, it is never 0). A higher incarnation than the
@@ -67,15 +87,27 @@ pub struct ReliableConfig {
     pub hello_interval: f64,
     /// Seconds of silence after which a peer is declared dead.
     pub dead_interval: f64,
-    /// First retransmission timeout (seconds); attempt `k` waits
+    /// Base retransmission timeout (seconds) before any RTT sample has
+    /// been taken; with `adaptive` off, attempt `k` waits
     /// `rto_initial · 2^k`, capped at [`ReliableConfig::rto_max`].
     pub rto_initial: f64,
+    /// Floor on the adaptive retransmission timeout (seconds) — keeps a
+    /// jitter-free mock clock (SRTT → 0) from retransmitting insanely
+    /// fast.
+    pub rto_min: f64,
     /// Ceiling on the per-attempt retransmission timeout (seconds).
     pub rto_max: f64,
     /// Retransmissions of one segment before the peer is declared dead.
     pub retry_budget: u32,
     /// Maximum unacked segments in flight.
     pub window: usize,
+    /// Use the Jacobson/Karels estimator for the base timeout (`true`,
+    /// the default) instead of the fixed `rto_initial` ladder.
+    pub adaptive: bool,
+    /// Out-of-order segments buffered before the stream is declared
+    /// unsynchronizable and force-resynced
+    /// ([`DownReason::ReorderOverflow`]).
+    pub max_reorder: usize,
 }
 
 impl Default for ReliableConfig {
@@ -84,21 +116,72 @@ impl Default for ReliableConfig {
             hello_interval: 0.2,
             dead_interval: 1.0,
             rto_initial: 0.1,
+            rto_min: 0.05,
             rto_max: 1.6,
             retry_budget: 6,
             window: 16,
+            adaptive: true,
+            max_reorder: 64,
         }
     }
 }
 
 impl ReliableConfig {
-    /// The timeout before retransmission attempt number `retries + 1`
-    /// of a segment already sent `retries + 1` times... i.e. after the
-    /// segment has been transmitted `retries` extra times already:
-    /// `rto_initial · 2^retries`, capped at `rto_max`.
+    /// The fixed-ladder timeout before retransmission attempt number
+    /// `retries + 1` of a segment already sent `retries + 1` times:
+    /// `rto_initial · 2^retries`, capped at `rto_max`. Used verbatim
+    /// when `adaptive` is off; the adaptive path applies the same
+    /// doubling to the estimator's base instead.
     pub fn rto(&self, retries: u32) -> f64 {
         let factor = 2.0f64.powi(retries.min(30) as i32);
         (self.rto_initial * factor).min(self.rto_max)
+    }
+}
+
+/// Jacobson/Karels round-trip estimator (the RFC 6298 recurrences):
+/// on the first sample `SRTT = s`, `RTTVAR = s/2`; afterwards
+/// `RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT − s|` then
+/// `SRTT ← 7/8·SRTT + 1/8·s`; always `RTO = SRTT + 4·RTTVAR`, clamped
+/// to the configured `[rto_min, rto_max]` band. Pure arithmetic over
+/// explicit samples — no clocks — so it stays inside the
+/// deterministic-core lint discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RttEstimator {
+    srtt: f64,
+    rttvar: f64,
+    rto: f64,
+    initialized: bool,
+}
+
+impl RttEstimator {
+    /// An estimator that answers `initial_rto` until the first sample.
+    pub fn new(initial_rto: f64) -> Self {
+        RttEstimator { srtt: 0.0, rttvar: 0.0, rto: initial_rto, initialized: false }
+    }
+
+    /// Fold in one RTT sample (seconds), clamping the resulting RTO to
+    /// `[floor, ceil]`.
+    pub fn observe(&mut self, sample: f64, floor: f64, ceil: f64) {
+        let s = sample.max(0.0);
+        if self.initialized {
+            self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - s).abs();
+            self.srtt = 0.875 * self.srtt + 0.125 * s;
+        } else {
+            self.srtt = s;
+            self.rttvar = s / 2.0;
+            self.initialized = true;
+        }
+        self.rto = (self.srtt + 4.0 * self.rttvar).clamp(floor, ceil);
+    }
+
+    /// Current base timeout (before per-retry doubling).
+    pub fn rto(&self) -> f64 {
+        self.rto
+    }
+
+    /// Smoothed RTT, once at least one sample has arrived.
+    pub fn srtt(&self) -> Option<f64> {
+        self.initialized.then_some(self.srtt)
     }
 }
 
@@ -116,6 +199,10 @@ pub enum DownReason {
     /// advanced at an unchanged incarnation): its sequence space is
     /// gone, so the adjacency re-synchronizes from scratch.
     SessionReset,
+    /// The reorder buffer exceeded [`ReliableConfig::max_reorder`]: the
+    /// gap at the head of the stream is not healing, so the channel
+    /// forces a full re-sync instead of buffering without bound.
+    ReorderOverflow,
 }
 
 impl DownReason {
@@ -126,6 +213,7 @@ impl DownReason {
             DownReason::RetryExhausted => "retry_exhausted",
             DownReason::Restarted => "restarted",
             DownReason::SessionReset => "session_reset",
+            DownReason::ReorderOverflow => "reorder_overflow",
         }
     }
 }
@@ -154,6 +242,19 @@ pub enum ChannelEvent {
     },
     /// One in-order LSU for the router.
     Deliver(LsuMessage),
+    /// A reset threw away transport state holding undelivered data.
+    /// Emitted right after the `PeerDown`/`PeerRestart` that caused the
+    /// reset, and only when something was actually lost — the
+    /// flush-or-report accounting the soak trace audits instead of the
+    /// old silent discard.
+    Discarded {
+        /// Segments that were in flight (sent, never acked).
+        in_flight: u64,
+        /// Segments queued behind the window, never transmitted.
+        backlog: u64,
+        /// Out-of-order segments buffered but never released in order.
+        reorder: u64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -193,6 +294,26 @@ pub struct PeerChannel {
     last_heard: f64,
     next_hello: f64,
     rtt_sample: Option<f64>,
+    /// Adaptive RTO state. Deliberately *not* cleared by `reset`: the
+    /// path's RTT survives an adjacency flap, so a re-established
+    /// channel starts from a calibrated timeout instead of re-learning
+    /// from `rto_initial`.
+    rtt: RttEstimator,
+    /// Most recent peer hello timestamp and the local time it arrived —
+    /// echoed back (with the hold time) so the peer can compute RTT
+    /// without clock synchronization, BFD-style.
+    peer_hello: Option<(u64, f64)>,
+    /// Instant of the most recent retransmission. Karn's rule extended
+    /// to cumulative acks: a segment sent at or before this instant may
+    /// have had its ack head-of-line blocked behind the retransmitted
+    /// head, so its `now − last_sent` overstates the RTT — no sample.
+    retx_epoch: f64,
+    /// Graceful-degradation mode after a retry-budget exhaustion:
+    /// instead of wedging, hellos continue at `probe_interval`, which
+    /// doubles per probe up to the dead interval. Any accepted contact
+    /// clears it.
+    probing: bool,
+    probe_interval: f64,
 }
 
 impl PeerChannel {
@@ -215,6 +336,11 @@ impl PeerChannel {
             last_heard: now,
             next_hello: now,
             rtt_sample: None,
+            rtt: RttEstimator::new(cfg.rto_initial),
+            peer_hello: None,
+            retx_epoch: f64::NEG_INFINITY,
+            probing: false,
+            probe_interval: cfg.hello_interval,
         }
     }
 
@@ -270,10 +396,69 @@ impl PeerChannel {
         self.backlog.is_empty() && self.inflight.is_empty()
     }
 
-    /// Take the RTT sample produced by the most recent ack, if any
-    /// (cleared on read; retransmitted segments never produce one).
+    /// Take the RTT sample produced by the most recent ack or hello
+    /// echo, if any (cleared on read; retransmitted segments never
+    /// produce one — Karn's rule).
     pub fn take_rtt_sample(&mut self) -> Option<f64> {
         self.rtt_sample.take()
+    }
+
+    /// In the probing state: the adjacency failed its retry budget and
+    /// hellos continue at an exponentially relaxing cadence until the
+    /// peer answers.
+    pub fn is_probing(&self) -> bool {
+        self.probing
+    }
+
+    /// Current base retransmission timeout — the estimator's RTO when
+    /// adaptive, `rto_initial` otherwise. Per-retry doubling applies on
+    /// top of this.
+    pub fn base_rto(&self) -> f64 {
+        if self.cfg.adaptive {
+            self.rtt.rto()
+        } else {
+            self.cfg.rto_initial
+        }
+    }
+
+    /// Smoothed RTT toward this peer, once a sample has arrived.
+    pub fn srtt(&self) -> Option<f64> {
+        self.rtt.srtt()
+    }
+
+    /// The timeout ahead of retransmission `retries + 1` of a segment:
+    /// the adaptive (or fixed) base doubled per retry, capped at
+    /// `rto_max`. `poll` and `next_deadline` both go through here so
+    /// their deadline arithmetic agrees bit-for-bit.
+    fn seg_rto(&self, retries: u32) -> f64 {
+        if self.cfg.adaptive {
+            let factor = 2.0f64.powi(retries.min(30) as i32);
+            (self.rtt.rto() * factor).min(self.cfg.rto_max)
+        } else {
+            self.cfg.rto(retries)
+        }
+    }
+
+    /// Build the outgoing keepalive: our send timestamp plus an echo of
+    /// the peer's latest hello (and how long we held it), which is all
+    /// the peer needs to compute RTT = now − echo − hold locally.
+    fn make_hello(&self, now: f64) -> NodeBody {
+        let (echo_ts_us, hold_us) = match self.peer_hello {
+            Some((ts, rx)) => (ts, ((now - rx).max(0.0) * 1e6).round() as u64),
+            None => (0, 0),
+        };
+        NodeBody::Hello { ts_us: (now.max(0.0) * 1e6).round() as u64, echo_ts_us, hold_us }
+    }
+
+    /// [`ChannelEvent::Discarded`] for a reset's casualty counts, or
+    /// `None` when the reset lost nothing.
+    fn discard_event(counts: (u64, u64, u64)) -> Option<ChannelEvent> {
+        let (in_flight, backlog, reorder) = counts;
+        (in_flight + backlog + reorder > 0).then_some(ChannelEvent::Discarded {
+            in_flight,
+            backlog,
+            reorder,
+        })
     }
 
     /// Queue one LSU for reliable in-order delivery and return any
@@ -327,17 +512,26 @@ impl PeerChannel {
                 self.peer_inc = Some(incarnation);
                 self.peer_session = session;
                 self.last_heard = now;
+                if self.probing {
+                    // Contact: leave the probing backoff and return to
+                    // the keepalive cadence promptly so the peer's own
+                    // dead-interval timer stays fed.
+                    self.probing = false;
+                    self.probe_interval = self.cfg.hello_interval;
+                    self.next_hello = self.next_hello.min(now + self.cfg.hello_interval);
+                }
                 events.push(ChannelEvent::PeerUp { incarnation });
             }
             Some(cur) if incarnation > cur => {
                 // The peer restarted: everything it knew — our
                 // adjacency, every sequence number — is gone. Reset and
                 // re-establish at the new incarnation.
-                self.reset(now);
+                let discarded = self.reset(now);
                 self.peer_inc = Some(incarnation);
                 self.peer_session = session;
                 self.last_heard = now;
                 events.push(ChannelEvent::PeerRestart { old: cur, new: incarnation });
+                events.extend(Self::discard_event(discarded));
             }
             Some(cur) if incarnation < cur => {
                 // A stale datagram from a previous life, still floating
@@ -355,11 +549,12 @@ impl PeerChannel {
                 // reset-then-adopt below cannot ping-pong: the peer
                 // meets our own session bump with its adjacency already
                 // cleared, and a fresh adoption triggers nothing.
-                self.reset(now);
+                let discarded = self.reset(now);
                 self.peer_inc = Some(incarnation);
                 self.peer_session = session;
                 self.last_heard = now;
                 events.push(ChannelEvent::PeerDown { reason: DownReason::SessionReset });
+                events.extend(Self::discard_event(discarded));
                 events.push(ChannelEvent::PeerUp { incarnation });
             }
             Some(_) if session < self.peer_session => {
@@ -373,7 +568,25 @@ impl PeerChannel {
 
         let mut out = Vec::new();
         match body {
-            NodeBody::Hello => {}
+            NodeBody::Hello { ts_us, echo_ts_us, hold_us } => {
+                if ts_us != 0 {
+                    // Remember the peer's timestamp (and when we got
+                    // it) so our next hello can echo it back.
+                    self.peer_hello = Some((ts_us, now));
+                }
+                if echo_ts_us != 0 {
+                    // Our own timestamp coming back: RTT is our elapsed
+                    // time minus how long the peer sat on it — no clock
+                    // synchronization involved. Reject samples outside
+                    // [0, dead_interval] (skewed holds, ancient
+                    // stragglers that survived a filter above).
+                    let sample = now - echo_ts_us as f64 / 1e6 - hold_us as f64 / 1e6;
+                    if sample >= 0.0 && sample <= self.cfg.dead_interval {
+                        self.rtt.observe(sample, self.cfg.rto_min, self.cfg.rto_max);
+                        self.rtt_sample = Some(sample);
+                    }
+                }
+            }
             NodeBody::Data { seq, lsu } => {
                 if seq > self.delivered {
                     self.reorder.insert(seq, lsu);
@@ -381,6 +594,18 @@ impl PeerChannel {
                     while let Some(msg) = self.reorder.remove(&(self.delivered + 1)) {
                         self.delivered += 1;
                         events.push(ChannelEvent::Deliver(msg));
+                    }
+                    if self.reorder.len() > self.cfg.max_reorder {
+                        // The head-of-line gap is not healing while
+                        // segments keep arriving past it: force a full
+                        // re-sync (session bump) rather than buffer
+                        // without bound. No ack goes out — the peer
+                        // must meet our new session, not our stale
+                        // cumulative position.
+                        let discarded = self.reset(now);
+                        events.push(ChannelEvent::PeerDown { reason: DownReason::ReorderOverflow });
+                        events.extend(Self::discard_event(discarded));
+                        return (out, events);
                     }
                 }
                 // Always ack with the cumulative position: a duplicate
@@ -395,8 +620,18 @@ impl PeerChannel {
                     self.acked = cum_seq;
                     while self.inflight.front().is_some_and(|f| f.seq <= cum_seq) {
                         if let Some(f) = self.inflight.pop_front() {
-                            if !f.retransmitted {
-                                self.rtt_sample = Some((now - f.last_sent).max(0.0));
+                            // Karn's rule, extended: no sample from a
+                            // retransmitted segment (which transmission
+                            // does the ack answer?), and none from a
+                            // segment whose flight overlapped someone
+                            // else's retransmission — its cumulative
+                            // ack was head-of-line blocked behind the
+                            // loss, so the elapsed time measures the
+                            // stall, not the path.
+                            if !f.retransmitted && f.last_sent > self.retx_epoch {
+                                let sample = (now - f.last_sent).max(0.0);
+                                self.rtt.observe(sample, self.cfg.rto_min, self.cfg.rto_max);
+                                self.rtt_sample = Some(sample);
                             }
                         }
                     }
@@ -420,27 +655,51 @@ impl PeerChannel {
         // polling at the reported deadline a no-op (a livelock for any
         // caller that sleeps until `next_deadline`).
         if self.is_up() && now >= self.last_heard + self.cfg.dead_interval {
-            self.reset(now);
+            let discarded = self.reset(now);
             events.push(ChannelEvent::PeerDown { reason: DownReason::DeadInterval });
+            events.extend(Self::discard_event(discarded));
             return (out, events);
         }
-        if let Some(head) = self.inflight.front_mut() {
-            if now >= head.last_sent + self.cfg.rto(head.retries) {
-                if head.retries >= self.cfg.retry_budget {
-                    self.reset(now);
+        let retx_due =
+            self.inflight.front().map(|h| (h.retries, h.last_sent + self.seg_rto(h.retries)));
+        if let Some((retries, due)) = retx_due {
+            if now >= due {
+                if retries >= self.cfg.retry_budget {
+                    // Graceful degradation: report what was lost, let
+                    // the node withdraw routes through this adjacency,
+                    // and keep probing at a relaxing cadence instead of
+                    // wedging against a grey link.
+                    let discarded = self.reset(now);
+                    self.probing = true;
                     events.push(ChannelEvent::PeerDown { reason: DownReason::RetryExhausted });
+                    events.extend(Self::discard_event(discarded));
                     return (out, events);
                 }
-                head.retries += 1;
-                head.retransmitted = true;
-                head.last_sent = now;
-                out.push(NodeBody::Data { seq: head.seq, lsu: head.msg.clone() });
+                let mut retx = None;
+                if let Some(head) = self.inflight.front_mut() {
+                    head.retries += 1;
+                    head.retransmitted = true;
+                    head.last_sent = now;
+                    retx = Some(NodeBody::Data { seq: head.seq, lsu: head.msg.clone() });
+                }
+                if let Some(frame) = retx {
+                    self.retx_epoch = now;
+                    out.push(frame);
+                }
             }
         }
 
         if now >= self.next_hello {
-            self.next_hello = now + self.cfg.hello_interval;
-            out.push(NodeBody::Hello);
+            let interval = if self.probing {
+                let i = self.probe_interval;
+                self.probe_interval = (self.probe_interval * 2.0)
+                    .min(self.cfg.dead_interval.max(self.cfg.hello_interval));
+                i
+            } else {
+                self.cfg.hello_interval
+            };
+            self.next_hello = now + interval;
+            out.push(self.make_hello(now));
         }
         (out, events)
     }
@@ -453,7 +712,7 @@ impl PeerChannel {
             t = t.min(self.last_heard + self.cfg.dead_interval);
         }
         if let Some(head) = self.inflight.front() {
-            t = t.min(head.last_sent + self.cfg.rto(head.retries));
+            t = t.min(head.last_sent + self.seg_rto(head.retries));
         }
         t
     }
@@ -464,8 +723,13 @@ impl PeerChannel {
     /// which supersedes anything queued here. Bumping the session tells
     /// the peer our sequence space restarted, so it re-syncs too
     /// instead of blackholing the new stream against its old cumulative
-    /// position.
-    fn reset(&mut self, now: f64) {
+    /// position. Returns how much undelivered data was discarded
+    /// (in-flight, backlog, reorder segment counts) so callers can
+    /// report the loss instead of swallowing it; the RTT estimator
+    /// deliberately survives.
+    fn reset(&mut self, now: f64) -> (u64, u64, u64) {
+        let counts =
+            (self.inflight.len() as u64, self.backlog.len() as u64, self.reorder.len() as u64);
         self.session = self.session.saturating_add(1);
         self.peer_inc = None;
         self.peer_session = 0;
@@ -477,6 +741,11 @@ impl PeerChannel {
         self.reorder.clear();
         self.last_heard = now;
         self.rtt_sample = None;
+        self.peer_hello = None;
+        self.retx_epoch = f64::NEG_INFINITY;
+        self.probing = false;
+        self.probe_interval = self.cfg.hello_interval;
+        counts
     }
 }
 
@@ -493,8 +762,14 @@ mod tests {
         ReliableConfig::default()
     }
 
+    /// A bare hello carrying no timestamps (as from a peer that has
+    /// nothing to echo yet).
+    fn hello0() -> NodeBody {
+        NodeBody::Hello { ts_us: 0, echo_ts_us: 0, hold_us: 0 }
+    }
+
     fn up(ch: &mut PeerChannel, inc: u32, now: f64) {
-        let (_, ev) = ch.on_message(inc, 0, 1, NodeBody::Hello, now);
+        let (_, ev) = ch.on_message(inc, 0, 1, hello0(), now);
         assert_eq!(ev, vec![ChannelEvent::PeerUp { incarnation: inc }]);
     }
 
@@ -667,7 +942,12 @@ mod tests {
             ChannelEvent::PeerRestart { old: 1, new: 2 },
             "restart detected before the body is processed"
         );
-        assert!(matches!(ev[1], ChannelEvent::Deliver(_)), "new-life data still delivers");
+        assert_eq!(
+            ev[1],
+            ChannelEvent::Discarded { in_flight: 1, backlog: 0, reorder: 0 },
+            "the reset reports the in-flight segment it threw away"
+        );
+        assert!(matches!(ev[2], ChannelEvent::Deliver(_)), "new-life data still delivers");
         assert_eq!(out, vec![NodeBody::Ack { cum_seq: 1 }]);
         assert_eq!(ch.incarnation(), Some(2));
         assert_eq!(ch.in_flight(), 0, "old-life flight state discarded");
@@ -680,7 +960,7 @@ mod tests {
     fn hello_cadence_and_deadline_accounting() {
         let mut ch = PeerChannel::new(cfg(), 1, 0.0);
         let (out, _) = ch.poll(0.0);
-        assert!(matches!(out[0], NodeBody::Hello), "opening hello fires immediately");
+        assert!(matches!(out[0], NodeBody::Hello { .. }), "opening hello fires immediately");
         assert_eq!(ch.next_deadline(), 0.2, "down peer: only the hello timer is armed");
         let (out, _) = ch.poll(0.1);
         assert!(out.is_empty());
@@ -702,7 +982,7 @@ mod tests {
         assert!(!ch.is_up());
         assert!(ch.is_idle(), "no reorder pollution from the old session");
         // Hellos with the unknown-receiver wildcard still make contact…
-        let (_, ev) = ch.on_message(1, 0, 1, NodeBody::Hello, 0.1);
+        let (_, ev) = ch.on_message(1, 0, 1, hello0(), 0.1);
         assert_eq!(ev, vec![ChannelEvent::PeerUp { incarnation: 1 }]);
         // …and correctly addressed traffic flows.
         let (out, ev) = ch.on_message(1, 3, 1, NodeBody::Data { seq: 1, lsu: lsu(9) }, 0.2);
@@ -744,5 +1024,287 @@ mod tests {
         let (_, ev) = ch.poll(1.0); // dead interval fires
         assert_eq!(ev, vec![ChannelEvent::PeerDown { reason: DownReason::DeadInterval }]);
         assert_eq!(ch.session(), 2, "the next life of this stream is distinguishable");
+    }
+
+    #[test]
+    fn rtt_estimator_follows_the_rfc6298_recurrences() {
+        let mut e = RttEstimator::new(0.1);
+        assert_eq!(e.rto(), 0.1, "pre-sample RTO answers the initial value");
+        assert_eq!(e.srtt(), None);
+        // First sample: SRTT = s, RTTVAR = s/2, RTO = s + 4·(s/2) = 3s.
+        e.observe(0.04, 0.05, 1.6);
+        assert_eq!(e.srtt(), Some(0.04));
+        assert!((e.rto() - 0.12).abs() < 1e-12);
+        // Second sample, same value: RTTVAR = 3/4·0.02 + 1/4·0 = 0.015,
+        // SRTT stays 0.04, RTO = 0.04 + 0.06 = 0.1.
+        e.observe(0.04, 0.05, 1.6);
+        assert!((e.rto() - 0.1).abs() < 1e-12);
+        // Steady samples converge the variance out and the floor kicks
+        // in: SRTT → 0.04 but RTO clamps at 0.05.
+        for _ in 0..200 {
+            e.observe(0.04, 0.05, 1.6);
+        }
+        assert_eq!(e.rto(), 0.05, "floor clamps a jitter-free path");
+        // Ceiling clamps a pathological sample.
+        e.observe(10.0, 0.05, 1.6);
+        assert_eq!(e.rto(), 1.6);
+    }
+
+    #[test]
+    fn acks_feed_the_adaptive_rto() {
+        // Park the hello and dead timers far away so next_deadline is
+        // the retransmission deadline alone.
+        let quiet = ReliableConfig { hello_interval: 1e9, dead_interval: 1e9, ..cfg() };
+        let mut ch = PeerChannel::new(quiet, 1, 0.0);
+        let _ = ch.poll(0.0);
+        up(&mut ch, 1, 0.0);
+        assert_eq!(ch.base_rto(), 0.1, "pre-sample base is rto_initial");
+        ch.send(lsu(0), 0.0);
+        let (_, _) = ch.on_message(1, 1, 1, NodeBody::Ack { cum_seq: 1 }, 0.04);
+        assert_eq!(ch.take_rtt_sample(), Some(0.04));
+        assert!((ch.base_rto() - 0.12).abs() < 1e-12, "first sample: RTO = 3·RTT");
+        // The retransmission deadline uses the adapted base.
+        ch.send(lsu(0), 1.0);
+        assert!((ch.next_deadline() - (1.0 + 0.12)).abs() < 1e-12);
+        // With `adaptive` off the same history leaves the ladder alone.
+        let mut fixed = PeerChannel::new(ReliableConfig { adaptive: false, ..quiet }, 1, 0.0);
+        let _ = fixed.poll(0.0);
+        up(&mut fixed, 1, 0.0);
+        fixed.send(lsu(0), 0.0);
+        let _ = fixed.on_message(1, 1, 1, NodeBody::Ack { cum_seq: 1 }, 0.04);
+        fixed.send(lsu(0), 1.0);
+        assert_eq!(fixed.base_rto(), 0.1);
+        assert!((fixed.next_deadline() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn karns_rule_skips_retransmitted_segments() {
+        let mut ch = PeerChannel::new(ReliableConfig { dead_interval: 1e9, ..cfg() }, 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        ch.send(lsu(0), 0.0);
+        // Let the segment retransmit once, then ack it: the sample is
+        // ambiguous (which transmission does the ack answer?), so the
+        // estimator must ignore it.
+        let (out, _) = ch.poll(0.1);
+        assert!(out.iter().any(|b| matches!(b, NodeBody::Data { .. })), "retransmit fired");
+        let (_, _) = ch.on_message(1, 1, 1, NodeBody::Ack { cum_seq: 1 }, 0.15);
+        assert_eq!(ch.take_rtt_sample(), None, "no sample from a retransmitted segment");
+        assert_eq!(ch.base_rto(), 0.1, "estimator untouched");
+    }
+
+    #[test]
+    fn hello_echo_yields_an_rtt_sample_without_clock_sync() {
+        let mut ch = PeerChannel::new(cfg(), 1, 0.0);
+        // Our hello at t=1.0 carries ts_us = 1_000_000.
+        let (out, _) = ch.poll(1.0);
+        let sent_ts = match out.last() {
+            Some(NodeBody::Hello { ts_us, .. }) => *ts_us,
+            other => panic!("expected a hello, got {other:?}"),
+        };
+        assert_eq!(sent_ts, 1_000_000);
+        // The peer echoes it back 50 ms later having held it for 30 ms:
+        // RTT = 1.05 − 1.0 − 0.03 = 0.02.
+        let echo = NodeBody::Hello { ts_us: 2_000_000, echo_ts_us: sent_ts, hold_us: 30_000 };
+        let (_, ev) = ch.on_message(1, 0, 1, echo, 1.05);
+        assert!(matches!(ev[0], ChannelEvent::PeerUp { .. }));
+        let sample = ch.take_rtt_sample().expect("echo produced a sample");
+        assert!((sample - 0.02).abs() < 1e-9);
+        assert!((ch.base_rto() - 0.06f64.max(0.05)).abs() < 1e-9, "estimator fed: RTO = 3·RTT");
+        // And our next hello echoes the peer's timestamp with the hold.
+        let (out, _) = ch.poll(1.25);
+        match out.last() {
+            Some(NodeBody::Hello { echo_ts_us, hold_us, .. }) => {
+                assert_eq!(*echo_ts_us, 2_000_000);
+                assert_eq!(*hold_us, 200_000, "held the peer's timestamp 0.2 s");
+            }
+            other => panic!("expected a hello, got {other:?}"),
+        }
+        // A sample outside [0, dead_interval] is rejected.
+        let bogus = NodeBody::Hello { ts_us: 0, echo_ts_us: 1, hold_us: 0 };
+        let before = ch.base_rto();
+        let (_, _) = ch.on_message(1, 0, 1, bogus, 100.0);
+        assert_eq!(ch.take_rtt_sample(), None);
+        assert_eq!(ch.base_rto(), before);
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_discards_and_probes() {
+        let c = ReliableConfig { retry_budget: 1, ..cfg() };
+        let mut ch = PeerChannel::new(c, 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        ch.send(lsu(0), 0.0);
+        ch.send(lsu(0), 0.0);
+        // Ladder with no samples: retransmit at 0.1, exhaust one
+        // doubled timeout later (step by next_deadline — 0.1 + 0.2 is
+        // not exactly 0.3 in floating point).
+        let (_, ev) = ch.poll(0.1);
+        assert!(ev.is_empty());
+        let mut now = 0.1;
+        let mut failure = Vec::new();
+        while failure.is_empty() {
+            now = ch.next_deadline().max(now);
+            assert!(now < 2.0, "exhaustion never fired");
+            let (_, ev) = ch.poll(now);
+            failure = ev;
+        }
+        assert_eq!(
+            failure,
+            vec![
+                ChannelEvent::PeerDown { reason: DownReason::RetryExhausted },
+                ChannelEvent::Discarded { in_flight: 2, backlog: 0, reorder: 0 },
+            ],
+            "the failure reports both stranded segments, not just the head"
+        );
+        assert!(ch.is_probing(), "degraded to probing instead of wedging");
+        // Probe cadence: each hello doubles the next interval, capped
+        // at the dead interval.
+        let mut hello_times = Vec::new();
+        while hello_times.len() < 5 {
+            now = ch.next_deadline().max(now);
+            let (out, _) = ch.poll(now);
+            if out.iter().any(|b| matches!(b, NodeBody::Hello { .. })) {
+                hello_times.push(now);
+            }
+        }
+        let gaps: Vec<f64> =
+            hello_times.windows(2).map(|w| ((w[1] - w[0]) * 1e6).round() / 1e6).collect();
+        assert_eq!(gaps, vec![0.2, 0.4, 0.8, 1.0], "exponential probe backoff, dead-interval cap");
+        // Contact clears probing and restores the keepalive cadence.
+        let (_, ev) = ch.on_message(1, 0, 7, hello0(), now + 0.01);
+        assert!(matches!(ev[0], ChannelEvent::PeerUp { .. }));
+        assert!(!ch.is_probing());
+        assert!(ch.next_deadline() <= now + 0.01 + ch.cfg.hello_interval + 1e-9);
+    }
+
+    #[test]
+    fn reorder_overflow_forces_a_resync() {
+        let c = ReliableConfig { max_reorder: 4, ..cfg() };
+        let mut ch = PeerChannel::new(c, 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        let own = ch.session();
+        let mk = |i: u64| NodeBody::Data { seq: i, lsu: lsu(9) };
+        // Seq 1 never arrives; 3..=6 park in the reorder buffer (at the
+        // cap), and the 5th gap segment trips the overflow.
+        for seq in 3..=6 {
+            let (out, ev) = ch.on_message(1, 1, 1, mk(seq), 0.1);
+            assert_eq!(out, vec![NodeBody::Ack { cum_seq: 0 }]);
+            assert!(ev.is_empty());
+        }
+        let (out, ev) = ch.on_message(1, 1, 1, mk(7), 0.2);
+        assert!(out.is_empty(), "no ack: the peer must re-sync, not trust our stale position");
+        assert_eq!(
+            ev,
+            vec![
+                ChannelEvent::PeerDown { reason: DownReason::ReorderOverflow },
+                ChannelEvent::Discarded { in_flight: 0, backlog: 0, reorder: 5 },
+            ]
+        );
+        assert!(!ch.is_up());
+        assert!(ch.is_idle(), "buffer bounded: overflow clears it");
+        assert_eq!(ch.session(), own + 1, "session bump forces the peer through a full re-sync");
+        // In-order traffic never trips the cap no matter how much.
+        let mut ok = PeerChannel::new(c, 1, 0.0);
+        for seq in 1..=100u64 {
+            let (_, ev) = ok.on_message(1, 1, 1, mk(seq), 0.0);
+            assert!(ev.iter().all(|e| !matches!(e, ChannelEvent::PeerDown { .. })));
+        }
+        assert_eq!(ok.delivered(), 100);
+    }
+
+    /// Deterministic two-endpoint harness over a 5% i.i.d.-lossy wire:
+    /// the adaptive RTO must complete a bulk LSU transfer no slower
+    /// than the fixed ladder (the path RTT of 20 ms is well under
+    /// `rto_initial`, so the estimator retransmits sooner once
+    /// calibrated). This is the PR's A/B acceptance criterion in
+    /// miniature; the soak harness repeats it over real sockets.
+    #[test]
+    fn adaptive_rto_matches_or_beats_the_fixed_ladder_under_loss() {
+        const N: u64 = 40;
+        const DELAY: f64 = 0.01;
+        const LOSS: f64 = 0.05;
+
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn unit(state: &mut u64) -> f64 {
+            (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        fn run_transfer(adaptive: bool, seed: u64) -> f64 {
+            let c = ReliableConfig { adaptive, dead_interval: 1e9, ..ReliableConfig::default() };
+            let mut a = PeerChannel::new(c, 1, 0.0);
+            let mut b = PeerChannel::new(c, 1, 0.0);
+            let mut rng = seed;
+            // (deliver_at, enqueue_order, to_b, sender_session, body)
+            let mut wire: Vec<(f64, u64, bool, u32, NodeBody)> = Vec::new();
+            let mut order = 0u64;
+            let enqueue = |wire: &mut Vec<(f64, u64, bool, u32, NodeBody)>,
+                           rng: &mut u64,
+                           order: &mut u64,
+                           now: f64,
+                           to_b: bool,
+                           session: u32,
+                           body: NodeBody| {
+                if unit(rng) >= LOSS {
+                    wire.push((now + DELAY, *order, to_b, session, body));
+                    *order += 1;
+                }
+            };
+            let mut initial = Vec::new();
+            for _ in 0..N {
+                initial.extend(a.send(lsu(0), 0.0));
+            }
+            for body in initial {
+                enqueue(&mut wire, &mut rng, &mut order, 0.0, true, a.session(), body);
+            }
+            let mut now = 0.0;
+            while b.delivered() < N {
+                let wire_next = wire.iter().map(|e| e.0).fold(f64::INFINITY, f64::min);
+                now = wire_next.min(a.next_deadline()).min(b.next_deadline()).max(now);
+                assert!(now < 120.0, "transfer wedged (adaptive={adaptive}, seed={seed})");
+                // Deliver everything due, in (time, enqueue order).
+                let mut due: Vec<_> = Vec::new();
+                wire.retain(|e| {
+                    if e.0 <= now {
+                        due.push(e.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                due.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+                for (_, _, to_b, session, body) in due {
+                    let rcv = if to_b { &mut b } else { &mut a };
+                    let (replies, _) = rcv.on_message(1, 0, session, body, now);
+                    for r in replies {
+                        enqueue(&mut wire, &mut rng, &mut order, now, !to_b, rcv.session(), r);
+                    }
+                }
+                let (out, _) = a.poll(now);
+                for bdy in out {
+                    enqueue(&mut wire, &mut rng, &mut order, now, true, a.session(), bdy);
+                }
+                let (out, _) = b.poll(now);
+                for bdy in out {
+                    enqueue(&mut wire, &mut rng, &mut order, now, false, b.session(), bdy);
+                }
+            }
+            now
+        }
+
+        let mut adaptive_total = 0.0;
+        let mut fixed_total = 0.0;
+        for seed in [7u64, 19, 41] {
+            adaptive_total += run_transfer(true, seed);
+            fixed_total += run_transfer(false, seed);
+        }
+        assert!(
+            adaptive_total <= fixed_total + 1e-9,
+            "adaptive RTO must not lose to the fixed ladder: {adaptive_total:.3}s vs {fixed_total:.3}s"
+        );
     }
 }

@@ -71,8 +71,55 @@ pub fn neighbor_table(t: &Topology) -> Vec<Vec<(NodeId, f64)>> {
     table
 }
 
+/// The current Unix time in seconds — the shared `t0` epoch that
+/// anchors a deployment's partition schedule. Lives in the shell so
+/// the wall-clock read stays inside the sanctioned I/O island.
+pub fn unix_now() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+/// Network-fault and reliability arguments forwarded verbatim to each
+/// `mdr-node run` child — one bundle per deployment, with the
+/// per-process loss seed varied by the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpawnNet {
+    /// Legacy i.i.d. receive-loss probability.
+    pub loss: f64,
+    /// Per-process seed of the i.i.d. loss stream.
+    pub seed: u64,
+    /// Structured impairment spec (see `NetProfile::parse`).
+    pub profile: Option<String>,
+    /// `;`-separated partition schedule (see `PartitionSpec::parse`).
+    pub partition: Option<String>,
+    /// Seed of the profile's impairment streams — shared by the whole
+    /// deployment (directions are decorrelated inside the profile).
+    pub profile_seed: u64,
+    /// Shared epoch for partition schedules (Unix seconds); must be
+    /// identical across the fleet for cuts to be atomic.
+    pub t0: Option<f64>,
+    /// Adaptive (RFC 6298) retransmission timers; `false` pins the
+    /// fixed backoff ladder for A/B soaks.
+    pub adaptive: bool,
+}
+
+impl Default for SpawnNet {
+    fn default() -> Self {
+        SpawnNet {
+            loss: 0.0,
+            seed: 0,
+            profile: None,
+            partition: None,
+            profile_seed: 1,
+            t0: None,
+            adaptive: true,
+        }
+    }
+}
+
 /// Spawn one `mdr-node run` child.
-#[allow(clippy::too_many_arguments)]
 pub fn spawn_node(
     topo_arg: &str,
     node: NodeId,
@@ -80,31 +127,47 @@ pub fn spawn_node(
     base_port: u16,
     trace_dir: &Path,
     duration_s: f64,
-    loss: f64,
-    seed: u64,
+    net: &SpawnNet,
 ) -> std::io::Result<Child> {
     let exe = std::env::current_exe()?;
     let trace = trace_dir.join(format!("node{}.inc{}.jsonl", node.0, incarnation));
+    let mut args = vec![
+        "run".to_string(),
+        "--topo".into(),
+        topo_arg.to_string(),
+        "--node".into(),
+        node.0.to_string(),
+        "--inc".into(),
+        incarnation.to_string(),
+        "--base-port".into(),
+        base_port.to_string(),
+        "--trace".into(),
+        trace.display().to_string(),
+        "--duration".into(),
+        format!("{duration_s}"),
+        "--loss".into(),
+        format!("{}", net.loss),
+        "--seed".into(),
+        net.seed.to_string(),
+        "--adaptive".into(),
+        net.adaptive.to_string(),
+    ];
+    if let Some(p) = &net.profile {
+        args.extend([
+            "--profile".into(),
+            p.clone(),
+            "--profile-seed".into(),
+            net.profile_seed.to_string(),
+        ]);
+    }
+    if let Some(p) = &net.partition {
+        args.extend(["--partition".into(), p.clone()]);
+    }
+    if let Some(t0) = net.t0 {
+        args.extend(["--t0".into(), format!("{t0}")]);
+    }
     Command::new(exe)
-        .args([
-            "run",
-            "--topo",
-            topo_arg,
-            "--node",
-            &node.0.to_string(),
-            "--inc",
-            &incarnation.to_string(),
-            "--base-port",
-            &base_port.to_string(),
-            "--trace",
-            &trace.display().to_string(),
-            "--duration",
-            &format!("{duration_s}"),
-            "--loss",
-            &format!("{loss}"),
-            "--seed",
-            &seed.to_string(),
-        ])
+        .args(args)
         .stdin(Stdio::null())
         .stdout(Stdio::null())
         .stderr(Stdio::inherit())

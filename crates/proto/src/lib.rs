@@ -27,6 +27,6 @@ pub mod wire;
 pub use codec::{decode, encode, encoded_len, frame, framed_len, unframe, DecodeError};
 pub use lsu::{LsuEntry, LsuMessage, LsuOp};
 pub use wire::{
-    decode_node, encode_node, frame_node, node_encoded_len, node_framed_len, unframe_node,
-    HlcStamp, NodeBody, NodeMsg,
+    decode_node, encode_node, frame_node, node_encoded_len, node_frame_is_data, node_framed_len,
+    unframe_node, HlcStamp, NodeBody, NodeMsg,
 };

@@ -6,7 +6,13 @@
 //! LSU in a small reliability envelope, and exchanges two extra message
 //! kinds that the simulator never needed:
 //!
-//! * **Hello** — per-neighbor keepalive and incarnation advertisement.
+//! * **Hello** — per-neighbor keepalive and incarnation advertisement,
+//!   carrying an RTT-echo triplet (BFD-style): the sender's clock, an
+//!   echo of the latest hello timestamp received from the peer, and
+//!   the hold time between receiving that hello and sending this one.
+//!   `RTT = now − echo − hold` needs no clock synchronization and no
+//!   per-probe bookkeeping, and feeds the transport's Jacobson/Karels
+//!   retransmission-timeout estimator.
 //! * **Data** — one LSU with a per-neighbor sequence number. Receivers
 //!   deliver strictly in order and acknowledge cumulatively; senders
 //!   retransmit with exponential backoff until acknowledged or the
@@ -32,7 +38,7 @@
 //!
 //! ```text
 //! magic        u8   = 0x4D ('M')
-//! version      u8   = 2
+//! version      u8   = 3
 //! type         u8   0 = Hello, 1 = Data, 2 = Ack
 //! from         u32  sending node
 //! incarnation  u32  sender's restart counter (≥ 1)
@@ -40,7 +46,7 @@
 //! session      u32  sender's channel-stream epoch (≥ 1)
 //! hlc_l        u64  HLC physical component (µs)
 //! hlc_c        u32  HLC logical component
-//! -- Hello --  (empty)
+//! -- Hello --  ts_us u64, echo_ts_us u64, hold_us u64
 //! -- Data  --  seq u64, len u16, payload[len] (payload = canonical LSU encoding)
 //! -- Ack   --  cum_seq u64
 //! ```
@@ -57,7 +63,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mdr_net::NodeId;
 
 const MAGIC: u8 = 0x4D;
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
 /// Fixed header: magic, version, type, from, incarnation, for_inc,
 /// session, hlc_l, hlc_c.
 const HEADER_LEN: usize = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 8 + 4;
@@ -78,9 +84,19 @@ pub struct HlcStamp {
 /// Body of a node-control message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NodeBody {
-    /// Keepalive + incarnation advertisement (all of it lives in the
-    /// [`NodeMsg`] header).
-    Hello,
+    /// Keepalive + incarnation advertisement (identity lives in the
+    /// [`NodeMsg`] header) plus the RTT-echo triplet.
+    Hello {
+        /// Sender's clock at transmission (µs since the deployment
+        /// epoch the launcher agreed on).
+        ts_us: u64,
+        /// Echo of the latest hello `ts_us` received from the peer
+        /// (0 = none received yet).
+        echo_ts_us: u64,
+        /// Time the sender held that hello before echoing it (µs);
+        /// subtracted out of the RTT computation.
+        hold_us: u64,
+    },
     /// One LSU under a per-neighbor sequence number.
     Data {
         /// Sequence number (per sender→receiver stream, starts at 1).
@@ -99,7 +115,7 @@ impl NodeBody {
     /// Stable lower-case label (telemetry and diagnostics).
     pub fn kind(&self) -> &'static str {
         match self {
-            NodeBody::Hello => "hello",
+            NodeBody::Hello { .. } => "hello",
             NodeBody::Data { .. } => "data",
             NodeBody::Ack { .. } => "ack",
         }
@@ -132,7 +148,7 @@ pub struct NodeMsg {
 pub fn node_encoded_len(msg: &NodeMsg) -> usize {
     HEADER_LEN
         + match &msg.body {
-            NodeBody::Hello => 0,
+            NodeBody::Hello { .. } => 8 + 8 + 8,
             NodeBody::Data { lsu, .. } => 8 + 2 + codec::encoded_len(lsu),
             NodeBody::Ack { .. } => 8,
         }
@@ -145,7 +161,7 @@ pub fn node_framed_len(msg: &NodeMsg) -> usize {
 
 fn type_code(body: &NodeBody) -> u8 {
     match body {
-        NodeBody::Hello => 0,
+        NodeBody::Hello { .. } => 0,
         NodeBody::Data { .. } => 1,
         NodeBody::Ack { .. } => 2,
     }
@@ -171,7 +187,11 @@ pub fn encode_node(msg: &NodeMsg) -> Bytes {
     buf.put_u64(msg.hlc.l);
     buf.put_u32(msg.hlc.c);
     match &msg.body {
-        NodeBody::Hello => {}
+        NodeBody::Hello { ts_us, echo_ts_us, hold_us } => {
+            buf.put_u64(*ts_us);
+            buf.put_u64(*echo_ts_us);
+            buf.put_u64(*hold_us);
+        }
         NodeBody::Data { seq, lsu } => {
             let payload = codec::encode(lsu);
             assert!(payload.len() <= u16::MAX as usize, "LSU payload overflows the length field");
@@ -210,7 +230,16 @@ pub fn decode_node(mut buf: &[u8]) -> Result<NodeMsg, DecodeError> {
     }
     let hlc = HlcStamp { l: buf.get_u64(), c: buf.get_u32() };
     let body = match ty {
-        0 => NodeBody::Hello,
+        0 => {
+            if buf.remaining() < 8 + 8 + 8 {
+                return Err(DecodeError::Truncated);
+            }
+            NodeBody::Hello {
+                ts_us: buf.get_u64(),
+                echo_ts_us: buf.get_u64(),
+                hold_us: buf.get_u64(),
+            }
+        }
         1 => {
             if buf.remaining() < 8 + 2 {
                 return Err(DecodeError::Truncated);
@@ -265,6 +294,18 @@ pub fn unframe_node(buf: &[u8]) -> Result<NodeMsg, DecodeError> {
     decode_node(payload)
 }
 
+/// Cheap pre-decode peek: is this framed node datagram a `Data` (LSU)
+/// frame? Grey-failure emulation in the live shell must distinguish
+/// data frames from hello/ack traffic *before* spending a decode (and
+/// before deliberately corrupting the buffer). Returns `None` when the
+/// buffer is too short to carry the type byte.
+pub fn node_frame_is_data(buf: &[u8]) -> Option<bool> {
+    if buf.len() <= 2 {
+        return None;
+    }
+    Some(buf[2] == 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,7 +323,11 @@ mod tests {
                 for_inc: 0,
                 session: 1,
                 hlc: stamp(),
-                body: NodeBody::Hello,
+                body: NodeBody::Hello {
+                    ts_us: 41_000_000,
+                    echo_ts_us: 40_800_123,
+                    hold_us: 180_007,
+                },
             },
             NodeMsg {
                 from: NodeId(0),

@@ -218,7 +218,9 @@ fn arb_hlc() -> impl Strategy<Value = HlcStamp> {
 
 fn arb_body() -> impl Strategy<Value = NodeBody> {
     prop_oneof![
-        Just(NodeBody::Hello),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(ts_us, echo_ts_us, hold_us)| {
+            NodeBody::Hello { ts_us, echo_ts_us, hold_us }
+        }),
         (any::<u64>(), arb_msg()).prop_map(|(seq, lsu)| NodeBody::Data { seq, lsu }),
         any::<u64>().prop_map(|cum_seq| NodeBody::Ack { cum_seq }),
     ]

@@ -222,6 +222,12 @@ struct RobustRt {
     schedule: Vec<(f64, FaultEvent)>,
     /// Control-channel impairments; `None` leaves the wire reliable.
     control: Option<ControlChaos>,
+    /// Adversarial network profile (bursty/asymmetric loss, grey
+    /// failure, partitions); `None` leaves the channel to `control`.
+    profile: Option<crate::NetProfile>,
+    /// Per directed link (by `LinkId`): the profile's private loss/delay
+    /// stream. Empty when `profile` is `None`.
+    dir_states: Vec<crate::DirState>,
     /// Impairment RNG — separate from the traffic RNG so chaos does not
     /// perturb the traffic sample path.
     rng: SmallRng,
@@ -243,6 +249,11 @@ struct RobustRt {
     counters: RobustnessCounters,
     /// LFI auditor; `None` unless [`SimConfig::audit_invariants`].
     monitor: Option<InvariantMonitor>,
+    /// Audits are held while an atomic multi-link transition (a scripted
+    /// partition cut/heal) is half-applied: the interleaved states never
+    /// physically exist, so judging them would flag phantom violations.
+    /// One audit runs on the fully-applied state instead.
+    audit_hold: bool,
 }
 
 /// Sentinel in [`NodeSt::slot_of`] for "not a neighbor".
@@ -374,16 +385,26 @@ impl Simulator {
         // monitor. Built before the boot LSUs go out so even boot-time
         // control traffic rides the impaired channel.
         let robust = if cfg.fault_plan.is_some() || cfg.audit_invariants {
-            let plan = cfg.fault_plan.unwrap_or_default();
+            let plan = cfg.fault_plan.clone().unwrap_or_default();
             plan.validate();
             let schedule = if cfg.fault_plan.is_some() {
                 plan.schedule(topo, cfg.warmup + cfg.duration)
             } else {
                 Vec::new()
             };
+            let dir_states = match &plan.profile {
+                Some(pr) => topo
+                    .links()
+                    .iter()
+                    .map(|l| crate::DirState::new(pr.seed, l.from, l.to))
+                    .collect(),
+                None => Vec::new(),
+            };
             Some(Box::new(RobustRt {
                 schedule,
                 control: plan.control,
+                profile: plan.profile,
+                dir_states,
                 rng: SmallRng::seed_from_u64(
                     plan.seed ^ cfg.seed.rotate_left(17) ^ 0x2545_f491_4f6c_dd1d,
                 ),
@@ -394,6 +415,7 @@ impl Simulator {
                 pending: Vec::new(),
                 counters: RobustnessCounters::default(),
                 monitor: cfg.audit_invariants.then(InvariantMonitor::new),
+                audit_hold: false,
             }))
         } else {
             None
@@ -526,7 +548,21 @@ impl Simulator {
         let l = self.topo.link(lid);
         if let Some(rb) = self.robust.as_deref_mut() {
             let tag = ((rb.inc[from.index()] as u64) << 32) | rb.inc[to.index()] as u64;
-            if let Some(cc) = rb.control {
+            // The per-direction profile (bursty/asymmetric loss, grey
+            // failure, extra delay) rides the same ARQ accounting as
+            // `ControlChaos`; both apply when both are configured.
+            let dir = rb.profile.as_ref().map(|p| p.dir(from, to));
+            let grey = rb.profile.as_ref().and_then(|p| p.grey);
+            if rb.control.is_some() || dir.is_some() {
+                let cc = rb.control.unwrap_or(ControlChaos {
+                    drop_prob: 0.0,
+                    dup_prob: 0.0,
+                    corrupt_prob: 0.0,
+                    jitter_max: 0.0,
+                    // Profile-only runs still charge a retransmission
+                    // timeout per lost attempt (ControlChaos default).
+                    rto: 0.02,
+                });
                 // CRC32-framed on the chaos channel (frames must be
                 // corruptible, so the real codec gets real bytes).
                 let bits = (mdr_proto::framed_len(&msg) * 8) as f64;
@@ -538,13 +574,36 @@ impl Simulator {
                 // The cap bounds worst-case delay; the capped attempt
                 // goes through clean.
                 while attempts < 64 {
+                    let profile_lost = match dir {
+                        Some(d) => d.loss.lose(&mut rb.dir_states[lid.index()]),
+                        None => false,
+                    };
+                    // All sim control traffic is LSU data, so a grey
+                    // failure bites every message here; the hello-level
+                    // distinction only exists in the live shell.
+                    let grey_lost = !profile_lost
+                        && grey.is_some_and(|g| rb.dir_states[lid.index()].chance(g.data_drop));
+                    if profile_lost || grey_lost {
+                        if grey_lost {
+                            rb.counters.lsus_grey_dropped += 1;
+                        } else {
+                            rb.counters.lsus_dropped += 1;
+                        }
+                        delay += cc.rto + ser;
+                        attempts += 1;
+                        continue;
+                    }
                     if rb.rng.gen::<f64>() < cc.drop_prob {
                         rb.counters.lsus_dropped += 1;
                         delay += cc.rto + ser;
                         attempts += 1;
                         continue;
                     }
-                    if cc.corrupt_prob > 0.0 && rb.rng.gen::<f64>() < cc.corrupt_prob {
+                    let grey_corrupt =
+                        grey.is_some_and(|g| rb.dir_states[lid.index()].chance(g.data_corrupt));
+                    if grey_corrupt
+                        || (cc.corrupt_prob > 0.0 && rb.rng.gen::<f64>() < cc.corrupt_prob)
+                    {
                         let mut frame = mdr_proto::frame(&deliver).to_vec();
                         for _ in 0..rb.rng.gen_range(1..4) {
                             let i = rb.rng.gen_range(0..frame.len());
@@ -575,6 +634,9 @@ impl Simulator {
                         rb.counters.lsus_duplicated += 1; // link-layer dedup
                     }
                     break;
+                }
+                if let Some(d) = dir {
+                    delay += d.extra_delay(&mut rb.dir_states[lid.index()]);
                 }
                 let mut at = self.time + delay;
                 if cc.jitter_max > 0.0 {
@@ -654,12 +716,34 @@ impl Simulator {
     }
 
     /// Run the invariant monitor (when enabled) over the live routers.
+    ///
+    /// The FD-ordering half is gated on directed-link liveness: when a
+    /// physical link fails, the endpoint notified first reacts (and may
+    /// legitimately raise its FD — it cannot coordinate with a neighbor
+    /// it just lost) while the other endpoint still lists it as a
+    /// successor over the now-dead wire. That edge carries no traffic —
+    /// the cut drained it — so it cannot close a loop; the upstream
+    /// router's own LinkDown withdraws it at this same instant. This is
+    /// the in-engine analogue of the dead-incarnation exemption the
+    /// soak-trace replay applies (`lfi::check_fd_ordering_view_if`).
+    /// Cycle detection stays unconditional.
     fn audit(&mut self) {
         let now = self.time;
         let nodes = &self.nodes;
+        let topo = &self.topo;
+        let links = &self.links;
         if let Some(rb) = self.robust.as_deref_mut() {
+            if rb.audit_hold {
+                return;
+            }
             if let Some(mon) = rb.monitor.as_mut() {
-                mon.audit(nodes.len(), now, |i| &nodes[i.index()].router);
+                mon.audit_view_if(
+                    nodes.len(),
+                    now,
+                    |i, j| nodes[i.index()].router.successors(j),
+                    |i, j| nodes[i.index()].router.feasible_distance(j),
+                    |i, k| topo.link_between(i, k).is_some_and(|l| links[l.index()].up),
+                );
             }
         }
     }
@@ -713,16 +797,24 @@ impl Simulator {
 
     /// Fail the physical link `a — b`: both directed links leave
     /// service and each endpoint that was using its direction reacts.
+    /// The wire dies atomically — both directions are taken out of
+    /// service *before* either router reacts, so the audit that runs
+    /// inside the first reaction already sees the other direction dead
+    /// (its not-yet-notified upstream edge is exempt, correctly: the
+    /// drained wire can't carry a loop).
     fn fail_physical(&mut self, a: NodeId, b: NodeId) {
-        for (x, y) in [(a, b), (b, a)] {
+        let mut notify = [None, None];
+        for (slot, (x, y)) in [(a, b), (b, a)].into_iter().enumerate() {
             if let Some(lid) = self.topo.link_between(x, y) {
                 self.links[lid.index()].wire_up = false;
-                let was_up = self.links[lid.index()].up;
-                self.deactivate_link(lid);
-                if was_up {
-                    self.notify_link_down(x, y);
+                if self.links[lid.index()].up {
+                    notify[slot] = Some((x, y));
                 }
+                self.deactivate_link(lid);
             }
+        }
+        for (x, y) in notify.into_iter().flatten() {
+            self.notify_link_down(x, y);
         }
     }
 
@@ -817,7 +909,46 @@ impl Simulator {
             FaultEvent::RestoreLink { a, b } => self.restore_physical(a, b),
             FaultEvent::CrashRouter { node } => self.crash_router(node),
             FaultEvent::RestartRouter { node } => self.restart_router(node),
+            FaultEvent::PartitionCut { index } => self.apply_partition(index as usize, true),
+            FaultEvent::PartitionHeal { index } => self.apply_partition(index as usize, false),
         }
+    }
+
+    /// Cut (or heal) every physical link crossing partition `index`'s
+    /// boundary, atomically — all boundary links transition at this one
+    /// instant, which is the partition semantics the scripted schedule
+    /// promises (no straggler link briefly bridging the cut).
+    fn apply_partition(&mut self, index: usize, cut: bool) {
+        let pairs: Vec<(NodeId, NodeId)> = {
+            let Some(rb) = self.robust.as_deref() else { return };
+            let Some(pr) = rb.profile.as_ref() else { return };
+            let Some(spec) = pr.partitions.get(index) else { return };
+            self.topo
+                .links()
+                .iter()
+                .filter(|l| l.from < l.to && spec.severs(l.from, l.to))
+                .map(|l| (l.from, l.to))
+                .collect()
+        };
+        // The schedule promises every boundary link transitions at one
+        // instant; the per-link interleavings below are applied
+        // sequentially but never physically exist, so the LFI audit is
+        // held until the whole cut (or heal) is in place. Router
+        // reactions still run per link — only the judging waits.
+        if let Some(rb) = self.robust.as_deref_mut() {
+            rb.audit_hold = true;
+        }
+        for (a, b) in pairs {
+            if cut {
+                self.fail_physical(a, b);
+            } else {
+                self.restore_physical(a, b);
+            }
+        }
+        if let Some(rb) = self.robust.as_deref_mut() {
+            rb.audit_hold = false;
+        }
+        self.audit();
     }
 
     /// Should a control message tagged `tag` be delivered from `from`
@@ -1562,6 +1693,7 @@ mod tests {
             link_faults: Some(crate::chaos::FaultProcess { mtbf: 8.0, mttr: 1.0 }),
             router_faults: Some(crate::chaos::FaultProcess { mtbf: 20.0, mttr: 1.5 }),
             control: Some(crate::ControlChaos::default()),
+            profile: None,
         }
     }
 
@@ -1649,6 +1781,7 @@ mod tests {
             link_faults: None,
             router_faults: Some(crate::chaos::FaultProcess { mtbf: 12.0, mttr: 0.5 }),
             control: None,
+            profile: None,
         };
         let cfg = SimConfig {
             warmup: 5.0,
@@ -1667,6 +1800,98 @@ mod tests {
         assert!(crashes > 0, "schedule: {:?}", rob.faults);
         assert_eq!(rob.invariant_violations, 0, "{:?}", rob.first_violation);
         assert!(r.delivered > 500, "traffic must flow between outages");
+    }
+
+    #[test]
+    fn bursty_grey_profile_run_stays_loop_free_and_deterministic() {
+        let t = mdr_net::topo::net1();
+        let flows = mdr_net::topo::net1_flows(400_000.0);
+        let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+        let profile = crate::NetProfile {
+            seed: 0xBEE5,
+            forward: crate::DirProfile {
+                loss: crate::LossModel::GilbertElliott {
+                    p_gb: 0.05,
+                    p_bg: 0.3,
+                    loss_good: 0.01,
+                    loss_bad: 0.5,
+                },
+                delay_max: 0.002,
+            },
+            reverse: Some(crate::DirProfile {
+                loss: crate::LossModel::Iid { p: 0.05 },
+                delay_max: 0.0,
+            }),
+            grey: Some(crate::GreyFailure { data_drop: 0.2, data_corrupt: 0.05 }),
+            partitions: Vec::new(),
+        };
+        let plan =
+            crate::FaultPlan { seed: 21, profile: Some(profile), ..crate::FaultPlan::default() };
+        let cfg = SimConfig {
+            warmup: 5.0,
+            duration: 12.0,
+            fault_plan: Some(plan),
+            audit_invariants: true,
+            ..Default::default()
+        };
+        let r1 = Simulator::new(&t, &traffic, &Scenario::new(), cfg.clone()).run();
+        let r2 = Simulator::new(&t, &traffic, &Scenario::new(), cfg).run();
+        assert_eq!(r1, r2, "profile-driven chaos must be seed-deterministic");
+        let rob = r1.robustness.expect("robustness report");
+        assert_eq!(rob.invariant_violations, 0, "{:?}", rob.first_violation);
+        assert!(rob.counters.lsus_dropped > 0, "the bursty channel never lost an attempt");
+        assert!(rob.counters.lsus_grey_dropped > 0, "the grey failure never bit");
+        assert!(r1.delivered > 1000, "traffic keeps flowing through the impairments");
+    }
+
+    #[test]
+    fn scripted_partition_cuts_and_heals_atomically() {
+        let t = mdr_net::topo::net1();
+        let flows = mdr_net::topo::net1_flows(400_000.0);
+        let traffic = TrafficMatrix::from_flows(&t, &flows).unwrap();
+        // Cut the 4-clique {0,1,2,3} plus waist node 4 off from the
+        // rest between t=8 s and t=12 s (NET1's waist {4,5} bridges the
+        // cliques, so this severs the 4—5 bottleneck and both bypass
+        // links at one instant).
+        let profile = crate::NetProfile {
+            seed: 0xCAFE,
+            partitions: vec![crate::PartitionSpec {
+                at: 8.0,
+                heal_at: 12.0,
+                side: (0..5).map(n).collect(),
+            }],
+            ..crate::NetProfile::default()
+        };
+        let plan =
+            crate::FaultPlan { seed: 4, profile: Some(profile), ..crate::FaultPlan::default() };
+        let cfg = SimConfig {
+            warmup: 5.0,
+            duration: 15.0,
+            fault_plan: Some(plan),
+            audit_invariants: true,
+            ..Default::default()
+        };
+        let r = Simulator::new(&t, &traffic, &Scenario::new(), cfg).run();
+        let rob = r.robustness.expect("robustness report");
+        assert_eq!(rob.invariant_violations, 0, "{:?}", rob.first_violation);
+        let cut = rob
+            .faults
+            .iter()
+            .find(|f| matches!(f.event, crate::FaultEvent::PartitionCut { .. }))
+            .expect("the cut must be recorded as one atomic fault");
+        let heal = rob
+            .faults
+            .iter()
+            .find(|f| matches!(f.event, crate::FaultEvent::PartitionHeal { .. }))
+            .expect("the heal must be recorded");
+        assert_eq!(cut.time, 8.0);
+        assert_eq!(heal.time, 12.0);
+        assert!(
+            heal.recovery_s.is_some(),
+            "the control plane must reconverge after the heal: {:?}",
+            rob.faults
+        );
+        assert!(r.delivered > 1000, "intra-side traffic must keep flowing during the cut");
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub mod telemetry;
 
 pub use batch::{run_many, run_many_with, RunSet, SimJob};
 pub use chaos::{
-    ControlChaos, FaultEvent, FaultPlan, FaultProcess, FaultRecord, RobustnessCounters,
+    ControlChaos, DirProfile, DirState, FaultEvent, FaultPlan, FaultProcess, FaultRecord,
+    GreyFailure, IngressFate, LossModel, NetEmu, NetProfile, PartitionSpec, RobustnessCounters,
     RobustnessReport,
 };
 pub use engine::{PacketDist, SimConfig, SimMode, SimReport, Simulator};

@@ -697,6 +697,10 @@ pub enum FaultClass {
     RouterCrash,
     /// A router restarted.
     RouterRestart,
+    /// A scripted partition cut a node-set boundary.
+    PartitionCut,
+    /// A scripted partition healed.
+    PartitionHeal,
 }
 
 impl FaultClass {
@@ -707,6 +711,8 @@ impl FaultClass {
             FaultEvent::RestoreLink { .. } => FaultClass::LinkRestore,
             FaultEvent::CrashRouter { .. } => FaultClass::RouterCrash,
             FaultEvent::RestartRouter { .. } => FaultClass::RouterRestart,
+            FaultEvent::PartitionCut { .. } => FaultClass::PartitionCut,
+            FaultEvent::PartitionHeal { .. } => FaultClass::PartitionHeal,
         }
     }
 
@@ -717,6 +723,8 @@ impl FaultClass {
             FaultClass::LinkRestore => "link_restore",
             FaultClass::RouterCrash => "router_crash",
             FaultClass::RouterRestart => "router_restart",
+            FaultClass::PartitionCut => "partition_cut",
+            FaultClass::PartitionHeal => "partition_heal",
         }
     }
 }

@@ -1,0 +1,126 @@
+//! Property-based tests for the chaos layer's determinism contract:
+//! every impairment decision — Gilbert–Elliott loss, grey-failure
+//! classification, corruption offsets, partition windows — must be a
+//! pure function of `(profile, seed, call sequence)`, with no hidden
+//! state. This is what lets a failing soak or sim replay exactly from
+//! its seeds, and what keeps serial and parallel batch runs
+//! bit-identical.
+
+use mdr_net::NodeId;
+use mdr_sim::{DirState, GreyFailure, IngressFate, LossModel, NetEmu, NetProfile, PartitionSpec};
+use proptest::prelude::*;
+
+/// A valid Gilbert–Elliott parameterization (probabilities in [0, 1],
+/// transition rates kept away from 0 so both states are visited).
+fn arb_ge() -> impl Strategy<Value = LossModel> {
+    (0.01f64..1.0, 0.01f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(
+        |(p_gb, p_bg, loss_good, loss_bad)| LossModel::GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+        },
+    )
+}
+
+fn arb_partition() -> impl Strategy<Value = PartitionSpec> {
+    (0.0f64..100.0, 0.001f64..50.0, prop::collection::vec(0u32..8, 1..4)).prop_map(
+        |(at, dt, side)| PartitionSpec {
+            at,
+            heal_at: at + dt,
+            side: side.into_iter().map(NodeId).collect(),
+        },
+    )
+}
+
+proptest! {
+    /// The same seed replays the same Gilbert–Elliott loss sequence,
+    /// decision for decision, including the hidden burst state.
+    #[test]
+    fn ge_loss_sequence_is_a_pure_function_of_the_seed(
+        model in arb_ge(),
+        seed in any::<u64>(),
+        from in 0u32..8,
+        to in 0u32..8,
+        len in 1usize..200,
+    ) {
+        let mut a = DirState::new(seed, NodeId(from), NodeId(to));
+        let mut b = DirState::new(seed, NodeId(from), NodeId(to));
+        for _ in 0..len {
+            prop_assert_eq!(model.lose(&mut a), model.lose(&mut b));
+            prop_assert_eq!(a.is_bad(), b.is_bad());
+        }
+    }
+
+    /// Two emulators with the same profile classify an identical
+    /// ingress sequence identically — drop for drop, corrupt offset
+    /// for corrupt offset.
+    #[test]
+    fn net_emu_classification_is_seed_deterministic(
+        seed in any::<u64>(),
+        me in 0u32..6,
+        calls in prop::collection::vec((0u32..6, any::<bool>(), 0.0f64..50.0), 1..100),
+    ) {
+        let profile = NetProfile {
+            seed,
+            grey: Some(GreyFailure { data_drop: 0.3, data_corrupt: 0.2 }),
+            ..NetProfile::default()
+        };
+        let mut a = NetEmu::new(profile.clone(), NodeId(me), 6);
+        let mut b = NetEmu::new(profile, NodeId(me), 6);
+        for &(from, is_data, t) in &calls {
+            let fa = a.classify(NodeId(from), is_data, t);
+            let fb = b.classify(NodeId(from), is_data, t);
+            prop_assert_eq!(fa, fb);
+            if fa == IngressFate::Corrupt {
+                prop_assert_eq!(a.corrupt_at(NodeId(from), 64), b.corrupt_at(NodeId(from), 64));
+            }
+        }
+    }
+
+    /// A partition severs exactly the crossing pairs, exactly inside
+    /// its `[at, heal_at)` window — a pure predicate, no state at all.
+    #[test]
+    fn partition_window_and_cut_set_are_exact(
+        spec in arb_partition(),
+        a in 0u32..8,
+        b in 0u32..8,
+        t in 0.0f64..200.0,
+    ) {
+        let in_side = |n: NodeId| spec.side.contains(&n);
+        let crossing = a != b && (in_side(NodeId(a)) != in_side(NodeId(b)));
+        prop_assert_eq!(spec.severs(NodeId(a), NodeId(b)), crossing);
+        prop_assert_eq!(spec.active(t), t >= spec.at && t < spec.heal_at);
+        let profile = NetProfile { seed: 1, partitions: vec![spec], ..NetProfile::default() };
+        prop_assert_eq!(
+            profile.severed(NodeId(a), NodeId(b), t),
+            crossing && t >= profile.partitions[0].at && t < profile.partitions[0].heal_at
+        );
+    }
+
+    /// The compact spec grammar parses back to the exact parameters it
+    /// encodes (the soak harness and the sim must agree on what an
+    /// adversary string means).
+    #[test]
+    fn profile_spec_roundtrips_ge_parameters(
+        p_gb in 0.01f64..1.0,
+        p_bg in 0.01f64..1.0,
+        loss_good in 0.0f64..1.0,
+        loss_bad in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = format!("ge:{p_gb},{p_bg},{loss_good},{loss_bad}");
+        let profile = NetProfile::parse(&spec, seed).expect("generated spec parses");
+        prop_assert_eq!(profile.seed, seed);
+        match profile.forward.loss {
+            LossModel::GilbertElliott { p_gb: g, p_bg: b, loss_good: lg, loss_bad: lb } => {
+                prop_assert_eq!(g.to_string(), p_gb.to_string());
+                prop_assert_eq!(b.to_string(), p_bg.to_string());
+                prop_assert_eq!(lg.to_string(), loss_good.to_string());
+                prop_assert_eq!(lb.to_string(), loss_bad.to_string());
+            }
+            other => return Err(TestCaseError::fail(format!("parsed {other:?}"))),
+        }
+        prop_assert!(profile.reverse.is_none());
+    }
+}

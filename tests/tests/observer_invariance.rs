@@ -60,6 +60,7 @@ fn scenario_grid() -> Vec<(&'static str, SimJob)> {
         link_faults: Some(FaultProcess { mtbf: 10.0, mttr: 1.0 }),
         router_faults: Some(FaultProcess { mtbf: 25.0, mttr: 1.5 }),
         control: Some(ControlChaos::default()),
+        profile: None,
     };
     let cfg = SimConfig {
         warmup: 4.0,

@@ -138,6 +138,7 @@ fn chaos_jobs() -> Vec<SimJob> {
                 link_faults: Some(FaultProcess { mtbf: 10.0, mttr: 1.0 }),
                 router_faults: Some(FaultProcess { mtbf: 25.0, mttr: 1.5 }),
                 control: Some(ControlChaos::default()),
+                profile: None,
             };
             let cfg = SimConfig {
                 warmup: 4.0,
@@ -164,6 +165,76 @@ fn chaos_runs_match_serial_execution_bit_for_bit() {
         assert_eq!(rob.invariant_violations, 0, "{:?}", rob.first_violation);
         assert!(!rob.faults.is_empty(), "the fault plan must have injected something");
     }
+}
+
+/// NET1 under the structured [`NetProfile`] adversary: bursty loss
+/// forward, i.i.d. reverse (asymmetric), grey-failing data path, and a
+/// scripted partition/heal — on top of the link-fault process.
+fn profile_jobs() -> Vec<SimJob> {
+    let t = topo::net1();
+    let flows = topo::net1_flows(800_000.0);
+    let traffic = TrafficMatrix::from_flows(&t, &flows).expect("traffic");
+    [5u64, 23]
+        .iter()
+        .map(|&seed| {
+            let mut profile =
+                NetProfile::parse("ge:0.06,0.4,0.01,0.6;rev-iid:0.03;grey:0.25,0.1", seed ^ 0xAD)
+                    .expect("profile spec");
+            profile.partitions.push(PartitionSpec {
+                at: 6.0,
+                heal_at: 9.0,
+                side: vec![NodeId(0), NodeId(1)],
+            });
+            let plan = FaultPlan {
+                seed: seed ^ 0xC0FFEE,
+                start: 2.0,
+                link_faults: Some(FaultProcess { mtbf: 12.0, mttr: 1.0 }),
+                router_faults: None,
+                control: None,
+                profile: Some(profile),
+            };
+            let cfg = SimConfig {
+                warmup: 4.0,
+                duration: 8.0,
+                seed,
+                fault_plan: Some(plan),
+                audit_invariants: true,
+                ..Default::default()
+            };
+            SimJob::new(&t, &traffic, cfg)
+        })
+        .collect()
+}
+
+#[test]
+fn profile_chaos_runs_match_serial_execution_bit_for_bit() {
+    let batch = profile_jobs();
+    let serial: Vec<SimReport> = batch.iter().map(|j| j.run()).collect();
+    let parallel = run_many_with(4, batch);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_reports_identical(s, p);
+        let rob = s.robustness.as_ref().expect("profile job must produce a robustness report");
+        assert_eq!(rob.invariant_violations, 0, "{:?}", rob.first_violation);
+        assert!(
+            rob.faults.iter().any(|f| matches!(f.event, FaultEvent::PartitionCut { .. })),
+            "the scripted cut must be recorded"
+        );
+        assert!(
+            rob.faults.iter().any(|f| matches!(f.event, FaultEvent::PartitionHeal { .. })),
+            "the scripted heal must be recorded"
+        );
+        assert!(rob.counters.lsus_grey_dropped > 0, "the grey failure never bit");
+    }
+}
+
+#[test]
+fn profile_chaos_same_seed_reproduces_the_same_report() {
+    let job = profile_jobs().remove(0);
+    let a = job.run();
+    let b = job.run();
+    assert_reports_identical(&a, &b);
+    assert_eq!(a.robustness, b.robustness);
 }
 
 #[test]
