@@ -20,6 +20,22 @@
 //!    Loop-Free Invariant in every reachable state and printing a
 //!    minimal counterexample trace on violation.
 //!
+//! 3. **Transport protocol model checking** ([`transport`], run by the
+//!    `mdr-verify` binary): bounded-exhaustive exploration of the
+//!    *real* `mdr_node::PeerChannel` state machine — hello exchange,
+//!    sliding-window transfer, loss/duplication/reordering,
+//!    crash-restart with incarnation bump, same-incarnation session
+//!    reset — asserting no ghost channel, quarantine-release
+//!    soundness, no silent blackhole, and in-order delivery. The
+//!    checker validates *itself* against deliberately unsound channel
+//!    mutants, and replays every counterexample through a fresh
+//!    mock-clock channel to prove the model and the implementation are
+//!    the same transition relation.
+//!
+//! Both model checkers run on one shared engine ([`por`]) providing
+//! breadth-first dedup, minimal counterexamples, and partial-order
+//! reduction with per-world ample rules.
+//!
 //! Configuration lives in `lint.toml` at the workspace root
 //! ([`config`]); the allowlist is empty by default and stale entries
 //! are themselves errors.
@@ -30,4 +46,6 @@ pub mod config;
 pub mod diag;
 pub mod lexer;
 pub mod model;
+pub mod por;
 pub mod rules;
+pub mod transport;

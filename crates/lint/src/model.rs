@@ -23,11 +23,12 @@
 //! over action sequences. Because the search is breadth-first, a
 //! reported counterexample trace is minimal in length.
 
+use crate::por::{self, CheckWorld, Outcome};
 use mdr_net::NodeId;
 use mdr_proto::LsuMessage;
 use mdr_routing::lfi;
 use mdr_routing::mpda::{MpdaRouter, RouterEvent, UpdateRule};
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// An environment perturbation. The schedule is a fixed sequence, but
@@ -119,6 +120,24 @@ pub struct Exploration {
     /// Deepest layer reached (= depth bound when the frontier was
     /// nonempty there).
     pub deepest: usize,
+    /// States where partial-order reduction expanded a strict subset of
+    /// the enabled actions (0 when POR is off or never fired).
+    pub ample_states: usize,
+    /// `true` if the depth bound cut off unexplored successors — i.e.
+    /// the run did *not* exhaust the scenario's reachable space.
+    pub truncated: bool,
+}
+
+impl Exploration {
+    fn from_stats(s: por::Stats) -> Self {
+        Exploration {
+            states: s.states,
+            transitions: s.transitions,
+            deepest: s.deepest,
+            ample_states: s.ample_states,
+            truncated: s.truncated,
+        }
+    }
 }
 
 /// A minimal counterexample.
@@ -142,8 +161,13 @@ pub enum Verdict {
     Capped(Exploration),
 }
 
+/// The LFI transition system, fed to the shared [`por`] engine.
+///
+/// Holds a borrow of its scenario so clones (the engine branches by
+/// cloning) copy only live protocol state.
 #[derive(Clone)]
-struct World {
+struct LfiWorld<'a> {
+    s: &'a Scenario,
     routers: Vec<MpdaRouter>,
     /// Reliable FIFO channel per directed adjacent pair.
     chans: BTreeMap<(u32, u32), VecDeque<LsuMessage>>,
@@ -151,8 +175,8 @@ struct World {
     env_idx: usize,
 }
 
-impl World {
-    fn key(&self) -> Vec<u8> {
+impl LfiWorld<'_> {
+    fn encode(&self) -> Vec<u8> {
         let mut k = Vec::with_capacity(256);
         for r in &self.routers {
             r.encode_state(&mut k);
@@ -206,6 +230,88 @@ impl World {
         }
     }
 
+    /// Append the *property projection* of router `r`: the exact state
+    /// the LFI checks read — `feasible_distance(j)` and `successors(j)`
+    /// for every destination (see [`lfi::check_loop_freedom_with`] /
+    /// [`lfi::check_fd_ordering_with`]). An action that leaves every
+    /// router's projection unchanged is invisible to the invariant.
+    fn lfi_projection(r: &MpdaRouter, n: usize, out: &mut Vec<u8>) {
+        for j in 0..n {
+            let j = NodeId(j as u32);
+            out.extend_from_slice(&r.feasible_distance(j).to_bits().to_le_bytes());
+            let succ = r.successors(j);
+            out.extend_from_slice(&(succ.len() as u32).to_le_bytes());
+            for k in succ {
+                out.extend_from_slice(&k.0.to_le_bytes());
+            }
+        }
+    }
+
+    /// Would delivering the head of `from → to` right now leave the
+    /// receiver's LFI projection unchanged? (It may still mutate
+    /// neighbor tables, pending-ack bookkeeping, and emit acks — none
+    /// of which the invariant reads.)
+    fn head_is_invisible(&self, from: u32, to: u32, m: &LsuMessage) -> bool {
+        let n = self.routers.len();
+        let mut before = Vec::new();
+        Self::lfi_projection(&self.routers[to as usize], n, &mut before);
+        let mut trial = self.routers[to as usize].clone();
+        let _ = trial.handle(RouterEvent::Lsu { from: NodeId(from), msg: m.clone() });
+        let mut after = Vec::new();
+        Self::lfi_projection(&trial, n, &mut after);
+        before == after
+    }
+}
+
+impl CheckWorld for LfiWorld<'_> {
+    type Action = Action;
+
+    fn key(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    fn enabled(&self, out: &mut Vec<Action>) {
+        for (&(a, b), q) in &self.chans {
+            if let Some(m) = q.front() {
+                out.push(Action::Deliver { from: a, to: b, msg: m.clone() });
+                if self.s.lossy {
+                    out.push(Action::Lose { from: a, to: b });
+                }
+            }
+        }
+        if self.env_idx < self.s.env.len() {
+            out.push(Action::Env(self.env_idx));
+        }
+    }
+
+    fn apply(&mut self, act: &Action) -> Result<(), String> {
+        match act {
+            Action::Deliver { from, to, .. } => {
+                let msg = match self.chans.get_mut(&(*from, *to)).and_then(|q| q.pop_front()) {
+                    Some(m) => m,
+                    None => return Ok(()),
+                };
+                if self.chans.get(&(*from, *to)).is_some_and(|q| q.is_empty()) {
+                    self.chans.remove(&(*from, *to));
+                }
+                let from = NodeId(*from);
+                self.dispatch(to.to_owned(), RouterEvent::Lsu { from, msg });
+            }
+            Action::Lose { from, to } => {
+                self.chans.get_mut(&(*from, *to)).and_then(|q| q.pop_front());
+                if self.chans.get(&(*from, *to)).is_some_and(|q| q.is_empty()) {
+                    self.chans.remove(&(*from, *to));
+                }
+            }
+            Action::Env(i) => {
+                let a = self.s.env[*i];
+                self.apply_env(&a);
+                self.env_idx = i + 1;
+            }
+        }
+        Ok(())
+    }
+
     fn check(&self) -> Result<(), String> {
         let n = self.routers.len();
         if let Err((j, cycle)) = lfi::check_loop_freedom_with(n, |i| &self.routers[i.index()]) {
@@ -222,12 +328,67 @@ impl World {
         }
         Ok(())
     }
+
+    /// Invisible-head ample rule: once the environment schedule is
+    /// exhausted, pick the least channel whose head delivery is
+    /// invisible to the invariant ([`Self::head_is_invisible`]) and
+    /// expand only that channel's `Deliver` (and, when lossy, `Lose`).
+    ///
+    /// **Soundness status — empirically validated, not proven.** The
+    /// classically sound core of the argument: an invisible delivery
+    /// leaves every router's LFI projection unchanged, so the states it
+    /// commutes past are property-equivalent to their images in the
+    /// reduced graph, and a violating state reached through a deferred
+    /// interleaving is still reached (possibly reordered) through the
+    /// representative one. The residual gap is *stability*: an
+    /// invisible head can interact with later deliveries to the same
+    /// receiver through shared state the projection does not see —
+    /// the neighbor tables feeding every successor recomputation and
+    /// the pending-ack set that decides when an ACTIVE phase ends — so
+    /// a deferred interleaving can in principle pass through a
+    /// projection the reduced graph never visits. MPDA's structure
+    /// keeps that gap theoretical on this suite (successor sets are a
+    /// function of the *final* tables, ack pops commute as set
+    /// removals, and the phase ends at the last ack under every
+    /// permutation); the `por_equivalence` integration test pins
+    /// verdict identity against the unreduced exploration on all five
+    /// trap scenarios *and* on a deliberately broken update rule, so a
+    /// regression in the assumption fails CI rather than silently
+    /// weakening the checker. The transport checker's reduction
+    /// ([`crate::transport`]) does not inherit this caveat — its ample
+    /// rule rests on exact adjacency-component independence.
+    fn ample(&self, enabled: &[Action]) -> Option<Vec<usize>> {
+        if self.env_idx < self.s.env.len() {
+            return None;
+        }
+        for (&(a, b), q) in &self.chans {
+            let Some(m) = q.front() else { continue };
+            if !self.head_is_invisible(a, b, m) {
+                continue;
+            }
+            let idxs: Vec<usize> = enabled
+                .iter()
+                .enumerate()
+                .filter_map(|(i, act)| match act {
+                    Action::Deliver { from, to, .. } | Action::Lose { from, to }
+                        if *from == a && *to == b =>
+                    {
+                        Some(i)
+                    }
+                    _ => None,
+                })
+                .collect();
+            return Some(idxs);
+        }
+        None
+    }
 }
 
 /// Build the initial world: routers (under `rule`), with `edges`
 /// brought up and drained to quiescence when `start_converged`.
-fn initial_world(s: &Scenario, rule: UpdateRule) -> World {
-    let mut w = World {
+fn initial_world(s: &Scenario, rule: UpdateRule) -> LfiWorld<'_> {
+    let mut w = LfiWorld {
+        s,
         routers: (0..s.n).map(|i| MpdaRouter::with_rule(NodeId(i as u32), s.n, rule)).collect(),
         chans: BTreeMap::new(),
         env_idx: 0,
@@ -257,97 +418,26 @@ fn initial_world(s: &Scenario, rule: UpdateRule) -> World {
     w
 }
 
-/// One BFS node: the world, its depth, and (parent index, arriving
-/// action) for counterexample-trace reconstruction.
-type SearchNode = (World, usize, Option<(usize, Action)>);
-
-/// Exhaustively explore `s` with routers running `rule`.
+/// Exhaustively explore `s` with routers running `rule`, without
+/// partial-order reduction (every interleaving expanded).
 pub fn explore(s: &Scenario, rule: UpdateRule, max_states: usize) -> Verdict {
+    explore_with(s, rule, max_states, false)
+}
+
+/// Exhaustively explore `s` with routers running `rule`; when `por` is
+/// on, the inert-head ample rule prunes commuting interleavings (same
+/// verdict kind, far fewer states — the equivalence is pinned by the
+/// `por_equivalence` integration test).
+pub fn explore_with(s: &Scenario, rule: UpdateRule, max_states: usize, use_por: bool) -> Verdict {
     let w0 = initial_world(s, rule);
-    let mut stats = Exploration::default();
-    let mut visited: HashSet<Vec<u8>> = HashSet::new();
-    // Parents for trace reconstruction: (parent index, action).
-    let mut nodes: Vec<SearchNode> = Vec::new();
-
-    if let Err(v) = w0.check() {
-        return Verdict::Violated(
-            Box::new(Counterexample { trace: Vec::new(), violation: v }),
-            stats,
-        );
+    match por::explore(w0, s.depth, max_states, use_por) {
+        Outcome::Holds(st) => Verdict::Holds(Exploration::from_stats(st)),
+        Outcome::Violated(cx, st) => Verdict::Violated(
+            Box::new(Counterexample { trace: cx.trace, violation: cx.violation }),
+            Exploration::from_stats(st),
+        ),
+        Outcome::Capped(st) => Verdict::Capped(Exploration::from_stats(st)),
     }
-    visited.insert(w0.key());
-    nodes.push((w0, 0, None));
-    stats.states = 1;
-    let mut frontier: VecDeque<usize> = VecDeque::from([0]);
-
-    while let Some(idx) = frontier.pop_front() {
-        let depth = nodes[idx].1;
-        if depth >= s.depth {
-            continue;
-        }
-        // Enumerate this state's transitions.
-        let mut actions: Vec<Action> = Vec::new();
-        for (&(a, b), q) in &nodes[idx].0.chans {
-            if let Some(m) = q.front() {
-                actions.push(Action::Deliver { from: a, to: b, msg: m.clone() });
-                if s.lossy {
-                    actions.push(Action::Lose { from: a, to: b });
-                }
-            }
-        }
-        if nodes[idx].0.env_idx < s.env.len() {
-            actions.push(Action::Env(nodes[idx].0.env_idx));
-        }
-        for act in actions {
-            let mut w = nodes[idx].0.clone();
-            match &act {
-                Action::Deliver { from, to, .. } => {
-                    let msg = match w.chans.get_mut(&(*from, *to)).and_then(|q| q.pop_front()) {
-                        Some(m) => m,
-                        None => continue,
-                    };
-                    if w.chans.get(&(*from, *to)).is_some_and(|q| q.is_empty()) {
-                        w.chans.remove(&(*from, *to));
-                    }
-                    let from = NodeId(*from);
-                    w.dispatch(to.to_owned(), RouterEvent::Lsu { from, msg });
-                }
-                Action::Lose { from, to } => {
-                    w.chans.get_mut(&(*from, *to)).and_then(|q| q.pop_front());
-                    if w.chans.get(&(*from, *to)).is_some_and(|q| q.is_empty()) {
-                        w.chans.remove(&(*from, *to));
-                    }
-                }
-                Action::Env(i) => {
-                    let a = s.env[*i];
-                    w.apply_env(&a);
-                    w.env_idx = i + 1;
-                }
-            }
-            stats.transitions += 1;
-            if let Err(v) = w.check() {
-                let mut trace: Vec<Action> = vec![act];
-                let mut p = idx;
-                while let Some((pp, a)) = nodes[p].2.clone() {
-                    trace.push(a);
-                    p = pp;
-                }
-                trace.reverse();
-                stats.deepest = stats.deepest.max(depth + 1);
-                return Verdict::Violated(Box::new(Counterexample { trace, violation: v }), stats);
-            }
-            if visited.insert(w.key()) {
-                nodes.push((w, depth + 1, Some((idx, act))));
-                stats.states += 1;
-                stats.deepest = stats.deepest.max(depth + 1);
-                if stats.states > max_states {
-                    return Verdict::Capped(stats);
-                }
-                frontier.push_back(nodes.len() - 1);
-            }
-        }
-    }
-    Verdict::Holds(stats)
 }
 
 /// Render a counterexample trace for humans.
@@ -403,7 +493,10 @@ pub fn builtin_suite(depth_override: usize) -> Vec<Scenario> {
                 EnvAction::WireUp(0, 2, 1.0),
                 EnvAction::WireUp(1, 2, 1.0),
             ],
-            depth: d(12),
+            // The reachable space exhausts at depth 22 (27 936 states
+            // unreduced) — this bound makes the exploration provably
+            // complete, not merely bounded.
+            depth: d(24),
             lossy: true,
         },
         Scenario {
@@ -445,7 +538,11 @@ pub fn builtin_suite(depth_override: usize) -> Vec<Scenario> {
             edges: vec![(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
             start_converged: true,
             env: vec![EnvAction::WireDown(0, 1), EnvAction::WireUp(0, 1, 1.0)],
-            depth: d(11),
+            // Does not exhaust at feasible depths (the flap keeps
+            // regenerating traffic); 13 is the deepest bound the
+            // unreduced tier-1 run affords, and where the invisible-head
+            // reduction buys ~5x.
+            depth: d(13),
             lossy: true,
         },
         Scenario {
@@ -462,6 +559,29 @@ pub fn builtin_suite(depth_override: usize) -> Vec<Scenario> {
             lossy: false,
         },
     ]
+}
+
+/// Scenarios beyond the tier-1 suite: tractable only with partial-order
+/// reduction, run by `mdr-verify` rather than the `mdr-lint` CI gate so
+/// the tier-1 job's wall clock is unchanged.
+pub fn extended_suite(depth_override: usize) -> Vec<Scenario> {
+    let d = |default: usize| if depth_override > 0 { depth_override } else { default };
+    vec![Scenario {
+        name: "ring6-cut",
+        what_it_traps: "a 6-node unit-cost ring losing one link, with losses: the two detour \
+                        halves reconverge through each other — with six routers the unreduced \
+                        interleaving space (~583k states, most of a minute) is outside the CI \
+                        budget, while the invisible-head reduction exhausts the scenario \
+                        (~78k states, a few seconds) at depth 27",
+        n: 6,
+        edges: vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0), (5, 0, 1.0)],
+        start_converged: true,
+        env: vec![EnvAction::WireDown(0, 1)],
+        // Exhausts at depth 27 under reduction; 30 leaves margin so the
+        // run reports `exhausted` rather than a bounded prefix.
+        depth: d(30),
+        lossy: true,
+    }]
 }
 
 #[cfg(test)]

@@ -1,0 +1,1355 @@
+//! Bounded-exhaustive model checking of the **real** transport
+//! adjacency state machine ([`mdr_node::PeerChannel`]), run by the
+//! `mdr-verify` binary.
+//!
+//! There is no separate model: the world below embeds one live
+//! `PeerChannel` per directed adjacency and drives the same `step_*`
+//! transition functions the UDP shell and the mock-clock unit tests
+//! call. What the checker adds is an adversarial *environment* — the
+//! wire is a monotone **set** of frames, so every datagram ever sent
+//! can be lost (never scheduled), duplicated (scheduled again), or
+//! reordered (scheduled in any order) for free — plus explicit fault
+//! actions: guard-free timer firings (a sound over-approximation of
+//! timing: any timer may fire "now"), crash-restart with incarnation
+//! bump, and the same-incarnation dead-interval session reset.
+//!
+//! Four invariants, each with a stable machine-readable class prefix:
+//!
+//! * **`ghost-channel:`** — a channel must never mutate on a frame
+//!   addressed to a different life (`for_inc`) or stream epoch
+//!   (`for_session`) of its node. Checked transition-side: the checker
+//!   knows every frame's addressing and snapshots
+//!   [`PeerChannel::encode_state`] around stale-addressed deliveries.
+//! * **`quarantine-release:`** — a restarted node may lift its
+//!   quarantine ([`mdr_node::quarantine_release_due`]) only once no
+//!   neighbor still holds an adjacency to its previous incarnation.
+//! * **`claims-beyond-delivered:`** — a sender's cumulative
+//!   [`PeerChannel::acked`] may never exceed what the peer actually
+//!   delivered in order from that stream *generation* (a checker-side
+//!   counter bumped on every observed reset, so it identifies streams
+//!   even when a broken protocol reuses session numbers). A violation
+//!   is exactly the silent blackhole: segments dropped from flight
+//!   unheard.
+//! * **`out-of-order-delivery:`** — the payloads a receiver hands its
+//!   router must be a duplicate-free, gap-free prefix of the payloads
+//!   the sender queued for that stream generation, in queue order.
+//!
+//! Finiteness: every fault is budgeted (sends, crashes, dead-interval
+//! expiries per scenario), time is frozen at 0.0, and the wire is a
+//! set, so sessions, retries, and probe cadences are all bounded and
+//! the reachable space is finite. `enabled` trial-applies each
+//! candidate and drops self-loops, so "exhausted" (Holds without
+//! [`crate::por::Stats::truncated`]) is a proof over the entire
+//! reachable space of the scenario.
+//!
+//! # Partial-order reduction: adjacency-component independence
+//!
+//! Unlike the LFI checker's empirically-validated invisible-head rule
+//! ([`crate::model`]), the transport reduction rests on an *exact*
+//! structural independence. Every non-global action (delivery, send,
+//! timer firing) of the undirected adjacency `{a, b}` reads and writes
+//! only: the two endpoint channels `a→b` and `b→a`, the pair's wire
+//! frames, and the pair's bookkeeping (budgets, stream generations,
+//! sent/delivered logs). Actions of different adjacencies therefore
+//! commute, and neither can enable or disable the other. The two
+//! global actions — crash-restart (touches every channel of a node)
+//! and quarantine release (reads every channel of a node) — break
+//! that partition, so [`CheckWorld::ample`] returns `None` (full
+//! expansion) while any crash budget remains or any node is
+//! quarantined; once neither can ever recur, it expands only the least
+//! adjacency with enabled actions. The ignoring problem (a reduced run
+//! deferring another component's violation forever) cannot arise:
+//! within one component every non-self-loop action strictly grows a
+//! monotone measure (wire size, sessions, retries, delivered/acked
+//! positions, consumed budgets), so each component's action set drains
+//! in finitely many steps along every path and the engine — which
+//! imposes no cycle proviso — eventually schedules the rest.
+//!
+//! # Self-validation and replay
+//!
+//! A checker that blesses a broken protocol is worse than no checker,
+//! so [`mutant_cases`] runs the same scenarios against deliberately
+//! unsound [`ChannelMutant`] transition relations (and one unsound
+//! [`ReleasePolicy`]); each must produce a *minimal* counterexample of
+//! the expected class. Counterexamples serialize to a line-oriented
+//! replay format ([`to_replay`] / [`parse_replay`]) and [`replay`]
+//! runs them back through a fresh world of real `PeerChannel`s,
+//! asserting the same violation class fires — checker↔implementation
+//! conformance, gated in `tests/transport_conformance.rs`.
+
+use crate::por::{self, CheckWorld, Outcome};
+use mdr_net::NodeId;
+use mdr_node::{
+    quarantine_release_due, ChannelEvent, ChannelMutant, PeerChannel, ReleasePolicy, ReliableConfig,
+};
+use mdr_proto::{LsuEntry, LsuMessage, NodeBody};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One transport scenario: a topology of adjacencies plus fault
+/// budgets. All knobs are budgets, not schedules — the checker
+/// interleaves every enabled action at every state.
+#[derive(Debug, Clone)]
+pub struct TScenario {
+    /// Stable name (used by the replay format and CI output).
+    pub name: &'static str,
+    /// The bug class this scenario traps.
+    pub what_it_traps: &'static str,
+    /// Node count.
+    pub n: u8,
+    /// Undirected adjacencies (each becomes two `PeerChannel`s).
+    pub adjacencies: Vec<(u8, u8)>,
+    /// `(src, dst, count)`: payload LSUs `src` may queue toward `dst`.
+    pub sends: Vec<(u8, u8, u32)>,
+    /// `(node, count)`: crash-restart budget (incarnation bumps).
+    pub crashes: Vec<(u8, u32)>,
+    /// `(node, peer, count)`: dead-interval expiries `node`'s channel
+    /// toward `peer` may fire (the same-incarnation session reset).
+    pub dead_expiries: Vec<(u8, u8, u32)>,
+    /// Cap on *observed resets per directed channel* (crash-induced,
+    /// timer-induced, and peer-induced alike). Resets must be budgeted
+    /// like every other fault: the wire keeps stale frames forever, so
+    /// without a cap a down channel can re-establish from an ancient
+    /// hello and be force-reset by a newer one ad infinitum —
+    /// unbounded session escalation that no bounded-exhaustive search
+    /// can drain. Candidates that would push any channel past the
+    /// budget are pruned in `enabled`, so "exhausted" means "every
+    /// behavior within the declared fault budgets".
+    pub reset_budget: u32,
+    /// Model the restart quarantine under this release policy.
+    pub policy: Option<ReleasePolicy>,
+    /// Transport knobs (uniform across channels).
+    pub cfg: ReliableConfig,
+    /// Maximum trace length explored.
+    pub depth: usize,
+    /// Distinct-state cap.
+    pub max_states: usize,
+    /// Symmetry group: node relabelings that map the scenario onto
+    /// itself (identity included). The canonical state key is the
+    /// minimum encoding over these; `declared_perms_are_scenario_
+    /// automorphisms` in this module's tests keeps them honest.
+    pub perms: Vec<Vec<u8>>,
+}
+
+/// The shared small configuration: window 2, reorder bound 2, one
+/// retransmission before exhaustion, fixed (non-adaptive) RTO — small
+/// enough to exhaust, large enough that every protocol branch
+/// (window-limited backlog, reorder parking, retry teardown, probe
+/// cadence) is reachable.
+pub fn small_cfg() -> ReliableConfig {
+    ReliableConfig {
+        hello_interval: 0.2,
+        dead_interval: 1.0,
+        rto_initial: 0.1,
+        rto_min: 0.05,
+        rto_max: 1.6,
+        retry_budget: 1,
+        window: 2,
+        adaptive: false,
+        max_reorder: 2,
+    }
+}
+
+/// A datagram on the wire. The wire is a monotone *set* of these:
+/// delivery never removes a frame, so duplication and reordering are
+/// structural, and loss is simply "never delivered". `gen` is
+/// checker-side bookkeeping (the sender's stream generation at
+/// emission), invisible to the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Frame {
+    /// Sending node.
+    pub src: u8,
+    /// Receiving node.
+    pub dst: u8,
+    /// Sender's incarnation at emission.
+    pub inc: u32,
+    /// Receiver incarnation the sender addressed (0 = unknown).
+    pub for_inc: u32,
+    /// Receiver stream epoch the sender addressed (0 = unknown).
+    pub for_session: u32,
+    /// Sender's stream epoch at emission.
+    pub session: u32,
+    /// Checker-side stream generation of the sender (see above).
+    pub gen: u32,
+    /// The body.
+    pub body: FBody,
+}
+
+/// Frame body. Time is frozen at 0.0, so hellos carry no payload (the
+/// timestamp triplet is all-zero) and a body is fully described by
+/// these fields — which is what makes the replay format textual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FBody {
+    /// Keepalive (all-zero timestamp triplet at frozen time).
+    Hello,
+    /// One payload LSU under a sequence number.
+    Data {
+        /// Transport sequence number.
+        seq: u64,
+        /// Checker payload id (unique per directed pair).
+        payload: u32,
+    },
+    /// Cumulative acknowledgment.
+    Ack {
+        /// Highest in-order sequence delivered.
+        cum: u64,
+    },
+}
+
+/// The synthetic payload LSU for checker payload id `p`. Node ids
+/// inside are pinned so payloads stay invariant under the scenario's
+/// symmetry relabelings — a payload is identified by its directed pair
+/// plus `p`, never by embedded node ids.
+fn payload_lsu(p: u32) -> LsuMessage {
+    LsuMessage {
+        from: NodeId(0),
+        ack: false,
+        entries: vec![LsuEntry::change(NodeId(p), NodeId(0), 1.0)],
+    }
+}
+
+/// Recover the checker payload id from a delivered LSU.
+fn payload_of(m: &LsuMessage) -> Result<u32, String> {
+    m.entries
+        .first()
+        .map(|e| e.head.0)
+        .ok_or_else(|| "checker-bug: delivered LSU without a payload entry".into())
+}
+
+impl Frame {
+    fn node_body(&self) -> NodeBody {
+        match self.body {
+            FBody::Hello => NodeBody::Hello { ts_us: 0, echo_ts_us: 0, hold_us: 0 },
+            FBody::Data { seq, payload } => NodeBody::Data { seq, lsu: payload_lsu(payload) },
+            FBody::Ack { cum } => NodeBody::Ack { cum_seq: cum },
+        }
+    }
+
+    fn relabel(&self, p: &[u8]) -> Frame {
+        Frame { src: p[self.src as usize], dst: p[self.dst as usize], ..*self }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.src);
+        out.push(self.dst);
+        out.extend_from_slice(&self.inc.to_le_bytes());
+        out.extend_from_slice(&self.for_inc.to_le_bytes());
+        out.extend_from_slice(&self.for_session.to_le_bytes());
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.extend_from_slice(&self.gen.to_le_bytes());
+        match self.body {
+            FBody::Hello => out.push(0),
+            FBody::Data { seq, payload } => {
+                out.push(1);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&payload.to_le_bytes());
+            }
+            FBody::Ack { cum } => {
+                out.push(2);
+                out.extend_from_slice(&cum.to_le_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body = match self.body {
+            FBody::Hello => "hello".to_string(),
+            FBody::Data { seq, payload } => format!("data seq={seq} payload={payload}"),
+            FBody::Ack { cum } => format!("ack cum={cum}"),
+        };
+        write!(
+            f,
+            "{}->{} [inc {} for ({},{}) session {} gen {}] {}",
+            self.src,
+            self.dst,
+            self.inc,
+            self.for_inc,
+            self.for_session,
+            self.session,
+            self.gen,
+            body
+        )
+    }
+}
+
+/// One atomic transition of the transport world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TAction {
+    /// Schedule one wire frame at its receiver (the frame stays on the
+    /// wire — duplication and reordering come for free).
+    Deliver(Frame),
+    /// `.0` queues its next payload LSU toward `.1`.
+    SendLsu(u8, u8),
+    /// `.0`'s hello timer toward `.1` fires.
+    HelloFire(u8, u8),
+    /// `.0`'s retransmission timer toward `.1` fires.
+    RetxFire(u8, u8),
+    /// `.0`'s dead-interval timer toward `.1` expires.
+    DeadExpiry(u8, u8),
+    /// `.0` crashes and restarts with a bumped incarnation.
+    CrashRestart(u8),
+    /// `.0` lifts its restart quarantine (release predicate holds).
+    ReleaseQuarantine(u8),
+}
+
+impl TAction {
+    /// The undirected adjacency this action belongs to, or `None` for
+    /// the node-global actions (crash, quarantine release).
+    fn adjacency(&self) -> Option<(u8, u8)> {
+        let norm = |a: u8, b: u8| if a <= b { (a, b) } else { (b, a) };
+        match *self {
+            TAction::Deliver(f) => Some(norm(f.src, f.dst)),
+            TAction::SendLsu(a, b)
+            | TAction::HelloFire(a, b)
+            | TAction::RetxFire(a, b)
+            | TAction::DeadExpiry(a, b) => Some(norm(a, b)),
+            TAction::CrashRestart(_) | TAction::ReleaseQuarantine(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for TAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TAction::Deliver(fr) => write!(f, "deliver {fr}"),
+            TAction::SendLsu(a, b) => write!(f, "send {a}->{b}"),
+            TAction::HelloFire(a, b) => write!(f, "hello-timer {a}->{b}"),
+            TAction::RetxFire(a, b) => write!(f, "retx-timer {a}->{b}"),
+            TAction::DeadExpiry(a, b) => write!(f, "dead-expiry {a}->{b}"),
+            TAction::CrashRestart(x) => write!(f, "crash-restart {x}"),
+            TAction::ReleaseQuarantine(x) => write!(f, "release-quarantine {x}"),
+        }
+    }
+}
+
+#[derive(Clone)]
+struct TNode {
+    inc: u32,
+    quarantined: bool,
+    /// Lifted its quarantine via the release predicate at least once
+    /// in its current life.
+    released: bool,
+    crash_left: u32,
+    chans: BTreeMap<u8, PeerChannel>,
+    /// Neighbors that still held an adjacency to this node's previous
+    /// incarnation when it last crashed and have not observably torn
+    /// it down since (any `PeerDown` / `PeerRestart` on their side
+    /// removes them).
+    stale_holders: BTreeSet<u8>,
+}
+
+/// The transport checker world: real channels plus an omniscient
+/// environment.
+#[derive(Clone)]
+pub struct TWorld<'a> {
+    s: &'a TScenario,
+    mutant: ChannelMutant,
+    nodes: Vec<TNode>,
+    wire: BTreeSet<Frame>,
+    /// Remaining payload budget per directed pair.
+    sends_left: BTreeMap<(u8, u8), u32>,
+    /// Remaining dead-expiry budget per directed pair.
+    dead_left: BTreeMap<(u8, u8), u32>,
+    /// Next payload id per directed pair.
+    payload_next: BTreeMap<(u8, u8), u32>,
+    /// Checker-side stream generation per directed pair: bumped on
+    /// every observed reset of the sender's channel, independent of
+    /// whether the protocol honestly bumped its session number.
+    stream_gen: BTreeMap<(u8, u8), u32>,
+    /// Payload id → the stream generation it was queued under.
+    payload_gen: BTreeMap<(u8, u8, u32), u32>,
+    /// `(src, dst, gen)` → payload ids queued, in order.
+    sent: BTreeMap<(u8, u8, u32), Vec<u32>>,
+    /// `(src, dst, gen)` → payload ids delivered at `dst` *in the
+    /// receiver's current acceptance epoch*, in order. Cleared when the
+    /// receiver's channel resets: its dedup state (`delivered`) is
+    /// gone, so a wildcard-addressed duplicate may legitimately
+    /// re-deliver — exactly-once across receiver resets is impossible
+    /// without persistent state, and the LSU layer is idempotent. The
+    /// in-order/no-gap contract is per epoch.
+    delivered_log: BTreeMap<(u8, u8, u32), Vec<u32>>,
+    /// `(src, dst, gen)` → high-water in-order delivery count at `dst`.
+    delivered_hi: BTreeMap<(u8, u8, u32), u64>,
+}
+
+/// Build the initial world for a scenario under a channel mutant
+/// (`ChannelMutant::None` for the sound protocol).
+pub fn initial_world(s: &TScenario, mutant: ChannelMutant) -> TWorld<'_> {
+    let mut nodes: Vec<TNode> = (0..s.n)
+        .map(|_| TNode {
+            inc: 1,
+            quarantined: false,
+            released: false,
+            crash_left: 0,
+            chans: BTreeMap::new(),
+            stale_holders: BTreeSet::new(),
+        })
+        .collect();
+    let mut sends_left = BTreeMap::new();
+    let mut dead_left = BTreeMap::new();
+    let mut payload_next = BTreeMap::new();
+    let mut stream_gen = BTreeMap::new();
+    for &(a, b) in &s.adjacencies {
+        for (x, y) in [(a, b), (b, a)] {
+            nodes[x as usize].chans.insert(y, PeerChannel::with_mutant(s.cfg, 1, 0.0, mutant));
+            sends_left.insert((x, y), 0);
+            dead_left.insert((x, y), 0);
+            payload_next.insert((x, y), 1);
+            stream_gen.insert((x, y), 1);
+        }
+    }
+    for &(a, b, k) in &s.sends {
+        sends_left.insert((a, b), k);
+    }
+    for &(a, b, k) in &s.dead_expiries {
+        dead_left.insert((a, b), k);
+    }
+    for &(x, k) in &s.crashes {
+        nodes[x as usize].crash_left = k;
+    }
+    TWorld {
+        s,
+        mutant,
+        nodes,
+        wire: BTreeSet::new(),
+        sends_left,
+        dead_left,
+        payload_next,
+        stream_gen,
+        payload_gen: BTreeMap::new(),
+        sent: BTreeMap::new(),
+        delivered_log: BTreeMap::new(),
+        delivered_hi: BTreeMap::new(),
+    }
+}
+
+fn encode_pair_map<V>(
+    out: &mut Vec<u8>,
+    p: &[u8],
+    m: &BTreeMap<(u8, u8), V>,
+    enc: impl Fn(&mut Vec<u8>, &V),
+) {
+    let mut items: Vec<((u8, u8), &V)> =
+        m.iter().map(|(&(a, b), v)| ((p[a as usize], p[b as usize]), v)).collect();
+    items.sort_by_key(|e| e.0);
+    for ((a, b), v) in items {
+        out.push(a);
+        out.push(b);
+        enc(out, v);
+    }
+    out.push(0xfd);
+}
+
+fn encode_triple_map<V>(
+    out: &mut Vec<u8>,
+    p: &[u8],
+    m: &BTreeMap<(u8, u8, u32), V>,
+    enc: impl Fn(&mut Vec<u8>, &V),
+) {
+    let mut items: Vec<((u8, u8, u32), &V)> =
+        m.iter().map(|(&(a, b, g), v)| ((p[a as usize], p[b as usize], g), v)).collect();
+    items.sort_by_key(|e| e.0);
+    for ((a, b, g), v) in items {
+        out.push(a);
+        out.push(b);
+        out.extend_from_slice(&g.to_le_bytes());
+        enc(out, v);
+    }
+    out.push(0xfc);
+}
+
+impl TWorld<'_> {
+    /// Encode the full world state under the node relabeling `p`
+    /// (`p[i]` = new label of node `i`).
+    fn encode_under(&self, p: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by_key(|&i| p[i]);
+        for &i in &order {
+            let n = &self.nodes[i];
+            out.extend_from_slice(&n.inc.to_le_bytes());
+            out.push(n.quarantined as u8);
+            out.push(n.released as u8);
+            out.extend_from_slice(&n.crash_left.to_le_bytes());
+            let mut chans: Vec<(u8, &PeerChannel)> =
+                n.chans.iter().map(|(&nb, c)| (p[nb as usize], c)).collect();
+            chans.sort_by_key(|e| e.0);
+            for (nb, c) in chans {
+                out.push(nb);
+                c.encode_state(&mut out);
+            }
+            let mut holders: Vec<u8> = n.stale_holders.iter().map(|&h| p[h as usize]).collect();
+            holders.sort_unstable();
+            out.extend_from_slice(&holders);
+            out.push(0xfe);
+        }
+        let mut frames: Vec<Frame> = self.wire.iter().map(|f| f.relabel(p)).collect();
+        frames.sort_unstable();
+        out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+        for f in frames {
+            f.encode(&mut out);
+        }
+        let enc_u32 = |out: &mut Vec<u8>, v: &u32| out.extend_from_slice(&v.to_le_bytes());
+        let enc_u64 = |out: &mut Vec<u8>, v: &u64| out.extend_from_slice(&v.to_le_bytes());
+        let enc_vec = |out: &mut Vec<u8>, v: &Vec<u32>| {
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        };
+        encode_pair_map(&mut out, p, &self.sends_left, enc_u32);
+        encode_pair_map(&mut out, p, &self.dead_left, enc_u32);
+        encode_pair_map(&mut out, p, &self.payload_next, enc_u32);
+        encode_pair_map(&mut out, p, &self.stream_gen, enc_u32);
+        encode_triple_map(&mut out, p, &self.payload_gen, enc_u32);
+        encode_triple_map(&mut out, p, &self.sent, enc_vec);
+        encode_triple_map(&mut out, p, &self.delivered_log, enc_vec);
+        encode_triple_map(&mut out, p, &self.delivered_hi, enc_u64);
+        out
+    }
+
+    fn identity_key(&self) -> Vec<u8> {
+        let id: Vec<u8> = (0..self.s.n).collect();
+        self.encode_under(&id)
+    }
+
+    /// Stamp `bodies` (just produced by node `x`'s channel toward `y`)
+    /// with the channel's current addressing triple and put them on
+    /// the wire.
+    fn emit(&mut self, x: u8, y: u8, bodies: Vec<NodeBody>) -> Result<(), String> {
+        let node = &self.nodes[x as usize];
+        let Some(ch) = node.chans.get(&y) else {
+            return Err(format!("checker-bug: node {x} has no channel toward {y}"));
+        };
+        let (for_inc, for_session, session) = ch.address();
+        let gen = self.stream_gen.get(&(x, y)).copied().unwrap_or(1);
+        for b in bodies {
+            let body = match b {
+                NodeBody::Hello { .. } => FBody::Hello,
+                NodeBody::Data { seq, lsu } => FBody::Data { seq, payload: payload_of(&lsu)? },
+                NodeBody::Ack { cum_seq } => FBody::Ack { cum: cum_seq },
+            };
+            self.wire.insert(Frame {
+                src: x,
+                dst: y,
+                inc: node.inc,
+                for_inc,
+                for_session,
+                session,
+                gen,
+                body,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fold channel events observed by node `x` on its channel toward
+    /// `y` into the checker bookkeeping, checking the in-order
+    /// invariant on every delivery.
+    fn process_events(&mut self, x: u8, y: u8, events: Vec<ChannelEvent>) -> Result<(), String> {
+        for ev in events {
+            match ev {
+                ChannelEvent::PeerDown { .. } | ChannelEvent::PeerRestart { .. } => {
+                    // x's channel toward y reset: x's outgoing sequence
+                    // space restarted (new stream generation), x's
+                    // receive-side dedup state is gone (new acceptance
+                    // epoch — restart the per-epoch delivery log), and
+                    // x no longer holds whatever adjacency it had to an
+                    // earlier life of y.
+                    if let Some(g) = self.stream_gen.get_mut(&(x, y)) {
+                        *g += 1;
+                    }
+                    self.delivered_log.retain(|&(s, d, _), _| !(s == y && d == x));
+                    self.nodes[y as usize].stale_holders.remove(&x);
+                }
+                ChannelEvent::Deliver(msg) => {
+                    let payload = payload_of(&msg)?;
+                    let Some(&gen) = self.payload_gen.get(&(y, x, payload)) else {
+                        return Err(format!(
+                            "checker-bug: node {x} delivered unknown payload {payload} from {y}"
+                        ));
+                    };
+                    let key = (y, x, gen);
+                    let log = self.delivered_log.entry(key).or_default();
+                    log.push(payload);
+                    let sent = self.sent.get(&key).map(|v| v.as_slice()).unwrap_or(&[]);
+                    if log.len() > sent.len() || log[..] != sent[..log.len()] {
+                        return Err(format!(
+                            "out-of-order-delivery: node {x} released {log:?} to its router \
+                             from node {y}'s stream generation {gen}, but the queue order \
+                             was {sent:?} (duplicate, gap, or inversion)"
+                        ));
+                    }
+                    let Some(ch) = self.nodes[x as usize].chans.get(&y) else {
+                        return Err(format!("checker-bug: node {x} has no channel toward {y}"));
+                    };
+                    let hi = self.delivered_hi.entry(key).or_default();
+                    *hi = (*hi).max(ch.delivered());
+                }
+                ChannelEvent::PeerUp { .. } | ChannelEvent::Discarded { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn deliver(&mut self, f: &Frame) -> Result<(), String> {
+        if !self.wire.contains(f) {
+            return Err(format!("replay-error: frame not on the wire: {f}"));
+        }
+        let dst = f.dst as usize;
+        let node_inc = self.nodes[dst].inc;
+        let Some(ch) = self.nodes[dst].chans.get_mut(&f.src) else {
+            return Err(format!("checker-bug: node {} has no channel toward {}", f.dst, f.src));
+        };
+        // Ghost-channel check: a frame addressed to a different life or
+        // stream epoch of the receiver must bounce off with zero state
+        // change. The checker knows both sides, so it snapshots the
+        // channel around the delivery.
+        let session = ch.session();
+        let stale = (f.for_inc != 0 && f.for_inc != node_inc)
+            || (f.for_session != 0 && f.for_session != session);
+        let pre = stale.then(|| {
+            let mut v = Vec::new();
+            ch.encode_state(&mut v);
+            v
+        });
+        let (out, events) =
+            ch.on_message(f.inc, f.for_inc, f.for_session, f.session, f.node_body(), 0.0);
+        if let Some(pre) = pre {
+            let mut post = Vec::new();
+            let ch = self.nodes[dst].chans.get(&f.src).expect("channel checked above");
+            ch.encode_state(&mut post);
+            if post != pre {
+                return Err(format!(
+                    "ghost-channel: node {} (inc {node_inc}, session {session}) mutated on a \
+                     frame addressed to inc {} / session {}: {f}",
+                    f.dst, f.for_inc, f.for_session,
+                ));
+            }
+        }
+        self.process_events(f.dst, f.src, events)?;
+        self.emit(f.dst, f.src, out)
+    }
+
+    fn release_due(&self, x: usize) -> bool {
+        let Some(policy) = self.s.policy else { return false };
+        self.nodes[x].quarantined
+            && quarantine_release_due(
+                self.nodes[x].chans.values().map(|c| c.peer_proven()),
+                false,
+                policy,
+            )
+    }
+
+    /// Raw action candidates, before self-loop pruning.
+    fn candidates(&self, out: &mut Vec<TAction>) {
+        for f in &self.wire {
+            out.push(TAction::Deliver(*f));
+        }
+        for (&(a, b), &left) in &self.sends_left {
+            if left > 0 {
+                out.push(TAction::SendLsu(a, b));
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let x = i as u8;
+            for (&nb, ch) in &n.chans {
+                out.push(TAction::HelloFire(x, nb));
+                if ch.in_flight() > 0 {
+                    out.push(TAction::RetxFire(x, nb));
+                }
+                if ch.is_up() && self.dead_left.get(&(x, nb)).copied().unwrap_or(0) > 0 {
+                    out.push(TAction::DeadExpiry(x, nb));
+                }
+            }
+            if n.crash_left > 0 {
+                out.push(TAction::CrashRestart(x));
+            }
+            if self.release_due(i) {
+                out.push(TAction::ReleaseQuarantine(x));
+            }
+        }
+    }
+}
+
+impl CheckWorld for TWorld<'_> {
+    type Action = TAction;
+
+    fn key(&self) -> Vec<u8> {
+        let mut best: Option<Vec<u8>> = None;
+        for p in &self.s.perms {
+            let enc = self.encode_under(p);
+            if best.as_ref().is_none_or(|b| enc < *b) {
+                best = Some(enc);
+            }
+        }
+        best.unwrap_or_else(|| self.identity_key())
+    }
+
+    /// Candidates minus self-loops: each is trial-applied on a clone
+    /// and kept only if it changes the state (or errs — the engine must
+    /// see the violation). With a monotone wire set, most duplicate
+    /// deliveries and re-fired timers are no-ops; pruning them is what
+    /// makes "exhausted" (no truncation) reachable.
+    fn enabled(&self, out: &mut Vec<TAction>) {
+        let mut cand = Vec::new();
+        self.candidates(&mut cand);
+        let base = self.identity_key();
+        let cap = 1 + self.s.reset_budget;
+        for a in cand {
+            let mut w = self.clone();
+            match w.apply(&a) {
+                Err(_) => out.push(a),
+                Ok(()) => {
+                    if w.stream_gen.values().all(|&g| g <= cap) && w.identity_key() != base {
+                        out.push(a);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, a: &TAction) -> Result<(), String> {
+        match a {
+            TAction::Deliver(f) => self.deliver(f),
+            TAction::SendLsu(a, b) => {
+                let (a, b) = (*a, *b);
+                if let Some(left) = self.sends_left.get_mut(&(a, b)) {
+                    *left = left.saturating_sub(1);
+                }
+                let idx = {
+                    let e = self.payload_next.entry((a, b)).or_insert(1);
+                    let i = *e;
+                    *e += 1;
+                    i
+                };
+                let gen = self.stream_gen.get(&(a, b)).copied().unwrap_or(1);
+                self.payload_gen.insert((a, b, idx), gen);
+                self.sent.entry((a, b, gen)).or_default().push(idx);
+                let Some(ch) = self.nodes[a as usize].chans.get_mut(&b) else {
+                    return Err(format!("checker-bug: node {a} has no channel toward {b}"));
+                };
+                let bodies = ch.send(payload_lsu(idx), 0.0);
+                self.emit(a, b, bodies)
+            }
+            TAction::HelloFire(a, b) => {
+                let (a, b) = (*a, *b);
+                let Some(ch) = self.nodes[a as usize].chans.get_mut(&b) else {
+                    return Err(format!("checker-bug: node {a} has no channel toward {b}"));
+                };
+                let body = ch.step_hello_timer(0.0);
+                self.emit(a, b, vec![body])
+            }
+            TAction::RetxFire(a, b) => {
+                let (a, b) = (*a, *b);
+                let Some(ch) = self.nodes[a as usize].chans.get_mut(&b) else {
+                    return Err(format!("checker-bug: node {a} has no channel toward {b}"));
+                };
+                let (bodies, events) = ch.step_retx(0.0);
+                self.process_events(a, b, events)?;
+                self.emit(a, b, bodies)
+            }
+            TAction::DeadExpiry(a, b) => {
+                let (a, b) = (*a, *b);
+                if let Some(left) = self.dead_left.get_mut(&(a, b)) {
+                    *left = left.saturating_sub(1);
+                }
+                let Some(ch) = self.nodes[a as usize].chans.get_mut(&b) else {
+                    return Err(format!("checker-bug: node {a} has no channel toward {b}"));
+                };
+                let events = ch.step_dead_expiry(0.0);
+                self.process_events(a, b, events)
+            }
+            TAction::CrashRestart(x) => {
+                let x = *x;
+                let old_inc = self.nodes[x as usize].inc;
+                let neighbors: Vec<u8> = self.nodes[x as usize].chans.keys().copied().collect();
+                // Who still holds an adjacency to the life that just
+                // died? (A neighbor whose channel is down, probing, or
+                // already at a different incarnation holds nothing.)
+                let holders: BTreeSet<u8> = neighbors
+                    .iter()
+                    .copied()
+                    .filter(|&y| {
+                        self.nodes[y as usize]
+                            .chans
+                            .get(&x)
+                            .is_some_and(|c| c.is_up() && c.incarnation() == Some(old_inc))
+                    })
+                    .collect();
+                let node = &mut self.nodes[x as usize];
+                node.crash_left = node.crash_left.saturating_sub(1);
+                node.inc = old_inc + 1;
+                node.quarantined = self.s.policy.is_some();
+                node.released = false;
+                node.stale_holders = holders;
+                let inc = node.inc;
+                for y in neighbors {
+                    node.chans
+                        .insert(y, PeerChannel::with_mutant(self.s.cfg, inc, 0.0, self.mutant));
+                    // The crash dropped all of x's transport state: its
+                    // outgoing streams restart and its receive-side
+                    // acceptance epochs do too.
+                    if let Some(g) = self.stream_gen.get_mut(&(x, y)) {
+                        *g += 1;
+                    }
+                }
+                self.delivered_log.retain(|&(_, d, _), _| d != x);
+                Ok(())
+            }
+            TAction::ReleaseQuarantine(x) => {
+                let node = &mut self.nodes[*x as usize];
+                node.quarantined = false;
+                node.released = true;
+                Ok(())
+            }
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        // Quarantine-release soundness: a node that lifted its
+        // quarantine while a neighbor still held an adjacency to its
+        // previous life has re-entered the routing fabric with that
+        // neighbor potentially forwarding through its dead incarnation.
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.released {
+                if let Some(&y) = n.stale_holders.iter().next() {
+                    return Err(format!(
+                        "quarantine-release: node {i} lifted its restart quarantine while \
+                         node {y} still holds an adjacency to its previous incarnation"
+                    ));
+                }
+            }
+        }
+        // No silent blackhole: what a sender believes was acknowledged
+        // must be covered by what the receiver actually delivered in
+        // order from that stream generation.
+        for (i, n) in self.nodes.iter().enumerate() {
+            for (&nb, ch) in &n.chans {
+                let claim = ch.acked();
+                if claim == 0 {
+                    continue;
+                }
+                let gen = self.stream_gen.get(&(i as u8, nb)).copied().unwrap_or(1);
+                let actual = self.delivered_hi.get(&(i as u8, nb, gen)).copied().unwrap_or(0);
+                if claim > actual {
+                    return Err(format!(
+                        "claims-beyond-delivered: node {i} holds acks through seq {claim} of \
+                         its stream generation {gen} toward node {nb}, but node {nb} \
+                         delivered only {actual} segments in order — the gap is dropped \
+                         from flight unheard (silent blackhole)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn ample(&self, enabled: &[TAction]) -> Option<Vec<usize>> {
+        // Component independence is exact only while the node-global
+        // actions (crash, quarantine release) can never fire again.
+        if self.nodes.iter().any(|n| n.crash_left > 0 || n.quarantined) {
+            return None;
+        }
+        let mut best: Option<((u8, u8), Vec<usize>)> = None;
+        for (i, a) in enabled.iter().enumerate() {
+            let pair = a.adjacency()?;
+            match &mut best {
+                Some((p, idxs)) => {
+                    if pair == *p {
+                        idxs.push(i);
+                    } else if pair < *p {
+                        *p = pair;
+                        *idxs = vec![i];
+                    }
+                }
+                None => best = Some((pair, vec![i])),
+            }
+        }
+        best.map(|(_, idxs)| idxs)
+    }
+}
+
+/// The machine-readable class of a violation message (its prefix up to
+/// the first `:`).
+pub fn violation_class(msg: &str) -> &str {
+    msg.split(':').next().unwrap_or(msg)
+}
+
+/// Explore one scenario under a mutant.
+pub fn explore(s: &TScenario, mutant: ChannelMutant, use_por: bool) -> Outcome<TAction> {
+    por::explore(initial_world(s, mutant), s.depth, s.max_states, use_por)
+}
+
+/// The tier-1 transport scenario suite (sound protocol: every run must
+/// hold, and at least three must exhaust their reachable space).
+pub fn suite() -> Vec<TScenario> {
+    let id2 = vec![vec![0, 1]];
+    let sym2 = vec![vec![0, 1], vec![1, 0]];
+    vec![
+        TScenario {
+            name: "pair-bringup-transfer",
+            what_it_traps: "window/ack bookkeeping under lost, duplicated, and reordered \
+                            hello/data/ack frames over a cold two-node bring-up",
+            n: 2,
+            adjacencies: vec![(0, 1)],
+            sends: vec![(0, 1, 2), (1, 0, 2)],
+            crashes: vec![],
+            dead_expiries: vec![],
+            reset_budget: 0,
+            policy: None,
+            cfg: small_cfg(),
+            depth: 64,
+            max_states: 3_000_000,
+            perms: sym2,
+        },
+        TScenario {
+            name: "pair-crash-restart",
+            what_it_traps: "ghost channels and quarantine release: frames addressed to \
+                            the previous incarnation arriving at the fresh channel after \
+                            a crash-restart, and wildcard-addressed pre-crash traffic \
+                            masquerading as proof of re-sync",
+            n: 2,
+            adjacencies: vec![(0, 1)],
+            sends: vec![],
+            crashes: vec![(1, 1)],
+            dead_expiries: vec![],
+            reset_budget: 2,
+            policy: Some(ReleasePolicy::AllNeighborsProven),
+            cfg: small_cfg(),
+            depth: 64,
+            max_states: 3_000_000,
+            perms: id2.clone(),
+        },
+        TScenario {
+            name: "pair-session-reset",
+            what_it_traps: "the silent blackhole: a same-incarnation dead-interval reset \
+                            restarting the sender's sequence space while the peer's stale \
+                            acks and segments are still on the wire",
+            n: 2,
+            adjacencies: vec![(0, 1)],
+            sends: vec![(0, 1, 2)],
+            crashes: vec![],
+            dead_expiries: vec![(0, 1, 1)],
+            reset_budget: 1,
+            policy: None,
+            cfg: small_cfg(),
+            depth: 64,
+            max_states: 3_000_000,
+            perms: id2.clone(),
+        },
+        TScenario {
+            name: "triangle-restart-quarantine",
+            what_it_traps: "quarantine-release soundness: a restarted hub may rejoin only \
+                            after BOTH spokes prove they re-synced to its new incarnation",
+            n: 3,
+            adjacencies: vec![(0, 1), (0, 2)],
+            sends: vec![],
+            crashes: vec![(0, 1)],
+            dead_expiries: vec![],
+            reset_budget: 2,
+            policy: Some(ReleasePolicy::AllNeighborsProven),
+            cfg: small_cfg(),
+            depth: 48,
+            max_states: 3_000_000,
+            perms: vec![vec![0, 1, 2], vec![0, 2, 1]],
+        },
+        TScenario {
+            name: "reorder-at-bound",
+            what_it_traps: "the bounded reorder buffer at exactly its bound: parking \
+                            max_reorder out-of-order segments is legal, one more must tear \
+                            down — never deliver out of order",
+            n: 2,
+            adjacencies: vec![(0, 1)],
+            sends: vec![(0, 1, 3)],
+            crashes: vec![],
+            dead_expiries: vec![],
+            reset_budget: 1,
+            policy: None,
+            cfg: ReliableConfig { window: 3, max_reorder: 1, ..small_cfg() },
+            depth: 64,
+            max_states: 3_000_000,
+            perms: id2,
+        },
+        TScenario {
+            name: "ring6-hello-mesh",
+            what_it_traps: "six-node adjacency bring-up: every interleaving of hello \
+                            establishment around a ring, tractable only under the \
+                            adjacency-component reduction plus D6 symmetry",
+            n: 6,
+            adjacencies: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)],
+            sends: vec![],
+            crashes: vec![],
+            dead_expiries: vec![],
+            reset_budget: 0,
+            policy: None,
+            cfg: small_cfg(),
+            depth: 72,
+            max_states: 3_000_000,
+            perms: d6_perms(),
+        },
+    ]
+}
+
+/// The dihedral group of the 6-ring: 6 rotations and 6 reflections.
+fn d6_perms() -> Vec<Vec<u8>> {
+    let mut out = Vec::with_capacity(12);
+    for r in 0..6u8 {
+        out.push((0..6u8).map(|i| (i + r) % 6).collect());
+        out.push((0..6u8).map(|i| (6 + r - i) % 6).collect());
+    }
+    out
+}
+
+/// One checker self-validation case: a deliberately unsound transition
+/// relation that must produce a minimal counterexample of the expected
+/// class.
+pub struct MutantCase {
+    /// Stable case name (used by the replay format).
+    pub name: &'static str,
+    /// The scenario to explore.
+    pub scenario: TScenario,
+    /// The unsound channel transition relation.
+    pub mutant: ChannelMutant,
+    /// The violation class the counterexample must carry.
+    pub expected_class: &'static str,
+}
+
+/// The self-validation suite: every case must yield a minimal
+/// counterexample whose replay through fresh real channels reproduces
+/// the same violation class.
+pub fn mutant_cases() -> Vec<MutantCase> {
+    let base = suite();
+    let find = |name: &str| -> TScenario {
+        base.iter()
+            .find(|s| s.name == name)
+            .cloned()
+            .unwrap_or_else(|| panic!("unknown scenario {name}"))
+    };
+    vec![
+        MutantCase {
+            name: "ignore-addressing",
+            scenario: find("pair-crash-restart"),
+            mutant: ChannelMutant::IgnoreAddressing,
+            expected_class: "ghost-channel",
+        },
+        MutantCase {
+            name: "skip-session-bump",
+            scenario: find("pair-session-reset"),
+            mutant: ChannelMutant::SkipSessionBump,
+            expected_class: "claims-beyond-delivered",
+        },
+        MutantCase {
+            name: "ack-beyond-delivered",
+            scenario: find("pair-bringup-transfer"),
+            mutant: ChannelMutant::AckBeyondDelivered,
+            expected_class: "claims-beyond-delivered",
+        },
+        MutantCase {
+            name: "first-proof-release",
+            scenario: TScenario {
+                name: "triangle-first-proof",
+                policy: Some(ReleasePolicy::FirstProof),
+                ..find("triangle-restart-quarantine")
+            },
+            mutant: ChannelMutant::None,
+            expected_class: "quarantine-release",
+        },
+    ]
+}
+
+fn mutant_name(m: ChannelMutant) -> &'static str {
+    match m {
+        ChannelMutant::None => "none",
+        ChannelMutant::SkipSessionBump => "skip-session-bump",
+        ChannelMutant::IgnoreAddressing => "ignore-addressing",
+        ChannelMutant::AckBeyondDelivered => "ack-beyond-delivered",
+    }
+}
+
+fn mutant_by_name(s: &str) -> Option<ChannelMutant> {
+    Some(match s {
+        "none" => ChannelMutant::None,
+        "skip-session-bump" => ChannelMutant::SkipSessionBump,
+        "ignore-addressing" => ChannelMutant::IgnoreAddressing,
+        "ack-beyond-delivered" => ChannelMutant::AckBeyondDelivered,
+        _ => return None,
+    })
+}
+
+/// A parsed replay file.
+pub struct Replay {
+    /// Scenario name (resolved against [`suite`] / [`mutant_cases`]).
+    pub scenario: String,
+    /// Channel mutant to replay under.
+    pub mutant: ChannelMutant,
+    /// The action trace.
+    pub actions: Vec<TAction>,
+}
+
+/// Serialize a counterexample trace to the line-oriented replay format.
+pub fn to_replay(scenario: &str, mutant: ChannelMutant, trace: &[TAction]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("mdr-verify-replay v1\n");
+    let _ = writeln!(out, "scenario {scenario}");
+    let _ = writeln!(out, "mutant {}", mutant_name(mutant));
+    for a in trace {
+        let _ = match a {
+            TAction::Deliver(f) => {
+                let body = match f.body {
+                    FBody::Hello => "hello".to_string(),
+                    FBody::Data { seq, payload } => format!("data {seq} {payload}"),
+                    FBody::Ack { cum } => format!("ack {cum}"),
+                };
+                writeln!(
+                    out,
+                    "deliver {} {} {} {} {} {} {} {body}",
+                    f.src, f.dst, f.inc, f.for_inc, f.for_session, f.session, f.gen
+                )
+            }
+            TAction::SendLsu(a, b) => writeln!(out, "send {a} {b}"),
+            TAction::HelloFire(a, b) => writeln!(out, "hello-timer {a} {b}"),
+            TAction::RetxFire(a, b) => writeln!(out, "retx-timer {a} {b}"),
+            TAction::DeadExpiry(a, b) => writeln!(out, "dead-expiry {a} {b}"),
+            TAction::CrashRestart(x) => writeln!(out, "crash-restart {x}"),
+            TAction::ReleaseQuarantine(x) => writeln!(out, "release-quarantine {x}"),
+        };
+    }
+    out
+}
+
+/// Parse the replay format back into a trace.
+pub fn parse_replay(text: &str) -> Result<Replay, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    match lines.next() {
+        Some("mdr-verify-replay v1") => {}
+        other => return Err(format!("bad replay header: {other:?}")),
+    }
+    let mut scenario = None;
+    let mut mutant = None;
+    let mut actions = Vec::new();
+    fn num(toks: &[&str], at: &mut usize, line: &str, what: &str) -> Result<u64, String> {
+        let tok = toks.get(*at).ok_or_else(|| format!("`{line}`: missing {what}"))?;
+        *at += 1;
+        tok.parse::<u64>().map_err(|e| format!("`{line}`: bad {what}: {e}"))
+    }
+    for line in lines {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let Some(&word) = toks.first() else { continue };
+        let at = &mut 1usize;
+        match word {
+            "scenario" => scenario = toks.get(1).map(|s| s.to_string()),
+            "mutant" => {
+                let name = *toks.get(1).ok_or_else(|| format!("`{line}`: missing mutant"))?;
+                mutant =
+                    Some(mutant_by_name(name).ok_or_else(|| format!("unknown mutant {name}"))?);
+            }
+            "deliver" => {
+                let src = num(&toks, at, line, "src")? as u8;
+                let dst = num(&toks, at, line, "dst")? as u8;
+                let inc = num(&toks, at, line, "inc")? as u32;
+                let for_inc = num(&toks, at, line, "for_inc")? as u32;
+                let for_session = num(&toks, at, line, "for_session")? as u32;
+                let session = num(&toks, at, line, "session")? as u32;
+                let gen = num(&toks, at, line, "gen")? as u32;
+                let kind = toks.get(*at).copied();
+                *at += 1;
+                let body = match kind {
+                    Some("hello") => FBody::Hello,
+                    Some("data") => {
+                        let seq = num(&toks, at, line, "seq")?;
+                        FBody::Data { seq, payload: num(&toks, at, line, "payload")? as u32 }
+                    }
+                    Some("ack") => FBody::Ack { cum: num(&toks, at, line, "cum")? },
+                    other => return Err(format!("`{line}`: bad body {other:?}")),
+                };
+                actions.push(TAction::Deliver(Frame {
+                    src,
+                    dst,
+                    inc,
+                    for_inc,
+                    for_session,
+                    session,
+                    gen,
+                    body,
+                }));
+            }
+            "send" => actions.push(TAction::SendLsu(
+                num(&toks, at, line, "src")? as u8,
+                num(&toks, at, line, "dst")? as u8,
+            )),
+            "hello-timer" => actions.push(TAction::HelloFire(
+                num(&toks, at, line, "src")? as u8,
+                num(&toks, at, line, "dst")? as u8,
+            )),
+            "retx-timer" => actions.push(TAction::RetxFire(
+                num(&toks, at, line, "src")? as u8,
+                num(&toks, at, line, "dst")? as u8,
+            )),
+            "dead-expiry" => actions.push(TAction::DeadExpiry(
+                num(&toks, at, line, "src")? as u8,
+                num(&toks, at, line, "dst")? as u8,
+            )),
+            "crash-restart" => {
+                actions.push(TAction::CrashRestart(num(&toks, at, line, "node")? as u8));
+            }
+            "release-quarantine" => {
+                actions.push(TAction::ReleaseQuarantine(num(&toks, at, line, "node")? as u8));
+            }
+            other => return Err(format!("unknown replay verb `{other}`")),
+        }
+    }
+    Ok(Replay {
+        scenario: scenario.ok_or("replay missing `scenario` line")?,
+        mutant: mutant.ok_or("replay missing `mutant` line")?,
+        actions,
+    })
+}
+
+/// Replay a trace through a *fresh* world of real `PeerChannel`s and
+/// return the violation it reproduces. `Err` means the replay broke
+/// down (unknown frame, violation at the wrong step, or no violation
+/// at all) — a checker↔implementation conformance failure.
+pub fn replay(s: &TScenario, mutant: ChannelMutant, actions: &[TAction]) -> Result<String, String> {
+    let mut w = initial_world(s, mutant);
+    if let Err(v) = w.check() {
+        return Ok(v);
+    }
+    for (i, a) in actions.iter().enumerate() {
+        let outcome = w.apply(a).and_then(|()| w.check());
+        if let Err(v) = outcome {
+            if v.starts_with("replay-error") || v.starts_with("checker-bug") {
+                return Err(v);
+            }
+            if i + 1 != actions.len() {
+                return Err(format!("violation fired {} steps early: {v}", actions.len() - 1 - i));
+            }
+            return Ok(v);
+        }
+    }
+    Err("replay reproduced no violation".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every scenario's symmetry group must actually map the scenario
+    /// onto itself — otherwise canonicalization would merge states that
+    /// are NOT equivalent and the checker would silently under-explore.
+    #[test]
+    fn declared_perms_are_scenario_automorphisms() {
+        for s in suite() {
+            for p in &s.perms {
+                assert_eq!(p.len(), s.n as usize, "{}: perm arity", s.name);
+                let mut seen = vec![false; s.n as usize];
+                for &v in p {
+                    assert!(!seen[v as usize], "{}: not a permutation", s.name);
+                    seen[v as usize] = true;
+                }
+                let norm = |a: u8, b: u8| if a <= b { (a, b) } else { (b, a) };
+                let adj: BTreeSet<(u8, u8)> =
+                    s.adjacencies.iter().map(|&(a, b)| norm(a, b)).collect();
+                let mapped: BTreeSet<(u8, u8)> = s
+                    .adjacencies
+                    .iter()
+                    .map(|&(a, b)| norm(p[a as usize], p[b as usize]))
+                    .collect();
+                assert_eq!(adj, mapped, "{}: perm breaks the adjacency set", s.name);
+                let set3 = |v: &[(u8, u8, u32)]| -> BTreeSet<(u8, u8, u32)> {
+                    v.iter().copied().collect()
+                };
+                let map3 = |v: &[(u8, u8, u32)]| -> BTreeSet<(u8, u8, u32)> {
+                    v.iter().map(|&(a, b, k)| (p[a as usize], p[b as usize], k)).collect()
+                };
+                assert_eq!(set3(&s.sends), map3(&s.sends), "{}: perm breaks sends", s.name);
+                assert_eq!(
+                    set3(&s.dead_expiries),
+                    map3(&s.dead_expiries),
+                    "{}: perm breaks dead-expiry budgets",
+                    s.name
+                );
+                let crashes: BTreeSet<(u8, u32)> = s.crashes.iter().copied().collect();
+                let mapped_crashes: BTreeSet<(u8, u32)> =
+                    s.crashes.iter().map(|&(x, k)| (p[x as usize], k)).collect();
+                assert_eq!(crashes, mapped_crashes, "{}: perm breaks crash budgets", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_format_round_trips() {
+        let trace = vec![
+            TAction::HelloFire(0, 1),
+            TAction::Deliver(Frame {
+                src: 0,
+                dst: 1,
+                inc: 1,
+                for_inc: 0,
+                for_session: 0,
+                session: 1,
+                gen: 1,
+                body: FBody::Hello,
+            }),
+            TAction::SendLsu(1, 0),
+            TAction::Deliver(Frame {
+                src: 1,
+                dst: 0,
+                inc: 1,
+                for_inc: 1,
+                for_session: 1,
+                session: 1,
+                gen: 1,
+                body: FBody::Data { seq: 1, payload: 1 },
+            }),
+            TAction::RetxFire(1, 0),
+            TAction::DeadExpiry(0, 1),
+            TAction::CrashRestart(1),
+            TAction::ReleaseQuarantine(1),
+        ];
+        let text = to_replay("pair-bringup-transfer", ChannelMutant::SkipSessionBump, &trace);
+        let parsed = parse_replay(&text).expect("round trip");
+        assert_eq!(parsed.scenario, "pair-bringup-transfer");
+        assert_eq!(parsed.mutant, ChannelMutant::SkipSessionBump);
+        assert_eq!(parsed.actions, trace);
+    }
+
+    #[test]
+    fn parse_replay_rejects_garbage() {
+        assert!(parse_replay("not a replay").is_err());
+        assert!(parse_replay("mdr-verify-replay v1\nscenario x\nmutant nope\n").is_err());
+        assert!(parse_replay("mdr-verify-replay v1\nscenario x\nmutant none\nwarp 0 1\n").is_err());
+    }
+
+    /// A cheap exhaustive smoke for debug builds: a pair bring-up with
+    /// tiny budgets holds and exhausts. The full-size suite runs in the
+    /// release-profile `mdr-verify` CI job.
+    #[test]
+    fn tiny_pair_bringup_holds_and_exhausts() {
+        let s = TScenario {
+            name: "tiny-pair",
+            what_it_traps: "",
+            n: 2,
+            adjacencies: vec![(0, 1)],
+            sends: vec![(0, 1, 1)],
+            crashes: vec![],
+            dead_expiries: vec![],
+            reset_budget: 2,
+            policy: None,
+            cfg: small_cfg(),
+            depth: 40,
+            max_states: 500_000,
+            perms: vec![vec![0, 1]],
+        };
+        match explore(&s, ChannelMutant::None, true) {
+            Outcome::Holds(st) => {
+                assert!(!st.truncated, "tiny pair must exhaust, reached depth {}", st.deepest);
+                assert!(st.states > 10, "nontrivial space expected, got {}", st.states);
+            }
+            other => panic!("expected Holds, got {:?}", other.stats()),
+        }
+    }
+}

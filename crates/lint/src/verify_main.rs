@@ -1,0 +1,283 @@
+//! `mdr-verify` CLI — exhaustive model checking of the transport
+//! adjacency state machine and the MPDA LFI invariant, plus checker
+//! self-validation against deliberately unsound mutants.
+//!
+//! ```text
+//! cargo run --release -p mdr-lint --bin mdr-verify            # everything (CI gate)
+//! cargo run --release -p mdr-lint --bin mdr-verify -- transport
+//! cargo run --release -p mdr-lint --bin mdr-verify -- lfi
+//! cargo run --release -p mdr-lint --bin mdr-verify -- --no-por all
+//! ```
+//!
+//! Output is line-oriented and stable so CI can `tee` it into the job
+//! summary: one `check … states … exhausted|bounded … holds` line per
+//! scenario, one `mutant … minimal counterexample … replay ok` line
+//! per self-validation case, and a final `total` line.
+//!
+//! The run fails (exit 1) if any sound scenario is violated or capped,
+//! if fewer than three transport scenarios exhaust their reachable
+//! space, if any mutant fails to produce a counterexample of its
+//! expected class, or if a counterexample does not survive the
+//! serialize → parse → replay round trip against fresh real channels.
+//! Exit 2 is a usage error.
+
+#![forbid(unsafe_code)]
+
+use mdr_lint::model::{self, Verdict};
+use mdr_lint::por::Outcome;
+use mdr_lint::transport::{
+    self, explore, mutant_cases, parse_replay, suite, to_replay, violation_class,
+};
+use mdr_node::ChannelMutant;
+use mdr_routing::mpda::UpdateRule;
+use std::process::ExitCode;
+use std::time::Instant;
+
+enum Mode {
+    Transport,
+    Lfi,
+    All,
+}
+
+struct Args {
+    mode: Mode,
+    use_por: bool,
+    max_states: usize,
+}
+
+fn usage() -> String {
+    "usage: mdr-verify [transport|lfi|all] [--no-por] [--max-states N]".to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { mode: Mode::All, use_por: true, max_states: 0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "transport" => args.mode = Mode::Transport,
+            "lfi" => args.mode = Mode::Lfi,
+            "all" => args.mode = Mode::All,
+            "--no-por" => args.use_por = false,
+            "--max-states" => {
+                let v = it.next().ok_or_else(|| "--max-states needs a value".to_string())?;
+                args.max_states =
+                    v.parse().map_err(|e| format!("--max-states: bad value `{v}`: {e}"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+struct Totals {
+    states: usize,
+    transitions: usize,
+    exhausted: usize,
+    failures: usize,
+}
+
+/// Run the sound transport suite: every scenario must hold, and at
+/// least three must exhaust their reachable space (a proof, not a
+/// bounded smoke test).
+fn run_transport_suite(args: &Args, tot: &mut Totals) {
+    for mut s in suite() {
+        if args.max_states > 0 {
+            s.max_states = args.max_states;
+        }
+        let t = Instant::now();
+        let o = explore(&s, ChannelMutant::None, args.use_por);
+        let st = o.stats();
+        tot.states += st.states;
+        tot.transitions += st.transitions;
+        let coverage = if st.truncated {
+            "bounded"
+        } else {
+            tot.exhausted += 1;
+            "exhausted"
+        };
+        let verdict = match &o {
+            Outcome::Holds(_) => "holds",
+            Outcome::Violated(..) => "VIOLATED",
+            Outcome::Capped(_) => "CAPPED",
+        };
+        println!(
+            "check transport {:<28} {:>8} states {:>9} transitions depth {:>3} \
+             {:<9} ample {:>6} {:>8}ms {}",
+            s.name,
+            st.states,
+            st.transitions,
+            st.deepest,
+            coverage,
+            st.ample_states,
+            t.elapsed().as_millis(),
+            verdict
+        );
+        match o {
+            Outcome::Holds(_) => {}
+            Outcome::Violated(cx, _) => {
+                tot.failures += 1;
+                println!("  !! {}", cx.violation);
+                for a in &cx.trace {
+                    println!("     {a}");
+                }
+            }
+            Outcome::Capped(_) => {
+                tot.failures += 1;
+                println!("  !! state cap hit before the reachable space was drained");
+            }
+        }
+    }
+}
+
+/// Checker self-validation: each unsound mutant must yield a minimal
+/// counterexample of the expected class, and the counterexample must
+/// survive serialize → parse → replay through fresh real channels,
+/// reproducing the same class.
+fn run_mutants(args: &Args, tot: &mut Totals) {
+    for c in mutant_cases() {
+        let t = Instant::now();
+        let o = explore(&c.scenario, c.mutant, args.use_por);
+        let st = o.stats();
+        tot.states += st.states;
+        tot.transitions += st.transitions;
+        let cx = match o {
+            Outcome::Violated(cx, _) => cx,
+            Outcome::Holds(_) => {
+                tot.failures += 1;
+                println!(
+                    "mutant {:<22} MISSED: the checker blessed an unsound transition relation",
+                    c.name
+                );
+                continue;
+            }
+            Outcome::Capped(_) => {
+                tot.failures += 1;
+                println!("mutant {:<22} CAPPED before any counterexample surfaced", c.name);
+                continue;
+            }
+        };
+        let class = violation_class(&cx.violation);
+        if class != c.expected_class {
+            tot.failures += 1;
+            println!(
+                "mutant {:<22} WRONG CLASS: expected {}, got {}",
+                c.name, c.expected_class, class
+            );
+            continue;
+        }
+        let text = to_replay(c.scenario.name, c.mutant, &cx.trace);
+        let replayed =
+            parse_replay(&text).and_then(|r| transport::replay(&c.scenario, r.mutant, &r.actions));
+        match replayed {
+            Ok(v) if violation_class(&v) == class => {
+                println!(
+                    "mutant {:<22} minimal counterexample len {:>2} class {:<26} \
+                     {:>7} states {:>6}ms replay ok",
+                    c.name,
+                    cx.trace.len(),
+                    class,
+                    st.states,
+                    t.elapsed().as_millis()
+                );
+            }
+            Ok(v) => {
+                tot.failures += 1;
+                println!(
+                    "mutant {:<22} REPLAY DIVERGED: search found {}, replay found {}",
+                    c.name,
+                    class,
+                    violation_class(&v)
+                );
+            }
+            Err(e) => {
+                tot.failures += 1;
+                println!("mutant {:<22} REPLAY FAILED: {e}", c.name);
+            }
+        }
+    }
+}
+
+/// Run the LFI trap suite (model.rs): every scenario must hold.
+fn run_lfi_suite(args: &Args, tot: &mut Totals) {
+    let max = if args.max_states > 0 { args.max_states } else { 5_000_000 };
+    for s in model::builtin_suite(0) {
+        let t = Instant::now();
+        let v = model::explore_with(&s, UpdateRule::Lfi, max, args.use_por);
+        let (word, ex) = match &v {
+            Verdict::Holds(ex) => ("holds", ex),
+            Verdict::Violated(_, ex) => ("VIOLATED", ex),
+            Verdict::Capped(ex) => ("CAPPED", ex),
+        };
+        tot.states += ex.states;
+        tot.transitions += ex.transitions;
+        let coverage = if ex.truncated {
+            "bounded"
+        } else {
+            tot.exhausted += 1;
+            "exhausted"
+        };
+        println!(
+            "check lfi       {:<28} {:>8} states {:>9} transitions depth {:>3} \
+             {:<9} ample {:>6} {:>8}ms {}",
+            s.name,
+            ex.states,
+            ex.transitions,
+            ex.deepest,
+            coverage,
+            ex.ample_states,
+            t.elapsed().as_millis(),
+            word
+        );
+        if let Verdict::Violated(cx, _) = &v {
+            tot.failures += 1;
+            print!("{}", model::render_trace(&s, cx));
+        }
+        if matches!(v, Verdict::Capped(_)) {
+            tot.failures += 1;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let t = Instant::now();
+    let mut tot = Totals { states: 0, transitions: 0, exhausted: 0, failures: 0 };
+    let mut transport_exhausted = 0usize;
+    if matches!(args.mode, Mode::Transport | Mode::All) {
+        let before = tot.exhausted;
+        run_transport_suite(&args, &mut tot);
+        run_mutants(&args, &mut tot);
+        transport_exhausted = tot.exhausted - before;
+        if transport_exhausted < 3 {
+            tot.failures += 1;
+            println!(
+                "FAIL: only {transport_exhausted} transport scenario(s) exhausted their \
+                 reachable space; at least 3 must (bounded runs are smoke tests, not proofs)"
+            );
+        }
+    }
+    if matches!(args.mode, Mode::Lfi | Mode::All) {
+        run_lfi_suite(&args, &mut tot);
+    }
+    println!(
+        "total {} states {} transitions, {} scenario(s) exhausted ({} transport), \
+         {} failure(s), {}ms",
+        tot.states,
+        tot.transitions,
+        tot.exhausted,
+        transport_exhausted,
+        tot.failures,
+        t.elapsed().as_millis()
+    );
+    if tot.failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,89 @@
+//! Partial-order reduction must change the *cost* of LFI model
+//! checking, never its *verdict*.
+//!
+//! Reduced runs expand only an ample subset of enabled actions, so a
+//! violating trace may surface at a different position — the contract
+//! is verdict-kind identity (Holds/Violated/Capped), not trace
+//! identity, plus an aggregate ≥3× cut in explored states across the
+//! tier-1 trap suite (the ISSUE's acceptance bar for the reduction
+//! being real rather than cosmetic).
+
+use mdr_lint::model::{builtin_suite, explore_with, Verdict};
+use mdr_routing::mpda::UpdateRule;
+
+const MAX_STATES: usize = 5_000_000;
+
+fn kind(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Holds(_) => "holds",
+        Verdict::Violated(..) => "violated",
+        Verdict::Capped(_) => "capped",
+    }
+}
+
+fn states(v: &Verdict) -> usize {
+    match v {
+        Verdict::Holds(st) | Verdict::Violated(_, st) | Verdict::Capped(st) => st.states,
+    }
+}
+
+#[test]
+fn reduction_preserves_verdicts_and_cuts_states_3x() {
+    let mut full_total = 0usize;
+    let mut reduced_total = 0usize;
+    for s in builtin_suite(0) {
+        let full = explore_with(&s, UpdateRule::Lfi, MAX_STATES, false);
+        let reduced = explore_with(&s, UpdateRule::Lfi, MAX_STATES, true);
+        assert_eq!(
+            kind(&full),
+            kind(&reduced),
+            "scenario `{}`: reduction changed the verdict",
+            s.name
+        );
+        assert_eq!(kind(&full), "holds", "scenario `{}`: LFI must hold", s.name);
+        println!(
+            "{:<22} full {:>8} states, reduced {:>8} states ({:.1}x)",
+            s.name,
+            states(&full),
+            states(&reduced),
+            states(&full) as f64 / states(&reduced) as f64
+        );
+        full_total += states(&full);
+        reduced_total += states(&reduced);
+    }
+    assert!(
+        full_total >= 3 * reduced_total,
+        "reduction must cut explored states >= 3x across the suite: full {full_total}, \
+         reduced {reduced_total}"
+    );
+}
+
+#[test]
+fn reduction_still_finds_broken_rule_violations() {
+    // A rule known to loop: non-strict successor selection on a cold
+    // equal-cost bring-up. Both the full and the reduced exploration
+    // must catch it.
+    use mdr_lint::model::{EnvAction, Scenario};
+    let s = Scenario {
+        name: "broken-bringup-por",
+        what_it_traps: "",
+        n: 3,
+        edges: vec![],
+        start_converged: false,
+        env: vec![
+            EnvAction::WireUp(0, 1, 1.0),
+            EnvAction::WireUp(0, 2, 1.0),
+            EnvAction::WireUp(1, 2, 1.0),
+        ],
+        depth: 12,
+        lossy: false,
+    };
+    for use_por in [false, true] {
+        match explore_with(&s, UpdateRule::NonStrictSuccessors, 2_000_000, use_por) {
+            Verdict::Violated(cx, _) => {
+                assert!(!cx.trace.is_empty(), "cold start cannot be violated at depth 0");
+            }
+            v => panic!("por={use_por}: expected Violated, got {v:?}"),
+        }
+    }
+}

@@ -82,6 +82,48 @@ impl NodeConfig {
     }
 }
 
+/// When may a restart quarantine lift ahead of its timeout fallback?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleasePolicy {
+    /// Sound: every configured neighbor has delivered at least one
+    /// in-order segment on its fresh channel — proof it processed our
+    /// new incarnation and purged any routes through the previous
+    /// life first (see [`PeerChannel::delivered`]).
+    AllNeighborsProven,
+    /// Deliberately unsound, checker-validation only: lift as soon as
+    /// *any* neighbor proves itself. The remaining neighbors may still
+    /// route through our dead incarnation — exactly the transient
+    /// forwarding loop the quarantine exists to prevent, and the
+    /// counterexample the `mdr-verify` transport checker must produce
+    /// against this policy.
+    FirstProof,
+}
+
+/// The quarantine-release predicate, factored out of [`NodeCore`] so
+/// the live node, its unit tests, and the `mdr-verify` transport
+/// checker all drive one decision procedure. `proven` yields one flag
+/// per configured neighbor (has its channel delivered in-order data
+/// this life?); `timed_out` is the dead-interval-since-boot fallback,
+/// by which every neighbor has either re-synced or declared the old
+/// life dead — both purge.
+pub fn quarantine_release_due(
+    proven: impl Iterator<Item = bool>,
+    timed_out: bool,
+    policy: ReleasePolicy,
+) -> bool {
+    let mut any = false;
+    let mut all = true;
+    for p in proven {
+        any |= p;
+        all &= p;
+    }
+    let sufficient = match policy {
+        ReleasePolicy::AllNeighborsProven => all,
+        ReleasePolicy::FirstProof => any,
+    };
+    sufficient || timed_out
+}
+
 /// What one entry point produced: datagrams to transmit (framed, ready
 /// for the socket) and telemetry records to append to the trace.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -273,6 +315,7 @@ impl NodeCore {
         let (bodies, events) = self.neighbors[idx].chan.on_message(
             msg.incarnation,
             msg.for_inc,
+            msg.for_session,
             msg.session,
             msg.body,
             now,
@@ -329,17 +372,15 @@ impl NodeCore {
     }
 
     fn envelope(&mut self, to: NodeId, body: NodeBody, now: f64, out: &mut NodeOutput) {
-        let (for_inc, session) = match self.index_of(to) {
-            Some(idx) => {
-                let chan = &self.neighbors[idx].chan;
-                (chan.incarnation().unwrap_or(0), chan.session())
-            }
-            None => (0, 1),
+        let (for_inc, for_session, session) = match self.index_of(to) {
+            Some(idx) => self.neighbors[idx].chan.address(),
+            None => (0, 0, 1),
         };
         let msg = NodeMsg {
             from: self.cfg.id,
             incarnation: self.cfg.incarnation,
             for_inc,
+            for_session,
             session,
             hlc: self.clock.tick(now),
             body,
@@ -518,19 +559,25 @@ impl NodeCore {
     }
 
     /// Lift the restart quarantine once safe: every configured neighbor
-    /// has delivered at least one in-order segment on its fresh channel
-    /// — which it only does after resetting its send sequence, which it
-    /// only does after processing our new incarnation (purging any
-    /// routes through our previous life first, via its `PeerRestart` or
-    /// `PeerDown` path; see [`PeerChannel::delivered`]). Fallback: a
-    /// full dead interval since boot, by which every neighbor has
-    /// either re-synced or declared our old life dead — both purge.
+    /// has explicitly addressed our *new* incarnation — which it only
+    /// does after processing it (purging any routes through our
+    /// previous life first, via its `PeerRestart` or `PeerDown` path;
+    /// see [`PeerChannel::peer_proven`]). Delivery counts are NOT that
+    /// proof: wildcard-addressed traffic queued before the neighbor
+    /// heard of the restart can deliver on the fresh channel while the
+    /// neighbor still routes through our old life (counterexample found
+    /// by the `mdr-verify` transport checker). Fallback: a full dead
+    /// interval since boot, by which every neighbor has either
+    /// re-synced or declared our old life dead — both purge.
     fn maybe_lift_quarantine(&mut self, now: f64, out: &mut NodeOutput) {
         if !self.quarantined {
             return;
         }
-        let all_proven = self.neighbors.iter().all(|nb| nb.chan.delivered() > 0);
-        if !all_proven && now < self.boot + self.cfg.reliable.dead_interval {
+        if !quarantine_release_due(
+            self.neighbors.iter().map(|nb| nb.chan.peer_proven()),
+            now >= self.boot + self.cfg.reliable.dead_interval,
+            ReleasePolicy::AllNeighborsProven,
+        ) {
             return;
         }
         self.quarantined = false;
@@ -727,6 +774,7 @@ mod tests {
             from: NodeId(7),
             incarnation: 1,
             for_inc: 0,
+            for_session: 0,
             session: 1,
             hlc: Default::default(),
             body: NodeBody::Hello { ts_us: 0, echo_ts_us: 0, hold_us: 0 },

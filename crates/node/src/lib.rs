@@ -49,8 +49,10 @@ pub mod reliable;
 pub mod shell;
 pub mod trace;
 
-pub use crate::core::{NodeConfig, NodeCore, NodeOutput};
+pub use crate::core::{quarantine_release_due, NodeConfig, NodeCore, NodeOutput, ReleasePolicy};
 pub use hlc::HybridClock;
 pub use record::{NodeRecord, RecordBody, SnapDest};
-pub use reliable::{ChannelEvent, DownReason, PeerChannel, ReliableConfig, RttEstimator};
+pub use reliable::{
+    ChannelEvent, ChannelMutant, DownReason, PeerChannel, ReliableConfig, RttEstimator,
+};
 pub use trace::{audit_trace, merge_lines, TraceAudit};

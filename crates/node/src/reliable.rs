@@ -55,7 +55,14 @@
 //!   addressed to its node's current life: after a restart, a
 //!   neighbor's retransmissions to the previous incarnation would
 //!   otherwise establish the fresh channel and pollute its reorder
-//!   buffer with old-session sequence numbers.
+//!   buffer with old-session sequence numbers. The same defense
+//!   applies one level down via `for_session` (the receiver's stream
+//!   epoch being addressed): after a same-incarnation reset, a
+//!   neighbor's cumulative ack — computed against the pre-reset
+//!   stream — would otherwise acknowledge fresh segments it never
+//!   delivered, stranding them if the wire lost them (a permanent
+//!   silent blackhole the `mdr-verify` transport checker traps as a
+//!   claims-vs-delivered violation).
 //! * **Session-tagged streams** — each datagram carries the sender's
 //!   per-adjacency stream epoch (`session`, bumped on every channel
 //!   reset). Without it, a one-sided reset (this side declared dead
@@ -75,7 +82,12 @@
 //! envelope and frame. No sockets, no clocks, no randomness — the
 //! backoff schedule and failure decisions are pure functions of the
 //! event history, which is what makes them unit-testable with a mock
-//! clock and seed-stable under the soak harness.
+//! clock and seed-stable under the soak harness. The transition
+//! relation itself is decomposed into `step_*` functions (admission,
+//! body dispatch, and one per timer) the same way PR 4 decomposed
+//! `MpdaRouter`: [`PeerChannel::on_message`] and [`PeerChannel::poll`]
+//! are thin compositions, and the `mdr-verify` transport model checker
+//! drives the very same steps — there is exactly one state machine.
 
 use mdr_proto::{LsuMessage, NodeBody};
 use std::collections::{BTreeMap, VecDeque};
@@ -267,6 +279,31 @@ struct InFlight {
     retransmitted: bool,
 }
 
+/// Deliberately unsound transition variants, for checker
+/// self-validation only. The `mdr-verify` transport model checker must
+/// produce a minimal counterexample against each of these — a checker
+/// that blesses a broken protocol is worse than no checker. `None` is
+/// the shipping behavior; nothing outside tests and the checker ever
+/// constructs the others (see [`PeerChannel::with_mutant`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChannelMutant {
+    /// The sound protocol.
+    #[default]
+    None,
+    /// `reset` keeps the old session number: a one-sided reset restarts
+    /// the sequence space invisibly — the silent-blackhole bug the
+    /// session tag exists to prevent.
+    SkipSessionBump,
+    /// Accept datagrams regardless of `for_inc`/`for_session`: a
+    /// neighbor's stale stream can establish or pollute a fresh
+    /// channel — the ghost-channel bug the addressing fields prevent.
+    IgnoreAddressing,
+    /// Ack the highest buffered sequence instead of the in-order
+    /// cumulative position: claims delivery of segments still parked
+    /// behind a gap, so the sender drops them from flight unheard.
+    AckBeyondDelivered,
+}
+
 /// Reliable, ordered LSU transfer plus failure detection toward one
 /// neighbor.
 #[derive(Debug, Clone, PartialEq)]
@@ -314,6 +351,20 @@ pub struct PeerChannel {
     /// clears it.
     probing: bool,
     probe_interval: f64,
+    /// The peer has explicitly addressed *this* incarnation of this
+    /// node (`for_inc == local_inc` on a received datagram) since the
+    /// channel last reset. This — not delivery counts — is what proves
+    /// the peer processed our current incarnation and purged any state
+    /// from our previous life: wildcard-addressed (`for_inc == 0`)
+    /// traffic queued before the peer ever heard of us can establish
+    /// and deliver on a fresh channel without the peer knowing we
+    /// restarted. The restart quarantine's release predicate rests on
+    /// this flag.
+    peer_proven: bool,
+    /// Checker-validation sabotage knob — [`ChannelMutant::None`] in
+    /// every shipping channel. A parameter of the transition relation,
+    /// not part of the state (excluded from `encode_state`).
+    mutant: ChannelMutant,
 }
 
 impl PeerChannel {
@@ -341,7 +392,20 @@ impl PeerChannel {
             retx_epoch: f64::NEG_INFINITY,
             probing: false,
             probe_interval: cfg.hello_interval,
+            peer_proven: false,
+            mutant: ChannelMutant::None,
         }
+    }
+
+    /// A channel running a deliberately broken transition relation —
+    /// checker self-validation only (see [`ChannelMutant`]).
+    pub fn with_mutant(
+        cfg: ReliableConfig,
+        local_inc: u32,
+        now: f64,
+        mutant: ChannelMutant,
+    ) -> Self {
+        PeerChannel { mutant, ..PeerChannel::new(cfg, local_inc, now) }
     }
 
     /// The adjacency is established.
@@ -360,9 +424,36 @@ impl PeerChannel {
         self.session
     }
 
+    /// The peer's stream session this adjacency was established with
+    /// (0 while down).
+    pub fn peer_session(&self) -> u32 {
+        self.peer_session
+    }
+
+    /// The addressing triple for every outgoing datagram of this
+    /// adjacency: `(for_inc, for_session, session)` — the peer life
+    /// and stream epoch we believe we are talking to (0 while
+    /// unknown), plus our own stream epoch.
+    pub fn address(&self) -> (u32, u32, u32) {
+        (self.peer_inc.unwrap_or(0), self.peer_session, self.session)
+    }
+
+    /// Out-of-order segments currently parked in the reorder buffer.
+    pub fn reorder_len(&self) -> usize {
+        self.reorder.len()
+    }
+
     /// Unacked segments in flight.
     pub fn in_flight(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Highest cumulative sequence the peer has acknowledged for our
+    /// outgoing stream this session. The transport model checker's
+    /// no-silent-blackhole invariant pins this against what the peer
+    /// actually delivered.
+    pub fn acked(&self) -> u64 {
+        self.acked
     }
 
     /// Segments queued behind the window.
@@ -371,13 +462,24 @@ impl PeerChannel {
     }
 
     /// In-order segments delivered since the adjacency (re)established.
-    /// Nonzero proves the peer reset its send sequence toward us — and
-    /// since this channel only accepts datagrams addressed to our
-    /// current incarnation, that the peer *processed* it (tearing down
-    /// any routes through our previous life first). The restart
-    /// quarantine in [`crate::core`] keys on exactly this.
+    ///
+    /// NOT proof that the peer knows this incarnation: the channel also
+    /// accepts wildcard-addressed (`for_inc == 0`) datagrams — queued
+    /// by a peer that has never heard of us — so delivery can happen
+    /// while the peer still holds state from our previous life. The
+    /// `mdr-verify` transport checker produced the counterexample; use
+    /// [`PeerChannel::peer_proven`] for the quarantine decision.
     pub fn delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// The peer has explicitly addressed this node's *current*
+    /// incarnation since the channel last reset — the proof of
+    /// restart-processing the quarantine release in [`crate::core`]
+    /// keys on (see the field's comment for why delivery counts are
+    /// not enough).
+    pub fn peer_proven(&self) -> bool {
+        self.peer_proven
     }
 
     /// True when nothing is queued, in flight, or buffered — the
@@ -461,6 +563,67 @@ impl PeerChannel {
         })
     }
 
+    /// Append a canonical byte encoding of the full transport state:
+    /// every field that participates in the transition relation (the
+    /// config and mutant knobs are parameters of the relation, not
+    /// state). The `mdr-verify` transport checker dedupes and
+    /// canonicalizes world states on exactly these bytes, so any field
+    /// influencing a future transition must appear here.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        fn f(out: &mut Vec<u8>, v: f64) {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        fn lsu(out: &mut Vec<u8>, m: &LsuMessage) {
+            let b = mdr_proto::encode(m);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(&b);
+        }
+        out.extend_from_slice(&self.local_inc.to_le_bytes());
+        out.push(self.peer_inc.is_some() as u8);
+        out.extend_from_slice(&self.peer_inc.unwrap_or(0).to_le_bytes());
+        out.extend_from_slice(&self.peer_session.to_le_bytes());
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.extend_from_slice(&self.next_seq.to_le_bytes());
+        out.extend_from_slice(&(self.backlog.len() as u32).to_le_bytes());
+        for m in &self.backlog {
+            lsu(out, m);
+        }
+        out.extend_from_slice(&(self.inflight.len() as u32).to_le_bytes());
+        for s in &self.inflight {
+            out.extend_from_slice(&s.seq.to_le_bytes());
+            lsu(out, &s.msg);
+            f(out, s.last_sent);
+            out.extend_from_slice(&s.retries.to_le_bytes());
+            out.push(s.retransmitted as u8);
+        }
+        out.extend_from_slice(&self.acked.to_le_bytes());
+        out.extend_from_slice(&self.delivered.to_le_bytes());
+        out.extend_from_slice(&(self.reorder.len() as u32).to_le_bytes());
+        for (seq, m) in &self.reorder {
+            out.extend_from_slice(&seq.to_le_bytes());
+            lsu(out, m);
+        }
+        f(out, self.last_heard);
+        f(out, self.next_hello);
+        f(out, self.rtt_sample.unwrap_or(f64::NEG_INFINITY));
+        f(out, self.rtt.srtt);
+        f(out, self.rtt.rttvar);
+        f(out, self.rtt.rto);
+        out.push(self.rtt.initialized as u8);
+        match self.peer_hello {
+            Some((ts, rx)) => {
+                out.push(1);
+                out.extend_from_slice(&ts.to_le_bytes());
+                f(out, rx);
+            }
+            None => out.push(0),
+        }
+        f(out, self.retx_epoch);
+        out.push(self.probing as u8);
+        f(out, self.probe_interval);
+        out.push(self.peer_proven as u8);
+    }
+
     /// Queue one LSU for reliable in-order delivery and return any
     /// segments that fit the window right now.
     pub fn send(&mut self, msg: LsuMessage, now: f64) -> Vec<NodeBody> {
@@ -487,25 +650,80 @@ impl PeerChannel {
     }
 
     /// Handle one decoded body from this peer, stamped with the
-    /// sender's `incarnation`, the incarnation it addressed
-    /// (`for_inc`), and its stream `session`. Returns bodies to
-    /// transmit back and events for the node.
+    /// sender's `incarnation`, the incarnation and stream epoch it
+    /// addressed (`for_inc`/`for_session`), and its own stream
+    /// `session`. Returns bodies to transmit back and events for the
+    /// node. A thin composition of the `step_*` transition functions —
+    /// the live node, the mock-clock tests, and the `mdr-verify`
+    /// transport checker all drive exactly this relation.
     pub fn on_message(
         &mut self,
         incarnation: u32,
         for_inc: u32,
+        for_session: u32,
         session: u32,
         body: NodeBody,
         now: f64,
     ) -> (Vec<NodeBody>, Vec<ChannelEvent>) {
-        let mut events = Vec::new();
-        if for_inc != 0 && for_inc != self.local_inc {
-            // Addressed to a different life of this node — traffic (or
-            // retransmissions) from a session built against an
-            // incarnation we no longer are. Accepting it would let a
-            // neighbor's stale stream establish or pollute a fresh
-            // channel.
+        let (accepted, mut events) =
+            self.step_admit(incarnation, for_inc, for_session, session, now);
+        if !accepted {
             return (Vec::new(), events);
+        }
+        let mut out = Vec::new();
+        match body {
+            NodeBody::Hello { ts_us, echo_ts_us, hold_us } => {
+                self.step_hello(ts_us, echo_ts_us, hold_us, now);
+            }
+            NodeBody::Data { seq, lsu } => {
+                let (o, ev) = self.step_data(seq, lsu, now);
+                out.extend(o);
+                events.extend(ev);
+            }
+            NodeBody::Ack { cum_seq } => out.extend(self.step_ack(cum_seq, now)),
+        }
+        (out, events)
+    }
+
+    /// Admission control plus adjacency lifecycle: the addressing
+    /// gates (`for_inc`/`for_session`), the incarnation comparison,
+    /// and the session comparison. Returns whether the datagram's body
+    /// should be processed at all, plus any lifecycle events the
+    /// decision produced (up/restart/reset).
+    pub fn step_admit(
+        &mut self,
+        incarnation: u32,
+        for_inc: u32,
+        for_session: u32,
+        session: u32,
+        now: f64,
+    ) -> (bool, Vec<ChannelEvent>) {
+        let mut events = Vec::new();
+        if self.mutant != ChannelMutant::IgnoreAddressing {
+            if for_inc != 0 && for_inc != self.local_inc {
+                // Addressed to a different life of this node — traffic
+                // (or retransmissions) from a session built against an
+                // incarnation we no longer are. Accepting it would let
+                // a neighbor's stale stream establish or pollute a
+                // fresh channel.
+                return (false, events);
+            }
+            if for_session != 0 && for_session != self.session {
+                // Addressed to a different stream epoch of this node:
+                // the sender is still talking to the adjacency we had
+                // before our last reset. Its cumulative acks were
+                // computed against that stream's sequence space —
+                // accepting one would acknowledge fresh segments the
+                // sender never delivered, stranding them for good if
+                // the wire lost them.
+                return (false, events);
+            }
+        }
+        if for_inc != 0 && for_inc == self.local_inc {
+            // The peer named this exact life: whatever else the
+            // datagram carries, the peer has processed our current
+            // incarnation (see the `peer_proven` field).
+            self.peer_proven = true;
         }
         match self.peer_inc {
             None => {
@@ -537,7 +755,7 @@ impl PeerChannel {
                 // A stale datagram from a previous life, still floating
                 // around the network. Dropping it is the whole point of
                 // incarnation tags.
-                return (Vec::new(), events);
+                return (false, events);
             }
             Some(_) if session > self.peer_session => {
                 // Same process, new stream: the peer's channel reset
@@ -559,149 +777,227 @@ impl PeerChannel {
             }
             Some(_) if session < self.peer_session => {
                 // Straggler from the peer's previous stream.
-                return (Vec::new(), events);
+                return (false, events);
             }
             Some(_) => {
                 self.last_heard = now;
             }
         }
+        if self.mutant != ChannelMutant::IgnoreAddressing
+            && for_session != 0
+            && for_session != self.session
+        {
+            // A reset-then-adopt above bumped our own session, so the
+            // datagram — admitted against the session we had on entry —
+            // is now addressed to a stream that no longer exists. The
+            // lifecycle news (restart/reset) was real and stands, but
+            // the body must not touch the fresh stream: its cumulative
+            // ack was computed against the abandoned sequence space,
+            // and applying it here would pre-acknowledge segments of
+            // the new stream the peer has never seen.
+            return (false, events);
+        }
+        (true, events)
+    }
 
+    /// Body transition for a keepalive: remember the peer's timestamp
+    /// for our next echo, and fold an echoed RTT sample into the
+    /// estimator.
+    pub fn step_hello(&mut self, ts_us: u64, echo_ts_us: u64, hold_us: u64, now: f64) {
+        if ts_us != 0 {
+            // Remember the peer's timestamp (and when we got it) so
+            // our next hello can echo it back.
+            self.peer_hello = Some((ts_us, now));
+        }
+        if echo_ts_us != 0 {
+            // Our own timestamp coming back: RTT is our elapsed time
+            // minus how long the peer sat on it — no clock
+            // synchronization involved. Reject samples outside
+            // [0, dead_interval] (skewed holds, ancient stragglers
+            // that survived a filter above).
+            let sample = now - echo_ts_us as f64 / 1e6 - hold_us as f64 / 1e6;
+            if sample >= 0.0 && sample <= self.cfg.dead_interval {
+                self.rtt.observe(sample, self.cfg.rto_min, self.cfg.rto_max);
+                self.rtt_sample = Some(sample);
+            }
+        }
+    }
+
+    /// Body transition for one data segment: reorder-buffer admission,
+    /// in-order release, the bounded-buffer overflow teardown, and the
+    /// cumulative ack.
+    pub fn step_data(
+        &mut self,
+        seq: u64,
+        lsu: LsuMessage,
+        now: f64,
+    ) -> (Vec<NodeBody>, Vec<ChannelEvent>) {
         let mut out = Vec::new();
-        match body {
-            NodeBody::Hello { ts_us, echo_ts_us, hold_us } => {
-                if ts_us != 0 {
-                    // Remember the peer's timestamp (and when we got
-                    // it) so our next hello can echo it back.
-                    self.peer_hello = Some((ts_us, now));
-                }
-                if echo_ts_us != 0 {
-                    // Our own timestamp coming back: RTT is our elapsed
-                    // time minus how long the peer sat on it — no clock
-                    // synchronization involved. Reject samples outside
-                    // [0, dead_interval] (skewed holds, ancient
-                    // stragglers that survived a filter above).
-                    let sample = now - echo_ts_us as f64 / 1e6 - hold_us as f64 / 1e6;
-                    if sample >= 0.0 && sample <= self.cfg.dead_interval {
+        let mut events = Vec::new();
+        if seq > self.delivered {
+            self.reorder.insert(seq, lsu);
+            // Release the contiguous prefix in order.
+            while let Some(msg) = self.reorder.remove(&(self.delivered + 1)) {
+                self.delivered += 1;
+                events.push(ChannelEvent::Deliver(msg));
+            }
+            if self.reorder.len() > self.cfg.max_reorder {
+                // The head-of-line gap is not healing while segments
+                // keep arriving past it: force a full re-sync (session
+                // bump) rather than buffer without bound. No ack goes
+                // out — the peer must meet our new session, not our
+                // stale cumulative position.
+                let discarded = self.reset(now);
+                events.push(ChannelEvent::PeerDown { reason: DownReason::ReorderOverflow });
+                events.extend(Self::discard_event(discarded));
+                return (out, events);
+            }
+        }
+        // Always ack with the cumulative position: a duplicate or
+        // out-of-order segment means our previous ack was lost or is
+        // still in flight, so repeat it.
+        let claim = if self.mutant == ChannelMutant::AckBeyondDelivered {
+            self.reorder.keys().next_back().copied().unwrap_or(self.delivered).max(self.delivered)
+        } else {
+            self.delivered
+        };
+        out.push(NodeBody::Ack { cum_seq: claim });
+        (out, events)
+    }
+
+    /// Body transition for one cumulative ack: pop acknowledged
+    /// segments off the flight queue (feeding the RTT estimator under
+    /// Karn's rule) and slide the window.
+    pub fn step_ack(&mut self, cum_seq: u64, now: f64) -> Vec<NodeBody> {
+        let mut out = Vec::new();
+        // Duplicate/reordered acks (cum_seq <= acked) fall through
+        // both loops untouched: tolerated, not fatal.
+        if cum_seq > self.acked {
+            self.acked = cum_seq;
+            while self.inflight.front().is_some_and(|f| f.seq <= cum_seq) {
+                if let Some(f) = self.inflight.pop_front() {
+                    // Karn's rule, extended: no sample from a
+                    // retransmitted segment (which transmission does
+                    // the ack answer?), and none from a segment whose
+                    // flight overlapped someone else's retransmission —
+                    // its cumulative ack was head-of-line blocked
+                    // behind the loss, so the elapsed time measures the
+                    // stall, not the path.
+                    if !f.retransmitted && f.last_sent > self.retx_epoch {
+                        let sample = (now - f.last_sent).max(0.0);
                         self.rtt.observe(sample, self.cfg.rto_min, self.cfg.rto_max);
                         self.rtt_sample = Some(sample);
                     }
                 }
             }
-            NodeBody::Data { seq, lsu } => {
-                if seq > self.delivered {
-                    self.reorder.insert(seq, lsu);
-                    // Release the contiguous prefix in order.
-                    while let Some(msg) = self.reorder.remove(&(self.delivered + 1)) {
-                        self.delivered += 1;
-                        events.push(ChannelEvent::Deliver(msg));
-                    }
-                    if self.reorder.len() > self.cfg.max_reorder {
-                        // The head-of-line gap is not healing while
-                        // segments keep arriving past it: force a full
-                        // re-sync (session bump) rather than buffer
-                        // without bound. No ack goes out — the peer
-                        // must meet our new session, not our stale
-                        // cumulative position.
-                        let discarded = self.reset(now);
-                        events.push(ChannelEvent::PeerDown { reason: DownReason::ReorderOverflow });
-                        events.extend(Self::discard_event(discarded));
-                        return (out, events);
-                    }
-                }
-                // Always ack with the cumulative position: a duplicate
-                // or out-of-order segment means our previous ack was
-                // lost or is still in flight, so repeat it.
-                out.push(NodeBody::Ack { cum_seq: self.delivered });
-            }
-            NodeBody::Ack { cum_seq } => {
-                // Duplicate/reordered acks (cum_seq <= acked) fall
-                // through both loops untouched: tolerated, not fatal.
-                if cum_seq > self.acked {
-                    self.acked = cum_seq;
-                    while self.inflight.front().is_some_and(|f| f.seq <= cum_seq) {
-                        if let Some(f) = self.inflight.pop_front() {
-                            // Karn's rule, extended: no sample from a
-                            // retransmitted segment (which transmission
-                            // does the ack answer?), and none from a
-                            // segment whose flight overlapped someone
-                            // else's retransmission — its cumulative
-                            // ack was head-of-line blocked behind the
-                            // loss, so the elapsed time measures the
-                            // stall, not the path.
-                            if !f.retransmitted && f.last_sent > self.retx_epoch {
-                                let sample = (now - f.last_sent).max(0.0);
-                                self.rtt.observe(sample, self.cfg.rto_min, self.cfg.rto_max);
-                                self.rtt_sample = Some(sample);
-                            }
-                        }
-                    }
-                    out.extend(self.fill_window(now));
-                }
-            }
+            out.extend(self.fill_window(now));
         }
-        (out, events)
+        out
     }
 
     /// Drive timers at `now`: keepalives, retransmissions, failure
     /// detection. Call at least once per [`PeerChannel::next_deadline`].
+    /// A thin composition of the timer guards and `step_*` firing
+    /// functions below, which the `mdr-verify` transport checker also
+    /// drives directly (firing a step without its guard is a sound
+    /// over-approximation of timing).
     pub fn poll(&mut self, now: f64) -> (Vec<NodeBody>, Vec<ChannelEvent>) {
+        // Failure detection first: a dead peer gets no retransmissions
+        // and no hello this round.
+        if self.dead_expiry_due(now) {
+            return (Vec::new(), self.step_dead_expiry(now));
+        }
+        let mut out = Vec::new();
+        if self.retx_due(now) {
+            let (retx, events) = self.step_retx(now);
+            if !events.is_empty() {
+                // Retry exhaustion tore the adjacency down; the next
+                // poll's hello opens the probing cadence.
+                return (retx, events);
+            }
+            out.extend(retx);
+        }
+        if self.hello_due(now) {
+            out.push(self.step_hello_timer(now));
+        }
+        (out, Vec::new())
+    }
+
+    /// The dead-interval timer is due: the adjacency is up but nothing
+    /// has been heard for a full dead interval. Deadline comparisons
+    /// use the exact `base + interval` sums that `next_deadline`
+    /// returns — `now - base >= interval` is NOT equivalent under
+    /// floating point, and the mismatch would make polling at the
+    /// reported deadline a no-op (a livelock for any caller that
+    /// sleeps until `next_deadline`).
+    pub fn dead_expiry_due(&self, now: f64) -> bool {
+        self.is_up() && now >= self.last_heard + self.cfg.dead_interval
+    }
+
+    /// Fire the dead-interval expiry: tear the adjacency down and
+    /// report what the reset discarded.
+    pub fn step_dead_expiry(&mut self, now: f64) -> Vec<ChannelEvent> {
+        let discarded = self.reset(now);
+        let mut events = vec![ChannelEvent::PeerDown { reason: DownReason::DeadInterval }];
+        events.extend(Self::discard_event(discarded));
+        events
+    }
+
+    /// The retransmission timer is due: the oldest unacked segment has
+    /// waited out its (doubled-per-retry) timeout.
+    pub fn retx_due(&self, now: f64) -> bool {
+        self.inflight.front().is_some_and(|h| now >= h.last_sent + self.seg_rto(h.retries))
+    }
+
+    /// Fire the retransmission timer: re-send the oldest unacked
+    /// segment, or — past the retry budget — tear the adjacency down
+    /// into the probing state. Callers check [`PeerChannel::retx_due`]
+    /// first; events are nonempty exactly on exhaustion.
+    pub fn step_retx(&mut self, now: f64) -> (Vec<NodeBody>, Vec<ChannelEvent>) {
         let mut out = Vec::new();
         let mut events = Vec::new();
-
-        // Failure detection first: a dead peer gets no retransmissions.
-        // Deadline comparisons use the exact `base + interval` sums that
-        // `next_deadline` returns — `now - base >= interval` is NOT
-        // equivalent under floating point, and the mismatch would make
-        // polling at the reported deadline a no-op (a livelock for any
-        // caller that sleeps until `next_deadline`).
-        if self.is_up() && now >= self.last_heard + self.cfg.dead_interval {
+        let Some(retries) = self.inflight.front().map(|h| h.retries) else {
+            return (out, events);
+        };
+        if retries >= self.cfg.retry_budget {
+            // Graceful degradation: report what was lost, let the node
+            // withdraw routes through this adjacency, and keep probing
+            // at a relaxing cadence instead of wedging against a grey
+            // link.
             let discarded = self.reset(now);
-            events.push(ChannelEvent::PeerDown { reason: DownReason::DeadInterval });
+            self.probing = true;
+            events.push(ChannelEvent::PeerDown { reason: DownReason::RetryExhausted });
             events.extend(Self::discard_event(discarded));
             return (out, events);
         }
-        let retx_due =
-            self.inflight.front().map(|h| (h.retries, h.last_sent + self.seg_rto(h.retries)));
-        if let Some((retries, due)) = retx_due {
-            if now >= due {
-                if retries >= self.cfg.retry_budget {
-                    // Graceful degradation: report what was lost, let
-                    // the node withdraw routes through this adjacency,
-                    // and keep probing at a relaxing cadence instead of
-                    // wedging against a grey link.
-                    let discarded = self.reset(now);
-                    self.probing = true;
-                    events.push(ChannelEvent::PeerDown { reason: DownReason::RetryExhausted });
-                    events.extend(Self::discard_event(discarded));
-                    return (out, events);
-                }
-                let mut retx = None;
-                if let Some(head) = self.inflight.front_mut() {
-                    head.retries += 1;
-                    head.retransmitted = true;
-                    head.last_sent = now;
-                    retx = Some(NodeBody::Data { seq: head.seq, lsu: head.msg.clone() });
-                }
-                if let Some(frame) = retx {
-                    self.retx_epoch = now;
-                    out.push(frame);
-                }
-            }
-        }
-
-        if now >= self.next_hello {
-            let interval = if self.probing {
-                let i = self.probe_interval;
-                self.probe_interval = (self.probe_interval * 2.0)
-                    .min(self.cfg.dead_interval.max(self.cfg.hello_interval));
-                i
-            } else {
-                self.cfg.hello_interval
-            };
-            self.next_hello = now + interval;
-            out.push(self.make_hello(now));
+        if let Some(head) = self.inflight.front_mut() {
+            head.retries += 1;
+            head.retransmitted = true;
+            head.last_sent = now;
+            out.push(NodeBody::Data { seq: head.seq, lsu: head.msg.clone() });
+            self.retx_epoch = now;
         }
         (out, events)
+    }
+
+    /// The keepalive timer is due.
+    pub fn hello_due(&self, now: f64) -> bool {
+        now >= self.next_hello
+    }
+
+    /// Fire the keepalive timer: emit one hello and re-arm, at the
+    /// exponentially relaxing probe cadence when degraded.
+    pub fn step_hello_timer(&mut self, now: f64) -> NodeBody {
+        let interval = if self.probing {
+            let i = self.probe_interval;
+            self.probe_interval = (self.probe_interval * 2.0)
+                .min(self.cfg.dead_interval.max(self.cfg.hello_interval));
+            i
+        } else {
+            self.cfg.hello_interval
+        };
+        self.next_hello = now + interval;
+        self.make_hello(now)
     }
 
     /// The earliest future instant at which [`PeerChannel::poll`] has
@@ -730,7 +1026,9 @@ impl PeerChannel {
     fn reset(&mut self, now: f64) -> (u64, u64, u64) {
         let counts =
             (self.inflight.len() as u64, self.backlog.len() as u64, self.reorder.len() as u64);
-        self.session = self.session.saturating_add(1);
+        if self.mutant != ChannelMutant::SkipSessionBump {
+            self.session = self.session.saturating_add(1);
+        }
         self.peer_inc = None;
         self.peer_session = 0;
         self.next_seq = 1;
@@ -745,6 +1043,7 @@ impl PeerChannel {
         self.retx_epoch = f64::NEG_INFINITY;
         self.probing = false;
         self.probe_interval = self.cfg.hello_interval;
+        self.peer_proven = false;
         counts
     }
 }
@@ -769,7 +1068,7 @@ mod tests {
     }
 
     fn up(ch: &mut PeerChannel, inc: u32, now: f64) {
-        let (_, ev) = ch.on_message(inc, 0, 1, hello0(), now);
+        let (_, ev) = ch.on_message(inc, 0, 0, 1, hello0(), now);
         assert_eq!(ev, vec![ChannelEvent::PeerUp { incarnation: inc }]);
     }
 
@@ -857,12 +1156,12 @@ mod tests {
         ch.send(lsu(0), 0.0);
         ch.send(lsu(0), 0.0);
         assert_eq!(ch.in_flight(), 2);
-        let (_, ev) = ch.on_message(1, 1, 1, NodeBody::Ack { cum_seq: 2 }, 0.05);
+        let (_, ev) = ch.on_message(1, 1, 0, 1, NodeBody::Ack { cum_seq: 2 }, 0.05);
         assert!(ev.is_empty());
         assert_eq!(ch.in_flight(), 0);
         // The same ack again, then a stale one from before: no-ops.
         for cum in [2, 1, 0] {
-            let (out, ev) = ch.on_message(1, 1, 1, NodeBody::Ack { cum_seq: cum }, 0.06);
+            let (out, ev) = ch.on_message(1, 1, 0, 1, NodeBody::Ack { cum_seq: cum }, 0.06);
             assert!(out.is_empty() && ev.is_empty(), "duplicate ack must be silent");
         }
         assert_eq!(ch.in_flight(), 0);
@@ -873,13 +1172,13 @@ mod tests {
         let mut ch = PeerChannel::new(cfg(), 1, 0.0);
         let mk = |i: u32| NodeBody::Data { seq: i as u64, lsu: lsu(i) };
         // Arrival order 2, 3, 1 — delivery must be 1, 2, 3.
-        let (out, ev) = ch.on_message(1, 1, 1, mk(2), 0.0);
+        let (out, ev) = ch.on_message(1, 1, 0, 1, mk(2), 0.0);
         assert_eq!(out, vec![NodeBody::Ack { cum_seq: 0 }], "gap: repeat the cumulative ack");
         assert!(matches!(ev[0], ChannelEvent::PeerUp { .. }));
-        let (out, ev) = ch.on_message(1, 1, 1, mk(3), 0.1);
+        let (out, ev) = ch.on_message(1, 1, 0, 1, mk(3), 0.1);
         assert_eq!(out, vec![NodeBody::Ack { cum_seq: 0 }]);
         assert!(ev.is_empty());
-        let (out, ev) = ch.on_message(1, 1, 1, mk(1), 0.2);
+        let (out, ev) = ch.on_message(1, 1, 0, 1, mk(1), 0.2);
         assert_eq!(out, vec![NodeBody::Ack { cum_seq: 3 }]);
         let delivered: Vec<u32> = ev
             .iter()
@@ -890,7 +1189,7 @@ mod tests {
             .collect();
         assert_eq!(delivered, vec![1, 2, 3]);
         // A duplicate of an old segment re-acks without re-delivering.
-        let (out, ev) = ch.on_message(1, 1, 1, mk(2), 0.3);
+        let (out, ev) = ch.on_message(1, 1, 0, 1, mk(2), 0.3);
         assert_eq!(out, vec![NodeBody::Ack { cum_seq: 3 }]);
         assert!(ev.is_empty());
     }
@@ -906,7 +1205,7 @@ mod tests {
         }
         assert_eq!(wire.len(), 2, "window caps initial transmissions");
         assert_eq!(ch.backlog(), 3);
-        let (out, _) = ch.on_message(1, 1, 1, NodeBody::Ack { cum_seq: 2 }, 0.1);
+        let (out, _) = ch.on_message(1, 1, 0, 1, NodeBody::Ack { cum_seq: 2 }, 0.1);
         let seqs: Vec<u64> = out
             .iter()
             .map(|b| match b {
@@ -936,7 +1235,7 @@ mod tests {
         ch.send(lsu(0), 0.0);
         assert_eq!(ch.in_flight(), 1);
         // Data from incarnation 2: the peer restarted.
-        let (out, ev) = ch.on_message(2, 1, 1, NodeBody::Data { seq: 1, lsu: lsu(9) }, 0.5);
+        let (out, ev) = ch.on_message(2, 1, 0, 1, NodeBody::Data { seq: 1, lsu: lsu(9) }, 0.5);
         assert_eq!(
             ev[0],
             ChannelEvent::PeerRestart { old: 1, new: 2 },
@@ -952,7 +1251,7 @@ mod tests {
         assert_eq!(ch.incarnation(), Some(2));
         assert_eq!(ch.in_flight(), 0, "old-life flight state discarded");
         // A straggler from incarnation 1 is dropped outright.
-        let (out, ev) = ch.on_message(1, 1, 1, NodeBody::Data { seq: 5, lsu: lsu(9) }, 0.6);
+        let (out, ev) = ch.on_message(1, 1, 0, 1, NodeBody::Data { seq: 5, lsu: lsu(9) }, 0.6);
         assert!(out.is_empty() && ev.is_empty());
     }
 
@@ -977,15 +1276,15 @@ mod tests {
         // into a session built against incarnation 2 must not establish
         // the channel or park anything in the reorder buffer.
         let mut ch = PeerChannel::new(cfg(), 3, 0.0);
-        let (out, ev) = ch.on_message(1, 2, 1, NodeBody::Data { seq: 47, lsu: lsu(9) }, 0.0);
+        let (out, ev) = ch.on_message(1, 2, 0, 1, NodeBody::Data { seq: 47, lsu: lsu(9) }, 0.0);
         assert!(out.is_empty() && ev.is_empty(), "stale-addressed data must be silent");
         assert!(!ch.is_up());
         assert!(ch.is_idle(), "no reorder pollution from the old session");
         // Hellos with the unknown-receiver wildcard still make contact…
-        let (_, ev) = ch.on_message(1, 0, 1, hello0(), 0.1);
+        let (_, ev) = ch.on_message(1, 0, 0, 1, hello0(), 0.1);
         assert_eq!(ev, vec![ChannelEvent::PeerUp { incarnation: 1 }]);
         // …and correctly addressed traffic flows.
-        let (out, ev) = ch.on_message(1, 3, 1, NodeBody::Data { seq: 1, lsu: lsu(9) }, 0.2);
+        let (out, ev) = ch.on_message(1, 3, 0, 1, NodeBody::Data { seq: 1, lsu: lsu(9) }, 0.2);
         assert_eq!(out, vec![NodeBody::Ack { cum_seq: 1 }]);
         assert!(matches!(ev[0], ChannelEvent::Deliver(_)));
     }
@@ -999,9 +1298,9 @@ mod tests {
         // underneath us (same incarnation, session 2) and its sequence
         // space restarts at 1. Without the session tag this would be
         // "a duplicate": acked, never delivered.
-        let (_, ev) = ch.on_message(1, 1, 1, NodeBody::Data { seq: 1, lsu: lsu(8) }, 0.1);
+        let (_, ev) = ch.on_message(1, 1, 0, 1, NodeBody::Data { seq: 1, lsu: lsu(8) }, 0.1);
         assert!(matches!(ev.last(), Some(ChannelEvent::Deliver(_))));
-        let (out, ev) = ch.on_message(1, 1, 2, NodeBody::Data { seq: 1, lsu: lsu(9) }, 0.2);
+        let (out, ev) = ch.on_message(1, 1, 0, 2, NodeBody::Data { seq: 1, lsu: lsu(9) }, 0.2);
         assert_eq!(
             ev[0],
             ChannelEvent::PeerDown { reason: DownReason::SessionReset },
@@ -1012,7 +1311,7 @@ mod tests {
         assert_eq!(out, vec![NodeBody::Ack { cum_seq: 1 }]);
         assert_eq!(ch.session(), own + 1, "our own stream epoch advanced with the reset");
         // A straggler from the peer's previous stream is dropped.
-        let (out, ev) = ch.on_message(1, 1, 1, NodeBody::Data { seq: 2, lsu: lsu(8) }, 0.3);
+        let (out, ev) = ch.on_message(1, 1, 0, 1, NodeBody::Data { seq: 2, lsu: lsu(8) }, 0.3);
         assert!(out.is_empty() && ev.is_empty());
     }
 
@@ -1060,7 +1359,7 @@ mod tests {
         up(&mut ch, 1, 0.0);
         assert_eq!(ch.base_rto(), 0.1, "pre-sample base is rto_initial");
         ch.send(lsu(0), 0.0);
-        let (_, _) = ch.on_message(1, 1, 1, NodeBody::Ack { cum_seq: 1 }, 0.04);
+        let (_, _) = ch.on_message(1, 1, 0, 1, NodeBody::Ack { cum_seq: 1 }, 0.04);
         assert_eq!(ch.take_rtt_sample(), Some(0.04));
         assert!((ch.base_rto() - 0.12).abs() < 1e-12, "first sample: RTO = 3·RTT");
         // The retransmission deadline uses the adapted base.
@@ -1071,7 +1370,7 @@ mod tests {
         let _ = fixed.poll(0.0);
         up(&mut fixed, 1, 0.0);
         fixed.send(lsu(0), 0.0);
-        let _ = fixed.on_message(1, 1, 1, NodeBody::Ack { cum_seq: 1 }, 0.04);
+        let _ = fixed.on_message(1, 1, 0, 1, NodeBody::Ack { cum_seq: 1 }, 0.04);
         fixed.send(lsu(0), 1.0);
         assert_eq!(fixed.base_rto(), 0.1);
         assert!((fixed.next_deadline() - 1.1).abs() < 1e-12);
@@ -1087,7 +1386,7 @@ mod tests {
         // estimator must ignore it.
         let (out, _) = ch.poll(0.1);
         assert!(out.iter().any(|b| matches!(b, NodeBody::Data { .. })), "retransmit fired");
-        let (_, _) = ch.on_message(1, 1, 1, NodeBody::Ack { cum_seq: 1 }, 0.15);
+        let (_, _) = ch.on_message(1, 1, 0, 1, NodeBody::Ack { cum_seq: 1 }, 0.15);
         assert_eq!(ch.take_rtt_sample(), None, "no sample from a retransmitted segment");
         assert_eq!(ch.base_rto(), 0.1, "estimator untouched");
     }
@@ -1105,7 +1404,7 @@ mod tests {
         // The peer echoes it back 50 ms later having held it for 30 ms:
         // RTT = 1.05 − 1.0 − 0.03 = 0.02.
         let echo = NodeBody::Hello { ts_us: 2_000_000, echo_ts_us: sent_ts, hold_us: 30_000 };
-        let (_, ev) = ch.on_message(1, 0, 1, echo, 1.05);
+        let (_, ev) = ch.on_message(1, 0, 0, 1, echo, 1.05);
         assert!(matches!(ev[0], ChannelEvent::PeerUp { .. }));
         let sample = ch.take_rtt_sample().expect("echo produced a sample");
         assert!((sample - 0.02).abs() < 1e-9);
@@ -1122,7 +1421,7 @@ mod tests {
         // A sample outside [0, dead_interval] is rejected.
         let bogus = NodeBody::Hello { ts_us: 0, echo_ts_us: 1, hold_us: 0 };
         let before = ch.base_rto();
-        let (_, _) = ch.on_message(1, 0, 1, bogus, 100.0);
+        let (_, _) = ch.on_message(1, 0, 0, 1, bogus, 100.0);
         assert_eq!(ch.take_rtt_sample(), None);
         assert_eq!(ch.base_rto(), before);
     }
@@ -1170,7 +1469,7 @@ mod tests {
             hello_times.windows(2).map(|w| ((w[1] - w[0]) * 1e6).round() / 1e6).collect();
         assert_eq!(gaps, vec![0.2, 0.4, 0.8, 1.0], "exponential probe backoff, dead-interval cap");
         // Contact clears probing and restores the keepalive cadence.
-        let (_, ev) = ch.on_message(1, 0, 7, hello0(), now + 0.01);
+        let (_, ev) = ch.on_message(1, 0, 0, 7, hello0(), now + 0.01);
         assert!(matches!(ev[0], ChannelEvent::PeerUp { .. }));
         assert!(!ch.is_probing());
         assert!(ch.next_deadline() <= now + 0.01 + ch.cfg.hello_interval + 1e-9);
@@ -1186,11 +1485,11 @@ mod tests {
         // Seq 1 never arrives; 3..=6 park in the reorder buffer (at the
         // cap), and the 5th gap segment trips the overflow.
         for seq in 3..=6 {
-            let (out, ev) = ch.on_message(1, 1, 1, mk(seq), 0.1);
+            let (out, ev) = ch.on_message(1, 1, 0, 1, mk(seq), 0.1);
             assert_eq!(out, vec![NodeBody::Ack { cum_seq: 0 }]);
             assert!(ev.is_empty());
         }
-        let (out, ev) = ch.on_message(1, 1, 1, mk(7), 0.2);
+        let (out, ev) = ch.on_message(1, 1, 0, 1, mk(7), 0.2);
         assert!(out.is_empty(), "no ack: the peer must re-sync, not trust our stale position");
         assert_eq!(
             ev,
@@ -1205,7 +1504,7 @@ mod tests {
         // In-order traffic never trips the cap no matter how much.
         let mut ok = PeerChannel::new(c, 1, 0.0);
         for seq in 1..=100u64 {
-            let (_, ev) = ok.on_message(1, 1, 1, mk(seq), 0.0);
+            let (_, ev) = ok.on_message(1, 1, 0, 1, mk(seq), 0.0);
             assert!(ev.iter().all(|e| !matches!(e, ChannelEvent::PeerDown { .. })));
         }
         assert_eq!(ok.delivered(), 100);
@@ -1279,7 +1578,7 @@ mod tests {
                 due.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
                 for (_, _, to_b, session, body) in due {
                     let rcv = if to_b { &mut b } else { &mut a };
-                    let (replies, _) = rcv.on_message(1, 0, session, body, now);
+                    let (replies, _) = rcv.on_message(1, 0, 0, session, body, now);
                     for r in replies {
                         enqueue(&mut wire, &mut rng, &mut order, now, !to_b, rcv.session(), r);
                     }
@@ -1306,5 +1605,150 @@ mod tests {
             adaptive_total <= fixed_total + 1e-9,
             "adaptive RTO must not lose to the fixed ladder: {adaptive_total:.3}s vs {fixed_total:.3}s"
         );
+    }
+
+    #[test]
+    fn stale_session_acks_cannot_pop_fresh_inflight() {
+        // Our channel resets (session 1 → 2) while the peer still holds
+        // the old adjacency. Its cumulative ack — computed against our
+        // pre-reset stream — arrives addressed to for_session 1. It
+        // must not acknowledge segments of the fresh stream: if frame 1
+        // of the new stream were lost, "ack 2" would strand it
+        // permanently while flushed() fed a false protocol ack to the
+        // router (FD raised on a false premise).
+        let mut ch = PeerChannel::new(cfg(), 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        ch.send(lsu(0), 0.0);
+        ch.send(lsu(0), 0.0);
+        let (_, ev) = ch.poll(1.0); // dead interval: reset, session 1 → 2
+        assert!(matches!(ev[0], ChannelEvent::PeerDown { .. }));
+        assert_eq!(ch.session(), 2);
+        up(&mut ch, 1, 2.0);
+        ch.send(lsu(1), 2.0);
+        ch.send(lsu(2), 2.0);
+        assert_eq!(ch.in_flight(), 2);
+        // The peer's stale ack, addressed to the pre-reset stream epoch.
+        let (out, ev) = ch.on_message(1, 1, 1, 1, NodeBody::Ack { cum_seq: 2 }, 2.1);
+        assert!(out.is_empty() && ev.is_empty(), "stale-session ack must be silent");
+        assert_eq!(ch.in_flight(), 2, "fresh segments stay in flight");
+        assert!(!ch.flushed());
+        // The same ack addressed to the current epoch does count.
+        let _ = ch.on_message(1, 1, 2, 1, NodeBody::Ack { cum_seq: 2 }, 2.2);
+        assert_eq!(ch.in_flight(), 0);
+    }
+
+    #[test]
+    fn reorder_buffer_at_exactly_the_bound_survives_and_heals() {
+        // max_reorder = 4: four parked segments is legal (the overflow
+        // check is strictly greater), and the gap filling in releases
+        // everything without a teardown.
+        let c = ReliableConfig { max_reorder: 4, ..cfg() };
+        let mut ch = PeerChannel::new(c, 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        let mk = |i: u64| NodeBody::Data { seq: i, lsu: lsu(9) };
+        for seq in 2..=5 {
+            let (out, ev) = ch.on_message(1, 1, 0, 1, mk(seq), 0.1);
+            assert_eq!(out, vec![NodeBody::Ack { cum_seq: 0 }]);
+            assert!(ev.is_empty());
+        }
+        assert_eq!(ch.reorder_len(), 4, "exactly at the bound");
+        let (out, ev) = ch.on_message(1, 1, 0, 1, mk(1), 0.2);
+        assert_eq!(out, vec![NodeBody::Ack { cum_seq: 5 }]);
+        assert_eq!(ev.len(), 5, "the whole run releases in order");
+        assert!(ch.is_up(), "no teardown at the exact bound");
+        assert_eq!(ch.reorder_len(), 0);
+    }
+
+    #[test]
+    fn retry_exhaustion_during_a_partition_reports_backlog_then_heals() {
+        // A partition strikes with a full window in flight AND a
+        // backlog queued behind it: the exhaustion must account for
+        // both, and the first contact after the heal re-establishes at
+        // a fresh session.
+        let c = ReliableConfig { retry_budget: 1, window: 2, dead_interval: 1e9, ..cfg() };
+        let mut ch = PeerChannel::new(c, 1, 0.0);
+        up(&mut ch, 1, 0.0);
+        for i in 0..5 {
+            ch.send(lsu(i), 0.0);
+        }
+        assert_eq!((ch.in_flight(), ch.backlog()), (2, 3));
+        let before = ch.session();
+        let mut now = 0.0;
+        let mut failure = Vec::new();
+        while failure.is_empty() {
+            now = ch.next_deadline().max(now);
+            assert!(now < 10.0, "exhaustion never fired");
+            let (_, ev) = ch.poll(now);
+            failure = ev;
+        }
+        assert_eq!(
+            failure,
+            vec![
+                ChannelEvent::PeerDown { reason: DownReason::RetryExhausted },
+                ChannelEvent::Discarded { in_flight: 2, backlog: 3, reorder: 0 },
+            ],
+            "every stranded segment is accounted for, windowed or queued"
+        );
+        assert_eq!(ch.session(), before + 1);
+        assert!(ch.is_probing());
+        // The partition heals: the peer's next hello re-establishes.
+        let (_, ev) = ch.on_message(1, 0, 0, 3, hello0(), now + 0.5);
+        assert_eq!(ev, vec![ChannelEvent::PeerUp { incarnation: 1 }]);
+        assert!(!ch.is_probing());
+    }
+
+    #[test]
+    fn adaptive_backoff_clamps_at_the_ladder_ceiling() {
+        // Calibrate the estimator to a fast path, then lose everything:
+        // per-retry doubling walks the adaptive base up the ladder and
+        // must clamp at rto_max, exactly like the fixed schedule.
+        let c =
+            ReliableConfig { retry_budget: 12, dead_interval: 1e9, hello_interval: 1e9, ..cfg() };
+        let mut ch = PeerChannel::new(c, 1, 0.0);
+        let _ = ch.poll(0.0); // park the opening hello a hello_interval away
+        up(&mut ch, 1, 0.0);
+        ch.send(lsu(0), 0.0);
+        let _ = ch.on_message(1, 1, 0, 1, NodeBody::Ack { cum_seq: 1 }, 0.04);
+        assert!((ch.base_rto() - 0.12).abs() < 1e-12, "calibrated base: 3·RTT");
+        ch.send(lsu(0), 1.0);
+        let mut gaps = Vec::new();
+        let mut last = 1.0;
+        for _ in 0..8 {
+            let now = ch.next_deadline();
+            let (out, ev) = ch.poll(now);
+            assert!(ev.is_empty());
+            assert!(out.iter().any(|b| matches!(b, NodeBody::Data { .. })));
+            gaps.push(now - last);
+            last = now;
+        }
+        // 0.12, 0.24, 0.48, 0.96, then the 1.6 ceiling forever.
+        let want = [0.12, 0.24, 0.48, 0.96, 1.6, 1.6, 1.6, 1.6];
+        for (g, w) in gaps.iter().zip(want) {
+            assert!((g - w).abs() < 1e-9, "gaps {gaps:?} expected {want:?}");
+        }
+        // The fixed ladder clamps identically, far past any budget (the
+        // doubling shift saturates instead of overflowing).
+        assert_eq!(cfg().rto(31), cfg().rto_max);
+    }
+
+    #[test]
+    fn mutants_are_observably_broken() {
+        // Sanity for the checker's sabotage knobs: each mutant differs
+        // from the shipping protocol in exactly the way the transport
+        // model checker's counterexamples rely on.
+        // SkipSessionBump: a reset leaves the advertised session alone.
+        let mut m = PeerChannel::with_mutant(cfg(), 1, 0.0, ChannelMutant::SkipSessionBump);
+        up(&mut m, 1, 0.0);
+        let _ = m.poll(1.0);
+        assert_eq!(m.session(), 1, "the reset is invisible on the wire");
+        // IgnoreAddressing: traffic for another life establishes us.
+        let mut m = PeerChannel::with_mutant(cfg(), 3, 0.0, ChannelMutant::IgnoreAddressing);
+        let (_, ev) = m.on_message(1, 2, 0, 1, hello0(), 0.0);
+        assert!(matches!(ev[0], ChannelEvent::PeerUp { .. }));
+        // AckBeyondDelivered: a parked segment is claimed as delivered.
+        let mut m = PeerChannel::with_mutant(cfg(), 1, 0.0, ChannelMutant::AckBeyondDelivered);
+        up(&mut m, 1, 0.0);
+        let (out, _) = m.on_message(1, 1, 0, 1, NodeBody::Data { seq: 3, lsu: lsu(9) }, 0.1);
+        assert_eq!(out, vec![NodeBody::Ack { cum_seq: 3 }], "claims what it never delivered");
     }
 }

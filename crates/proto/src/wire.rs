@@ -25,24 +25,30 @@
 //! for "never seen"), the incarnation of the *receiver* the sender is
 //! addressing (**for_inc**, 0 while unknown — a node accepts only
 //! datagrams addressed to its current life, so traffic aimed at a
-//! previous incarnation cannot pollute a fresh channel), the sender's
-//! per-adjacency **session** (a stream epoch, ≥ 1, bumped whenever the
-//! sender's channel resets — letting the receiver detect that the
-//! peer's sequence space restarted even when no incarnation changed),
-//! and a **hybrid-logical-clock stamp** so that the per-node telemetry
-//! traces of independent OS processes can be merged into one causally
-//! consistent timeline for invariant auditing.
+//! previous incarnation cannot pollute a fresh channel), the receiver
+//! stream session being addressed (**for_session**, 0 while unknown —
+//! the same defense one level down: a channel accepts only datagrams
+//! addressed to its current stream epoch, so an ack computed against a
+//! pre-reset adjacency cannot acknowledge fresh segments the peer
+//! never delivered), the sender's per-adjacency **session** (a stream
+//! epoch, ≥ 1, bumped whenever the sender's channel resets — letting
+//! the receiver detect that the peer's sequence space restarted even
+//! when no incarnation changed), and a **hybrid-logical-clock stamp**
+//! so that the per-node telemetry traces of independent OS processes
+//! can be merged into one causally consistent timeline for invariant
+//! auditing.
 //!
 //! Layout (all integers big-endian), followed by the same CRC32 trailer
 //! the LSU framing uses:
 //!
 //! ```text
 //! magic        u8   = 0x4D ('M')
-//! version      u8   = 3
+//! version      u8   = 4
 //! type         u8   0 = Hello, 1 = Data, 2 = Ack
 //! from         u32  sending node
 //! incarnation  u32  sender's restart counter (≥ 1)
 //! for_inc      u32  receiver incarnation being addressed (0 = unknown)
+//! for_session  u32  receiver stream session being addressed (0 = unknown)
 //! session      u32  sender's channel-stream epoch (≥ 1)
 //! hlc_l        u64  HLC physical component (µs)
 //! hlc_c        u32  HLC logical component
@@ -63,10 +69,10 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mdr_net::NodeId;
 
 const MAGIC: u8 = 0x4D;
-const VERSION: u8 = 3;
+const VERSION: u8 = 4;
 /// Fixed header: magic, version, type, from, incarnation, for_inc,
-/// session, hlc_l, hlc_c.
-const HEADER_LEN: usize = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 8 + 4;
+/// for_session, session, hlc_l, hlc_c.
+const HEADER_LEN: usize = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 8 + 4;
 
 /// A hybrid-logical-clock stamp as carried on the wire: `l` is the
 /// physical component in microseconds, `c` the logical tiebreaker.
@@ -133,6 +139,14 @@ pub struct NodeMsg {
     /// unknown, i.e. before the first hello exchange). Receivers drop
     /// datagrams addressed to a life other than their current one.
     pub for_inc: u32,
+    /// Stream session of the receiver the sender is addressing (0
+    /// while unknown). Receivers drop datagrams addressed to a stream
+    /// epoch other than their current one — without this mirror of
+    /// `for_inc`, an ack computed against the receiver's *previous*
+    /// stream (before a same-incarnation reset restarted its sequence
+    /// space) would acknowledge fresh segments the sender of the ack
+    /// never delivered.
+    pub for_session: u32,
     /// Sender's per-adjacency stream epoch (≥ 1 on the wire): bumped
     /// every time the sender's channel to this receiver resets, so the
     /// receiver can tell a restarted sequence space from a stale or
@@ -183,6 +197,7 @@ pub fn encode_node(msg: &NodeMsg) -> Bytes {
     buf.put_u32(msg.from.0);
     buf.put_u32(msg.incarnation);
     buf.put_u32(msg.for_inc);
+    buf.put_u32(msg.for_session);
     buf.put_u32(msg.session);
     buf.put_u64(msg.hlc.l);
     buf.put_u32(msg.hlc.c);
@@ -224,6 +239,7 @@ pub fn decode_node(mut buf: &[u8]) -> Result<NodeMsg, DecodeError> {
         return Err(DecodeError::BadIncarnation);
     }
     let for_inc = buf.get_u32();
+    let for_session = buf.get_u32();
     let session = buf.get_u32();
     if session == 0 {
         return Err(DecodeError::BadSession);
@@ -264,7 +280,7 @@ pub fn decode_node(mut buf: &[u8]) -> Result<NodeMsg, DecodeError> {
     if buf.remaining() != 0 {
         return Err(DecodeError::TrailingBytes(buf.remaining()));
     }
-    Ok(NodeMsg { from, incarnation, for_inc, session, hlc, body })
+    Ok(NodeMsg { from, incarnation, for_inc, for_session, session, hlc, body })
 }
 
 /// Encode `msg` and append the CRC32 of the encoding — one UDP datagram
@@ -321,6 +337,7 @@ mod tests {
                 from: NodeId(4),
                 incarnation: 2,
                 for_inc: 0,
+                for_session: 0,
                 session: 1,
                 hlc: stamp(),
                 body: NodeBody::Hello {
@@ -333,6 +350,7 @@ mod tests {
                 from: NodeId(0),
                 incarnation: 1,
                 for_inc: 3,
+                for_session: 2,
                 session: 5,
                 hlc: HlcStamp::default(),
                 body: NodeBody::Data {
@@ -351,6 +369,7 @@ mod tests {
                 from: NodeId(7),
                 incarnation: 3,
                 for_inc: u32::MAX,
+                for_session: u32::MAX,
                 session: u32::MAX,
                 hlc: HlcStamp { l: u64::MAX, c: u32::MAX },
                 body: NodeBody::Ack { cum_seq: 42 },
@@ -395,8 +414,8 @@ mod tests {
     #[test]
     fn rejects_zero_session() {
         let mut b = encode_node(&samples()[0]).to_vec();
-        // Session field sits at bytes 15..19.
-        b[15..19].copy_from_slice(&0u32.to_be_bytes());
+        // Session field sits at bytes 19..23 (after for_session).
+        b[19..23].copy_from_slice(&0u32.to_be_bytes());
         assert_eq!(decode_node(&b), Err(DecodeError::BadSession));
     }
 

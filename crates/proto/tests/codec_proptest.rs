@@ -200,6 +200,7 @@ proptest! {
             from: NodeId(0),
             incarnation: 1,
             for_inc: 1,
+            for_session: 1,
             session: 1,
             hlc: HlcStamp::default(),
             body: NodeBody::Data {
@@ -227,14 +228,14 @@ fn arb_body() -> impl Strategy<Value = NodeBody> {
 }
 
 fn arb_node_msg() -> impl Strategy<Value = NodeMsg> {
-    (0u32..1000, 1u32..100, any::<u32>(), 1u32..1000, arb_hlc(), arb_body()).prop_map(
-        |(from, incarnation, for_inc, session, hlc, body)| NodeMsg {
+    ((0u32..1000, 1u32..100, any::<u32>()), (any::<u32>(), 1u32..1000, arb_hlc(), arb_body()))
+        .prop_map(|((from, incarnation, for_inc), (for_session, session, hlc, body))| NodeMsg {
             from: NodeId(from),
             incarnation,
             for_inc,
+            for_session,
             session,
             hlc,
             body,
-        },
-    )
+        })
 }
